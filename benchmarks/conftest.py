@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure through the
+experiment harness, printing the rows (captured into ``bench_output.txt``
+by the top-level run command) and asserting the paper's qualitative
+shape.  ``REPRO_FULL=1`` switches to paper-length (one-hour) runs.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def show(*tables):
+    """Print experiment tables so the bench log carries the rows."""
+    for table in tables:
+        print()
+        print(table.render())
+
+
+@pytest.fixture
+def seed():
+    return 0

@@ -1,0 +1,82 @@
+"""Bench: ablations of APE-CACHE's design choices (beyond the paper)."""
+
+from conftest import run_once, show
+
+from repro.experiments import ablations
+
+
+def test_ablation_dummy_ip_short_circuit(benchmark, seed):
+    table = run_once(benchmark, ablations.run_short_circuit, quick=True,
+                     seed=seed)
+    show(table)
+    latency = {row["short_circuit"]: float(row["all_hit_lookup_ms"])
+               for row in table.rows}
+    # Skipping upstream resolution must make all-hit lookups faster.
+    assert latency["on"] < latency["off"]
+    # And the short-circuited lookup stays millisecond-level.
+    assert latency["on"] < 5.0
+
+
+def test_ablation_fairness_threshold(benchmark, seed):
+    table = run_once(benchmark, ablations.run_fairness_sweep, quick=True,
+                     seed=seed)
+    show(table)
+    by_theta = {float(row["theta"]): row for row in table.rows}
+    # Loosening theta can only help (or not hurt) raw hit ratio: the
+    # fairness constraint is the binding one at small theta.
+    assert float(by_theta[1.0]["hit_ratio"]) >= \
+        float(by_theta[0.1]["hit_ratio"]) - 0.02
+    for row in table.rows:
+        assert 0.0 <= float(row["achieved_fairness"]) <= 1.0
+
+
+def test_ablation_frequency_alpha(benchmark, seed):
+    table = run_once(benchmark, ablations.run_alpha_sweep, quick=True,
+                     seed=seed)
+    show(table)
+    # The estimator must work across the sweep; hit ratios stay sane.
+    for row in table.rows:
+        assert 0.3 <= float(row["hit_ratio"]) <= 1.0
+        assert float(row["hit_ratio_high"]) >= float(row["hit_ratio"]) \
+            - 0.05
+
+
+def test_ablation_prefetching(benchmark, seed):
+    table = run_once(benchmark, ablations.run_prefetch, quick=True,
+                     seed=seed)
+    show(table)
+    rows = {row["prefetch"]: row for row in table.rows}
+    # Prefetching actually happened...
+    assert int(rows["on"]["prefetches"]) > 0
+    assert int(rows["off"]["prefetches"]) == 0
+    # ...and improved (or at worst matched) hit ratio and latency under
+    # the short-TTL workload.
+    assert float(rows["on"]["hit_ratio"]) >= \
+        float(rows["off"]["hit_ratio"]) - 0.01
+    assert float(rows["on"]["mean_app_latency_ms"]) <= \
+        float(rows["off"]["mean_app_latency_ms"]) * 1.02
+
+
+def test_ablation_device_cache(benchmark, seed):
+    table = run_once(benchmark, ablations.run_device_cache, quick=True,
+                     seed=seed)
+    show(table)
+    rows = {int(row["device_cache_kb"]): row for row in table.rows}
+    # A bigger device cache monotonically(ish) cuts app latency.
+    assert float(rows[1024]["mean_app_latency_ms"]) < \
+        float(rows[0]["mean_app_latency_ms"])
+    assert float(rows[1024]["ap_hit_ratio_incl_device"]) >= \
+        float(rows[0]["ap_hit_ratio_incl_device"])
+
+
+def test_ablation_blocklist_threshold(benchmark, seed):
+    table = run_once(benchmark, ablations.run_blocklist_sweep, quick=True,
+                     seed=seed)
+    show(table)
+    rows = {int(row["threshold_kb"]): row for row in table.rows}
+    # A tighter threshold blocks more objects...
+    assert int(rows[100]["blocked_objects"]) > \
+        int(rows[1000]["blocked_objects"])
+    # ...which caps the hit ratio under a large-object workload.
+    assert float(rows[100]["hit_ratio"]) < \
+        float(rows[1000]["hit_ratio"]) + 0.25

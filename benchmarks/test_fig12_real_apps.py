@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 12 (real-world apps' latency)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig12
+
+
+def test_fig12_real_world_app_latency(benchmark, seed):
+    tables = run_once(benchmark, fig12.run, quick=True, seed=seed)
+    show(*tables)
+
+    for table in tables:
+        rows = {row["system"]: row for row in table.rows}
+        ape_mean = float(rows["APE-CACHE"]["mean_ms"])
+        lru_mean = float(rows["APE-CACHE-LRU"]["mean_ms"])
+        wicache_mean = float(rows["Wi-Cache"]["mean_ms"])
+        edge_mean = float(rows["Edge Cache"]["mean_ms"])
+
+        # Paper: APE-CACHE outperforms every baseline on both apps,
+        # cutting mean latency vs Edge Cache by ~78%.
+        assert ape_mean < lru_mean * 1.02  # never worse than its LRU twin
+        assert ape_mean < wicache_mean
+        assert ape_mean < 0.5 * edge_mean
+
+        # Tail latency (p95) improves as well (paper: ~76%).
+        ape_tail = float(rows["APE-CACHE"]["p95_ms"])
+        edge_tail = float(rows["Edge Cache"]["p95_ms"])
+        assert ape_tail < edge_tail

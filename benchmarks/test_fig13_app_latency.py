@@ -1,0 +1,50 @@
+"""Bench: regenerate Fig. 13 (app-level latency across settings)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig13
+
+SYSTEMS = ("APE-CACHE", "APE-CACHE-LRU", "Wi-Cache", "Edge Cache")
+
+
+def _assert_ape_wins_everywhere(table):
+    for row in table.rows:
+        ape = float(row["APE-CACHE"])
+        # Paper: "APE-CACHE outperforming the baseline methods across
+        # the board."
+        assert ape <= float(row["APE-CACHE-LRU"]) * 1.05
+        assert ape < float(row["Wi-Cache"])
+        assert ape < float(row["Edge Cache"])
+
+
+def test_fig13a_latency_vs_object_size(benchmark, seed):
+    table = run_once(benchmark, fig13.run_size_sweep, quick=True,
+                     seed=seed)
+    show(table)
+    _assert_ape_wins_everywhere(table)
+    # Paper: larger objects -> lower hit ratio -> higher latency for
+    # the AP-cached systems.
+    ape_column = [float(row["APE-CACHE"]) for row in table.rows]
+    assert ape_column[-1] > ape_column[0]
+
+
+def test_fig13b_latency_vs_frequency(benchmark, seed):
+    table = run_once(benchmark, fig13.run_frequency_sweep, quick=True,
+                     seed=seed)
+    show(table)
+    _assert_ape_wins_everywhere(table)
+
+
+def test_fig13c_latency_vs_app_quantity(benchmark, seed):
+    table = run_once(benchmark, fig13.run_quantity_sweep, quick=True,
+                     seed=seed)
+    show(table)
+    _assert_ape_wins_everywhere(table)
+
+    # Paper at the default setting (30 apps): APE 30 < APE-LRU 42 <
+    # Wi-Cache 54 << Edge 122 ms, i.e. -76% vs Edge Cache.  Assert the
+    # ordering and the dominant-factor relationship.
+    last = table.rows[-1]
+    ape = float(last["APE-CACHE"])
+    assert ape < float(last["Wi-Cache"]) < float(last["Edge Cache"])
+    assert ape < 0.55 * float(last["Edge Cache"])

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 14 (APE-CACHE overhead on the AP)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig14
+
+
+def test_fig14_ap_resource_overhead(benchmark, seed):
+    table = run_once(benchmark, fig14.run, quick=True, seed=seed)
+    show(table)
+
+    values = {row["metric"]: float(row["value"]) for row in table.rows}
+
+    # Paper: at most ~6% additional CPU utilization.
+    assert values["extra CPU (%)"] <= 6.0
+    assert values["peak extra CPU (%)"] <= 10.0
+    # Paper: ~13 MB of additional memory (5 MB cache + daemon).
+    assert 8.0 <= values["extra memory (MB)"] <= 16.0
+    # The overhead must be an *increase* over the regular apps.
+    assert values["APE-CACHE mean CPU (%)"] >= \
+        values["regular apps mean CPU (%)"]

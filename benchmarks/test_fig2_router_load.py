@@ -1,0 +1,24 @@
+"""Bench: regenerate Table II + Fig. 2 (router load under replay)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig2
+
+
+def test_fig2_traffic_replay(benchmark, seed):
+    table = run_once(benchmark, fig2.run, quick=True, seed=seed)
+    show(table)
+
+    rows = {row["trace"]: row for row in table.rows}
+    low, high = rows["low-rate"], rows["high-rate"]
+
+    # Paper: even high-rate replay keeps CPU well below 50%...
+    assert float(high["mean_cpu_pct"]) < 50.0
+    assert float(high["peak_cpu_pct"]) < 55.0
+    # ...and memory hovers around 120 MB, under half of 256 MB.
+    assert 95.0 <= float(high["mean_mem_mb"]) <= 130.0
+    assert float(high["peak_mem_mb"]) < 256.0 / 2 + 30
+
+    # The low-rate trace barely loads the router.
+    assert float(low["mean_cpu_pct"]) < 5.0
+    assert float(low["mean_mem_mb"]) < 80.0

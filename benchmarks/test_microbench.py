@@ -1,0 +1,123 @@
+"""Microbenchmarks of the hot code paths (classic pytest-benchmark).
+
+These are not paper artifacts; they keep the implementation honest about
+per-operation costs: the DNS wire codec, cache admission under LRU and
+PACM, the knapsack solver, and one end-to-end simulated fetch.
+"""
+
+import random
+
+from repro.cache import (
+    CacheEntry,
+    CacheStore,
+    LruPolicy,
+    PacmPolicy,
+    RequestFrequencyTracker,
+    solve_knapsack,
+)
+from repro.dnslib import (
+    CacheFlag,
+    CacheLookupRdata,
+    Message,
+    RRClass,
+    RRType,
+)
+from repro.httplib import DataObject
+
+
+def make_message():
+    query = Message.query("www.apple.com", RRType.A, message_id=42)
+    rdata = CacheLookupRdata()
+    for index in range(8):
+        rdata.add_url(f"http://www.apple.com/object{index}",
+                      CacheFlag.REQUEST)
+    query.attach_cache_lookup(rdata, RRClass.REQUEST)
+    return query
+
+
+def test_dns_message_encode(benchmark):
+    message = make_message()
+    encoded = benchmark(message.encode)
+    assert len(encoded) > 40
+
+
+def test_dns_message_decode(benchmark):
+    wire = make_message().encode()
+    decoded = benchmark(Message.decode, wire)
+    assert decoded.cache_lookup(RRClass.REQUEST) is not None
+
+
+def _make_entry(index, rng, app_count=10):
+    size = rng.randint(1024, 100 * 1024)
+    return CacheEntry(
+        DataObject(f"http://app{index % app_count}.example/o{index}",
+                   size),
+        app_id=f"app{index % app_count}", priority=rng.choice((1, 2)),
+        stored_at=0.0, expires_at=1800.0,
+        fetch_latency_s=rng.uniform(0.02, 0.05))
+
+
+def test_cache_admission_lru(benchmark):
+    rng = random.Random(1)
+    entries = [_make_entry(index, rng) for index in range(400)]
+
+    def fill():
+        store = CacheStore(5 * 1024 * 1024)
+        policy = LruPolicy()
+        for now, entry in enumerate(entries):
+            store.admit(entry, policy, float(now))
+        return store
+
+    store = benchmark(fill)
+    assert store.used_bytes <= store.capacity_bytes
+
+
+def test_cache_admission_pacm(benchmark):
+    rng = random.Random(1)
+    entries = [_make_entry(index, rng) for index in range(400)]
+    tracker = RequestFrequencyTracker()
+    for index in range(10):
+        tracker.observe(f"app{index}", now=1.0, count=index + 1)
+
+    def fill():
+        store = CacheStore(5 * 1024 * 1024)
+        policy = PacmPolicy(tracker)
+        for now, entry in enumerate(entries):
+            store.admit(entry, policy, float(now))
+        return store
+
+    store = benchmark(fill)
+    assert store.used_bytes <= store.capacity_bytes
+
+
+def test_knapsack_solver(benchmark):
+    rng = random.Random(7)
+    utilities = [rng.uniform(0.1, 100.0) for _ in range(150)]
+    sizes = [rng.randint(1024, 100 * 1024) for _ in range(150)]
+
+    selection = benchmark(solve_knapsack, utilities, sizes,
+                          5 * 1024 * 1024)
+    assert sum(sizes[index] for index in selection) <= 5 * 1024 * 1024
+
+
+def test_end_to_end_cached_fetch(benchmark):
+    """One APE-CACHE hit-path fetch, simulated end to end."""
+    from repro.core import ApRuntime, CacheableSpec
+    from repro.core.client_runtime import ClientRuntime
+    from repro.testbed import Testbed, TestbedConfig
+
+    def run_fetch():
+        bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+        ApRuntime(bed.ap, bed.transport, bed.ldns.address).install()
+        node = bed.add_client("phone")
+        runtime = ClientRuntime(node, bed.transport, bed.ap.address)
+        url = "http://bench.example/object"
+        bed.host_object(url, 10 * 1024)
+        runtime.register_spec(CacheableSpec(url, 2, 3600.0))
+        bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+        runtime.flush()
+        result = bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+        return result
+
+    result = benchmark(run_fetch)
+    assert result.source == "ap-hit"

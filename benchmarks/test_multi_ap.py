@@ -1,0 +1,21 @@
+"""Bench: distributed Wi-Cache scaling with AP count (extension)."""
+
+from conftest import run_once, show
+
+from repro.experiments import multi_ap
+
+
+def test_multi_ap_scaling(benchmark, seed):
+    table = run_once(benchmark, multi_ap.run, quick=True, seed=seed)
+    show(table)
+
+    rows = {int(row["n_aps"]): row for row in table.rows}
+    # More APs -> more aggregate cache -> strictly better hit ratio...
+    assert float(rows[2]["hit_ratio"]) > float(rows[1]["hit_ratio"])
+    assert float(rows[4]["hit_ratio"]) > float(rows[2]["hit_ratio"])
+    # ...and lower app latency.
+    assert float(rows[4]["mean_app_latency_ms"]) < \
+        float(rows[1]["mean_app_latency_ms"])
+    # Aggregate cache usage actually grows with the fleet.
+    assert float(rows[4]["aggregate_cache_mb"]) > \
+        float(rows[1]["aggregate_cache_mb"])

@@ -1,0 +1,30 @@
+"""Bench: offline policy comparison against the clairvoyant bound."""
+
+from conftest import run_once, show
+
+from repro.experiments import offline_optimal
+
+
+def test_offline_pacm_vs_belady(benchmark, seed):
+    table = run_once(benchmark, offline_optimal.run, quick=True,
+                     seed=seed)
+    show(table)
+
+    by_policy = {row["policy"]: row for row in table.rows}
+    pacm = float(by_policy["PACM"]["hit_ratio"])
+    lru = float(by_policy["LRU"]["hit_ratio"])
+    fifo = float(by_policy["FIFO"]["hit_ratio"])
+    belady = float(by_policy["Belady (clairvoyant)"]["hit_ratio"])
+
+    # The clairvoyant bound tops every online policy.
+    for name, row in by_policy.items():
+        if name != "Belady (clairvoyant)":
+            assert float(row["hit_ratio"]) <= belady + 0.01
+    # PACM beats the paper's LRU baseline and captures most of the
+    # achievable hit ratio.
+    assert pacm > lru
+    assert pacm > fifo
+    assert pacm >= 0.8 * belady
+    # And its priority-awareness shows on high-priority objects.
+    assert float(by_policy["PACM"]["high_priority_hit_ratio"]) > \
+        float(by_policy["LRU"]["high_priority_hit_ratio"])

@@ -1,0 +1,23 @@
+"""Bench: multi-seed replication of the headline latency claim."""
+
+from conftest import run_once, show
+
+from repro.experiments import replication
+
+
+def test_replication_confidence_intervals(benchmark, seed):
+    table = run_once(benchmark, replication.run, quick=True, seed=seed)
+    show(table)
+
+    rows = {row["system"]: row for row in table.rows}
+    ape = rows["APE-CACHE"]
+    # Intervals are well-formed.
+    for row in table.rows:
+        assert float(row["ci_low_ms"]) <= float(row["mean_ms"]) <= \
+            float(row["ci_high_ms"])
+    # The big gaps (Wi-Cache, Edge Cache) resolve as significant even
+    # with a small seed fleet; both are slower than APE-CACHE.
+    for rival in ("Wi-Cache", "Edge Cache"):
+        assert float(rows[rival]["vs_ape_delta_ms"]) > 0
+        assert rows[rival]["significant"] == "yes"
+    assert float(ape["mean_ms"]) < float(rows["Edge Cache"]["mean_ms"])

@@ -1,0 +1,33 @@
+"""Bench: regenerate Table I (Akamai DNS/RTT/hops from three sites)."""
+
+from conftest import run_once, show
+
+from repro.experiments import table1
+from repro.measurement.akamai import PAPER_TABLE1
+
+
+def test_table1_akamai_measurement(benchmark, seed):
+    table = run_once(benchmark, table1.run, quick=True, seed=seed)
+    show(table)
+
+    by_cell = {(row["location"], row["service"]): row
+               for row in table.rows}
+    assert len(by_cell) == 9
+    for (site, service), (paper_dns, paper_rtt, paper_hops) in \
+            PAPER_TABLE1.items():
+        row = by_cell[(site, service)]
+        # Calibrated cells reproduce the paper within 15%.
+        assert abs(float(row["dns_ms"]) - paper_dns) <= \
+            0.15 * paper_dns + 1.0
+        assert abs(float(row["rtt_ms"]) - paper_rtt) <= \
+            0.15 * paper_rtt + 1.0
+        assert row["hops"] == paper_hops
+
+    # The Yahoo/Sao-Paulo anomaly: no PoP, so DNS and RTT blow up.
+    outlier = by_cell[("SaoPaulo", "yahoo")]
+    others = [row for key, row in by_cell.items()
+              if key != ("SaoPaulo", "yahoo")]
+    assert float(outlier["rtt_ms"]) > 1.5 * max(float(r["rtt_ms"])
+                                                for r in others)
+    assert float(outlier["dns_ms"]) > 5 * max(float(r["dns_ms"])
+                                              for r in others)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table VII (programming effort comparison)."""
+
+from conftest import run_once, show
+
+from repro.experiments import table7
+
+
+def test_table7_programming_effort(benchmark, seed):
+    table = run_once(benchmark, table7.run, quick=True, seed=seed)
+    show(table)
+
+    rows = {(row["app"], row["approach"]): row for row in table.rows}
+    for app in ("MovieTrailer", "VirtualHome"):
+        annotation = rows[(app, "APE-CACHE (annotations)")]
+        api_based = rows[(app, "API-based")]
+        # Paper: annotations touch fewer lines and never rewrite logic.
+        assert int(annotation["impacted_locs"]) < \
+            int(api_based["impacted_locs"])
+        assert annotation["rewrite_logic"] == "No"
+        assert api_based["rewrite_logic"] == "Yes"
+        # Paper: both add the same client-library binary (~32 kb there).
+        assert annotation["extra_binary_kb"] == \
+            api_based["extra_binary_kb"]

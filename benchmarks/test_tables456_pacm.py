@@ -1,0 +1,60 @@
+"""Bench: regenerate Tables IV, V, VI (PACM vs LRU hit ratios)."""
+
+from conftest import run_once, show
+
+from repro.experiments import pacm_tables
+
+
+def test_table4_hit_ratio_vs_object_size(benchmark, seed):
+    table = run_once(benchmark, pacm_tables.run_size_sweep, quick=True,
+                     seed=seed)
+    show(table)
+
+    pacm_avg = [float(v) for v in table.column("pacm_avg")]
+    pacm_high = [float(v) for v in table.column("pacm_high_priority")]
+    lru = [float(v) for v in table.column("lru")]
+
+    # Paper: growing objects -> falling hit ratios, monotonically-ish.
+    assert pacm_avg[0] > pacm_avg[-1]
+    assert lru[0] > lru[-1]
+    assert pacm_avg[-1] < 0.7 * pacm_avg[0]
+    # Paper: PACM's high-priority hit ratio beats LRU in every row.
+    for high, low in zip(pacm_high, lru):
+        assert high > low
+
+
+def test_table5_hit_ratio_vs_frequency(benchmark, seed):
+    table = run_once(benchmark, pacm_tables.run_frequency_sweep,
+                     quick=True, seed=seed)
+    show(table)
+
+    pacm_high = [float(v) for v in table.column("pacm_high_priority")]
+    lru = [float(v) for v in table.column("lru")]
+    pacm_avg = [float(v) for v in table.column("pacm_avg")]
+
+    # Paper: frequency has a mild effect; higher frequency does not
+    # hurt (objects are re-requested before TTL expiry).
+    assert pacm_avg[-1] >= pacm_avg[0] - 0.05
+    # Paper: PACM-High consistently above LRU.
+    for high, low in zip(pacm_high, lru):
+        assert high > low
+
+
+def test_table6_hit_ratio_vs_app_quantity(benchmark, seed):
+    table = run_once(benchmark, pacm_tables.run_quantity_sweep,
+                     quick=True, seed=seed)
+    show(table)
+
+    rows = {int(row["n_apps"]): row for row in table.rows}
+    # Paper: with few apps everything fits and PACM == LRU.
+    for quantity in (5, 10, 15):
+        row = rows[quantity]
+        assert float(row["pacm_avg"]) > 0.85
+        assert abs(float(row["pacm_avg"]) - float(row["lru"])) < 0.03
+    # Paper: the 5 MB cache saturates past ~15 apps...
+    assert float(rows[30]["pacm_avg"]) < float(rows[15]["pacm_avg"])
+    assert float(rows[30]["lru"]) < float(rows[15]["lru"])
+    # ...and PACM keeps protecting high-priority objects (paper: 0.832
+    # vs 0.631 at 30 apps).
+    assert float(rows[30]["pacm_high_priority"]) > \
+        float(rows[30]["lru"]) + 0.10

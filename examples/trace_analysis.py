@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Offline cache-policy research workflow.
+
+Generates the evaluation workload's request trace (no network needed),
+replays it through PACM, the classic policies, and a clairvoyant Belady
+reference, and prints the league table plus a capacity sweep — the
+fast inner loop for anyone experimenting with AP cache management.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro.apps import DummyAppParams, generate_apps
+from repro.apps.trace import generate_request_trace
+from repro.cache import (
+    BeladyPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    OfflineCacheSimulator,
+    PacmPolicy,
+    RequestFrequencyTracker,
+)
+from repro.sim import MINUTE
+
+MB = 1024 * 1024
+
+
+def replay_all(trace, capacity_bytes):
+    simulator = OfflineCacheSimulator(capacity_bytes)
+    results = {}
+
+    tracker = RequestFrequencyTracker()
+    results["PACM"] = simulator.replay(
+        trace, PacmPolicy(tracker),
+        observe=lambda req: tracker.observe(req.app_id, req.time_s))
+    for name, policy in (("LRU", LruPolicy()), ("LFU", LfuPolicy()),
+                         ("FIFO", FifoPolicy()),
+                         ("Belady*", BeladyPolicy(trace))):
+        results[name] = simulator.replay(trace, policy)
+    return results
+
+
+def main() -> None:
+    apps = generate_apps(30, seed=7, params=DummyAppParams())
+    trace = generate_request_trace(apps, duration_s=30 * MINUTE, seed=7)
+    print(f"trace: {len(trace)} requests from {len(apps)} apps over "
+          f"30 simulated minutes\n")
+
+    print("league table at the paper's 5 MB cache:")
+    print(f"{'policy':8s} {'hit':>6s} {'hit_hi':>7s} {'fetched':>9s}")
+    results = replay_all(trace, 5 * MB)
+    for name, result in sorted(results.items(),
+                               key=lambda kv: -kv[1].hit_ratio):
+        print(f"{name:8s} {result.hit_ratio:6.3f} "
+              f"{result.high_priority_hit_ratio:7.3f} "
+              f"{result.bytes_fetched / MB:7.1f}MB")
+    print("(* clairvoyant upper bound)\n")
+
+    print("PACM vs LRU across cache sizes:")
+    print(f"{'cache':>7s} {'pacm':>6s} {'lru':>6s} {'belady':>7s}")
+    for capacity_mb in (1, 2, 5, 10, 20):
+        results = replay_all(trace, capacity_mb * MB)
+        print(f"{capacity_mb:5d}MB "
+              f"{results['PACM'].hit_ratio:6.3f} "
+              f"{results['LRU'].hit_ratio:6.3f} "
+              f"{results['Belady*'].hit_ratio:7.3f}")
+    print("\nthe gap closes as capacity grows — priority-awareness "
+          "matters exactly when the cache is scarce (the AP's regime).")
+
+
+if __name__ == "__main__":
+    main()

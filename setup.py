@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this shim enables the legacy editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Multi-seed replication and statistics for experiment claims."""
+
+from repro.analysis.multiseed import (
+    MultiSeedResult,
+    compare_systems,
+    replicate,
+)
+from repro.analysis.stats import (
+    PairedComparison,
+    SampleSummary,
+    confidence_interval,
+    paired_comparison,
+    summarize,
+)
+
+__all__ = [
+    "MultiSeedResult",
+    "PairedComparison",
+    "SampleSummary",
+    "compare_systems",
+    "confidence_interval",
+    "paired_comparison",
+    "replicate",
+    "summarize",
+]

@@ -1,0 +1,76 @@
+"""Multi-seed replication of workload experiments.
+
+Runs the same workload configuration across several seeds per caching
+system and reduces each metric to a mean with a confidence interval —
+the replication discipline a single simulation run lacks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.apps.workload import Workload, WorkloadConfig
+from repro.baselines.base import CachingSystem
+from repro.analysis.stats import (
+    PairedComparison,
+    SampleSummary,
+    paired_comparison,
+    summarize,
+)
+
+__all__ = ["MultiSeedResult", "replicate", "compare_systems"]
+
+
+@dataclasses.dataclass
+class MultiSeedResult:
+    """Per-seed metric samples for one system."""
+
+    system_name: str
+    seeds: list[int]
+    #: metric name -> one value per seed, in seed order.
+    samples: dict[str, list[float]]
+
+    def summary(self, metric: str,
+                confidence: float = 0.95) -> SampleSummary:
+        return summarize(self.samples[metric], confidence)
+
+    def metrics(self) -> list[str]:
+        return sorted(self.samples)
+
+
+def replicate(system_factory: _t.Callable[[], CachingSystem],
+              config: WorkloadConfig,
+              seeds: _t.Sequence[int] = (0, 1, 2, 3, 4),
+              ) -> MultiSeedResult:
+    """Run ``config`` once per seed against fresh system instances."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: dict[str, list[float]] = {}
+    name = ""
+    for seed in seeds:
+        seeded = dataclasses.replace(config, seed=seed)
+        system = system_factory()
+        name = system.name
+        result = Workload(seeded).run(system)
+        for metric, value in result.summary().items():
+            samples.setdefault(metric, []).append(value)
+    return MultiSeedResult(system_name=name, seeds=list(seeds),
+                           samples=samples)
+
+
+def compare_systems(first_factory: _t.Callable[[], CachingSystem],
+                    second_factory: _t.Callable[[], CachingSystem],
+                    config: WorkloadConfig,
+                    metric: str = "mean_app_latency_ms",
+                    seeds: _t.Sequence[int] = (0, 1, 2, 3, 4),
+                    confidence: float = 0.95) -> PairedComparison:
+    """Paired per-seed comparison of two systems on one metric.
+
+    A negative ``mean_difference`` means the *first* system scores lower
+    (better, for latency metrics).
+    """
+    first = replicate(first_factory, config, seeds)
+    second = replicate(second_factory, config, seeds)
+    return paired_comparison(first.samples[metric],
+                             second.samples[metric], confidence)

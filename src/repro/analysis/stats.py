@@ -1,0 +1,113 @@
+"""Statistics for multi-seed experiment analysis.
+
+Single-seed simulation results carry run-to-run noise; a credible claim
+("APE-CACHE is faster than Wi-Cache") needs replication across seeds
+and an interval on the difference.  This module provides the small set
+of tools that workflow needs: summary statistics, Student-t confidence
+intervals, and a paired comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from scipy import stats as _scipy_stats
+
+__all__ = ["SampleSummary", "summarize", "confidence_interval",
+           "paired_comparison", "PairedComparison"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleSummary:
+    """Mean, spread, and a confidence interval for one metric."""
+
+    count: int
+    mean: float
+    stddev: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} ± {self.ci_half_width:.2g} "
+                f"({self.confidence:.0%} CI, n={self.count})")
+
+
+def _mean_std(values: _t.Sequence[float]) -> tuple[float, float]:
+    n = len(values)
+    mean = math.fsum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(variance)
+
+
+def confidence_interval(values: _t.Sequence[float],
+                        confidence: float = 0.95,
+                        ) -> tuple[float, float]:
+    """Student-t interval for the mean of ``values``."""
+    if not values:
+        raise ValueError("confidence interval of an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean, stddev = _mean_std(values)
+    n = len(values)
+    if n < 2 or stddev == 0.0:
+        return (mean, mean)
+    t_critical = float(_scipy_stats.t.ppf((1 + confidence) / 2, n - 1))
+    half = t_critical * stddev / math.sqrt(n)
+    return (mean - half, mean + half)
+
+
+def summarize(values: _t.Sequence[float],
+              confidence: float = 0.95) -> SampleSummary:
+    """Full summary of one sample."""
+    mean, stddev = _mean_std(values)
+    low, high = confidence_interval(values, confidence)
+    return SampleSummary(count=len(values), mean=mean, stddev=stddev,
+                         ci_low=low, ci_high=high,
+                         confidence=confidence)
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedComparison:
+    """A paired (same-seed) comparison of two systems on one metric."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    #: True when the interval excludes zero: the sign of the difference
+    #: is resolved at this confidence.
+    significant: bool
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant else "inconclusive"
+        return (f"Δ = {self.mean_difference:.4g} "
+                f"[{self.ci_low:.4g}, {self.ci_high:.4g}] "
+                f"({self.confidence:.0%} CI, {verdict})")
+
+
+def paired_comparison(first: _t.Sequence[float],
+                      second: _t.Sequence[float],
+                      confidence: float = 0.95) -> PairedComparison:
+    """Interval on ``mean(first - second)`` over paired (per-seed) runs.
+
+    Pairing on the seed removes the workload's common-mode variance,
+    which is what makes small fleets of simulation runs conclusive.
+    """
+    if len(first) != len(second):
+        raise ValueError("paired samples must have equal length")
+    differences = [a - b for a, b in zip(first, second)]
+    low, high = confidence_interval(differences, confidence)
+    mean, _ = _mean_std(differences)
+    return PairedComparison(
+        mean_difference=mean, ci_low=low, ci_high=high,
+        confidence=confidence,
+        significant=(low > 0.0) or (high < 0.0))

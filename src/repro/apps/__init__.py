@@ -1,0 +1,41 @@
+"""App workloads: DAG model, executor, real apps, generator, driver."""
+
+from repro.apps.executor import AppExecution, AppRunner
+from repro.apps.generator import DummyAppParams, generate_app, generate_apps
+from repro.apps.model import AppSpec, ObjectSpec
+from repro.apps.movietrailer import (
+    TOP_MOVIES,
+    MovieTrailerApi,
+    movietrailer_app,
+)
+from repro.apps.virtualhome import (
+    PRODUCT_CATEGORIES,
+    VirtualHomeApi,
+    virtualhome_app,
+)
+from repro.apps.workload import (
+    FetchRecord,
+    Workload,
+    WorkloadConfig,
+    WorkloadResult,
+)
+
+__all__ = [
+    "AppExecution",
+    "AppRunner",
+    "AppSpec",
+    "DummyAppParams",
+    "FetchRecord",
+    "MovieTrailerApi",
+    "ObjectSpec",
+    "PRODUCT_CATEGORIES",
+    "TOP_MOVIES",
+    "VirtualHomeApi",
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "generate_app",
+    "generate_apps",
+    "movietrailer_app",
+    "virtualhome_app",
+]

@@ -1,0 +1,71 @@
+"""API-based ports of the real apps (paper Section V-F).
+
+These are the same two apps integrated through the *alternative*
+API-based programming model: every HTTP request for a cacheable object
+is rewritten to :func:`~repro.core.api_model.invoke_http_request_async`,
+threading priority and TTL through each call site.  Compare with the
+annotation-based originals in :mod:`repro.apps.movietrailer` and
+:mod:`repro.apps.virtualhome`, where app logic is untouched — the
+contrast is what Table VII quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.api_model import invoke_http_request_async
+from repro.core.client_runtime import ClientRuntime
+
+__all__ = ["MovieTrailerApiBased", "VirtualHomeApiBased"]
+
+_API = "http://api.movietrailer.example"
+_IMG = "http://img.movietrailer.example"
+_VH_API = "http://api.virtualhome.example"
+_VH_CDN = "http://assets.virtualhome.example"
+
+
+class MovieTrailerApiBased:
+    """MovieTrailer with every cacheable request rewritten (API model).
+
+    Each of the five fetches below had to be changed from a plain
+    ``http.get(url)`` into an ``invoke_http_request_async`` call carrying
+    priority and TTL — the "Impacted LoCs" and "Re-write Logic: Yes" of
+    Table VII.
+    """
+
+    def fetch_movie(self, runtime: ClientRuntime, movie_name: str):
+        """A simulation generator mirroring the original app logic."""
+        sim = runtime.sim
+        # BEGIN rewritten call sites (API-based model)
+        id_result = yield from invoke_http_request_async(
+            runtime, f"{_API}/id", priority=2, ttl_minutes=30)
+        movie_id = id_result.data_object
+        detail_calls = [
+            lambda: invoke_http_request_async(
+                runtime, f"{_API}/rating", priority=1, ttl_minutes=30),
+            lambda: invoke_http_request_async(
+                runtime, f"{_API}/plot", priority=1, ttl_minutes=30),
+            lambda: invoke_http_request_async(
+                runtime, f"{_API}/cast", priority=1, ttl_minutes=30),
+            lambda: invoke_http_request_async(
+                runtime, f"{_IMG}/thumb", priority=2, ttl_minutes=60),
+        ]
+        processes = [sim.process(call()) for call in detail_calls]
+        yield sim.all_of(processes)
+        # END rewritten call sites
+        details = [process.value for process in processes]
+        return (movie_id, details)
+
+
+class VirtualHomeApiBased:
+    """VirtualHome with its two cacheable requests rewritten."""
+
+    def place_furniture(self, runtime: ClientRuntime, category: str):
+        """A simulation generator mirroring the original app logic."""
+        # BEGIN rewritten call sites (API-based model)
+        ids_result = yield from invoke_http_request_async(
+            runtime, f"{_VH_API}/ar-objects-id", priority=1,
+            ttl_minutes=30)
+        objects_result = yield from invoke_http_request_async(
+            runtime, f"{_VH_CDN}/ar-objects", priority=2, ttl_minutes=60)
+        # END rewritten call sites
+        del ids_result
+        return objects_result.data_object

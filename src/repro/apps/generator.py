@@ -1,0 +1,110 @@
+"""The dummy-app generator (paper Section V-A).
+
+"To expand our evaluation, we developed a dummy app generator and
+synthesized 28 apps with specific characteristics based on given input
+parameters.  For each app, we generated cacheable objects with randomly
+assigned attributes, including size, TTL, and retrieval latency. [...]
+The retrieval latency was set to range between 20 ms and 50 ms, TTL
+varied from 10 minutes to 60 minutes, and object sizes spanned from 1 kb
+to 100 kb.  The priority for each object was assigned as 1 or 2 based on
+the critical path of the app."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random as _random
+
+from repro.apps.model import AppSpec, ObjectSpec
+from repro.errors import ConfigError
+from repro.sim.kernel import MINUTE, MS
+
+__all__ = ["DummyAppParams", "generate_app", "generate_apps"]
+
+KB = 1024
+
+
+@dataclasses.dataclass
+class DummyAppParams:
+    """Attribute ranges for synthesized apps (paper defaults)."""
+
+    min_objects: int = 5
+    max_objects: int = 10
+    min_size_bytes: int = 1 * KB
+    max_size_bytes: int = 100 * KB
+    min_ttl_s: float = 10 * MINUTE
+    max_ttl_s: float = 60 * MINUTE
+    min_origin_delay_s: float = 20 * MS
+    max_origin_delay_s: float = 50 * MS
+    compose_time_s: float = 5 * MS
+    #: Probability an object (beyond the root) starts a second stage
+    #: depending on a first-stage object rather than on the root.
+    deep_stage_probability: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.min_objects <= self.max_objects:
+            raise ConfigError("need 2 <= min_objects <= max_objects")
+        if not 0 < self.min_size_bytes <= self.max_size_bytes:
+            raise ConfigError("bad size range")
+        if not 0 < self.min_ttl_s <= self.max_ttl_s:
+            raise ConfigError("bad TTL range")
+        if not 0 <= self.min_origin_delay_s <= self.max_origin_delay_s:
+            raise ConfigError("bad origin-delay range")
+
+
+def generate_app(app_id: str, rng: _random.Random,
+                 params: DummyAppParams | None = None) -> AppSpec:
+    """Synthesize one app with a root-lookup + fan-out(+deep) DAG.
+
+    Each app gets its own domain (``<app_id>.example``) so DNS-Cache
+    batching operates per app, as it would with real per-service APIs.
+    """
+    params = params or DummyAppParams()
+    count = rng.randint(params.min_objects, params.max_objects)
+    base = f"http://{app_id}.example"
+
+    def sample_object(name: str, depends_on: tuple[str, ...],
+                      size_range: tuple[int, int] | None = None,
+                      ) -> ObjectSpec:
+        low, high = size_range or (params.min_size_bytes,
+                                   params.max_size_bytes)
+        return ObjectSpec(
+            name=name,
+            url=f"{base}/{name}",
+            size_bytes=rng.randint(low, high),
+            priority=1,
+            ttl_s=rng.uniform(params.min_ttl_s, params.max_ttl_s),
+            origin_delay_s=rng.uniform(params.min_origin_delay_s,
+                                       params.max_origin_delay_s),
+            depends_on=depends_on)
+
+    # Root lookup object: small, like MovieTrailer's movieID.
+    objects = [sample_object(
+        "root", (), size_range=(params.min_size_bytes,
+                                max(params.min_size_bytes, 2 * KB)))]
+    first_stage: list[str] = []
+    for index in range(1, count):
+        name = f"obj{index}"
+        if first_stage and rng.random() < params.deep_stage_probability:
+            parent = rng.choice(first_stage)
+            objects.append(sample_object(name, (parent,)))
+        else:
+            objects.append(sample_object(name, ("root",)))
+            first_stage.append(name)
+
+    app = AppSpec(app_id=app_id, objects=objects,
+                  compose_time_s=params.compose_time_s)
+    # "The priority for each object was assigned as 1 or 2 based on the
+    # critical path of the app."
+    return app.with_priorities_from_critical_path()
+
+
+def generate_apps(count: int, seed: int = 0,
+                  params: DummyAppParams | None = None,
+                  prefix: str = "dummyapp") -> list[AppSpec]:
+    """Synthesize ``count`` apps deterministically from ``seed``."""
+    if count < 0:
+        raise ConfigError(f"count must be >= 0, got {count}")
+    rng = _random.Random(seed)
+    return [generate_app(f"{prefix}{index:02d}", rng, params)
+            for index in range(count)]

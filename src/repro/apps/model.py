@@ -1,0 +1,163 @@
+"""App model: a DAG of cacheable-object fetches (paper Section III-A).
+
+An app execution fetches data objects respecting dependencies (e.g.
+MovieTrailer's ``getMovieID -> {rating, plot, cast, thumbnail}``), then
+composes its UI.  App-level latency is the DAG's critical path, which is
+why the paper prioritizes objects *on* that path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.core.annotations import CacheableSpec
+from repro.httplib.url import Url
+from repro.sim.kernel import MINUTE, MS
+
+__all__ = ["ObjectSpec", "AppSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectSpec:
+    """One remote data object an app fetches.
+
+    ``origin_delay_s`` is the paper's per-object simulated retrieval
+    latency (20–50 ms for the synthetic apps); ``depends_on`` lists the
+    names of objects that must arrive before this fetch can start.
+    """
+
+    name: str
+    url: str
+    size_bytes: int
+    priority: int = 1
+    ttl_s: float = 30 * MINUTE
+    origin_delay_s: float = 30 * MS
+    depends_on: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        Url.parse(self.url)
+        if self.size_bytes <= 0:
+            raise ConfigError(f"{self.name}: size must be positive")
+        if self.priority < 1:
+            raise ConfigError(f"{self.name}: priority must be >= 1")
+        if self.ttl_s <= 0:
+            raise ConfigError(f"{self.name}: TTL must be positive")
+        if self.origin_delay_s < 0:
+            raise ConfigError(f"{self.name}: negative origin delay")
+
+    def to_cacheable_spec(self) -> CacheableSpec:
+        return CacheableSpec(url=self.url, priority=self.priority,
+                             ttl_s=self.ttl_s, field_name=self.name)
+
+
+@dataclasses.dataclass
+class AppSpec:
+    """A named app: objects, dependencies, and a UI-composition cost."""
+
+    app_id: str
+    objects: list[ObjectSpec]
+    compose_time_s: float = 5 * MS
+
+    def __post_init__(self) -> None:
+        names = [obj.name for obj in self.objects]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"{self.app_id}: duplicate object names")
+        urls = [obj.url for obj in self.objects]
+        if len(urls) != len(set(urls)):
+            raise ConfigError(f"{self.app_id}: duplicate object URLs")
+        known = set(names)
+        for obj in self.objects:
+            missing = set(obj.depends_on) - known
+            if missing:
+                raise ConfigError(
+                    f"{self.app_id}: {obj.name} depends on unknown "
+                    f"objects {sorted(missing)}")
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    # Graph helpers
+    # ------------------------------------------------------------------
+    def by_name(self, name: str) -> ObjectSpec:
+        for obj in self.objects:
+            if obj.name == name:
+                return obj
+        raise ConfigError(f"{self.app_id}: no object named {name!r}")
+
+    def topological_order(self) -> list[ObjectSpec]:
+        """Objects in dependency order; raises on cycles."""
+        indegree = {obj.name: len(obj.depends_on) for obj in self.objects}
+        dependents: dict[str, list[str]] = {obj.name: []
+                                            for obj in self.objects}
+        for obj in self.objects:
+            for dep in obj.depends_on:
+                dependents[dep].append(obj.name)
+        ready = [name for name, degree in indegree.items() if degree == 0]
+        ordered: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            ordered.append(name)
+            for dependent in dependents[name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(ordered) != len(self.objects):
+            raise ConfigError(f"{self.app_id}: dependency cycle")
+        return [self.by_name(name) for name in ordered]
+
+    def critical_path(self, latency_of: _t.Callable[[ObjectSpec], float]
+                      | None = None) -> list[str]:
+        """Longest (in estimated duration) root-to-leaf path.
+
+        ``latency_of`` estimates one object's fetch time; the default uses
+        the origin delay plus a size-proportional transfer term, matching
+        how the paper reasons about MovieTrailer's thumbnail.
+        """
+        if latency_of is None:
+            latency_of = self.default_latency_estimate
+        finish: dict[str, float] = {}
+        predecessor: dict[str, str | None] = {}
+        for obj in self.topological_order():
+            best_dep: str | None = None
+            best_finish = 0.0
+            for dep in obj.depends_on:
+                if finish[dep] > best_finish:
+                    best_finish = finish[dep]
+                    best_dep = dep
+            finish[obj.name] = best_finish + latency_of(obj)
+            predecessor[obj.name] = best_dep
+        tail = max(finish, key=lambda name: finish[name])
+        path = [tail]
+        while predecessor[path[-1]] is not None:
+            path.append(_t.cast(str, predecessor[path[-1]]))
+        return list(reversed(path))
+
+    @staticmethod
+    def default_latency_estimate(obj: ObjectSpec) -> float:
+        """Origin delay + transfer time at a nominal 100 Mbps WAN."""
+        return obj.origin_delay_s + (obj.size_bytes * 8.0) / 100e6
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def cacheable_specs(self) -> list[CacheableSpec]:
+        return [obj.to_cacheable_spec() for obj in self.objects]
+
+    def domains(self) -> set[str]:
+        return {Url.parse(obj.url).host for obj in self.objects}
+
+    def high_priority_names(self) -> set[str]:
+        return {obj.name for obj in self.objects if obj.priority >= 2}
+
+    def total_bytes(self) -> int:
+        return sum(obj.size_bytes for obj in self.objects)
+
+    def with_priorities_from_critical_path(self) -> "AppSpec":
+        """A copy whose critical-path objects get priority 2, others 1."""
+        on_path = set(self.critical_path())
+        objects = [dataclasses.replace(obj,
+                                       priority=2 if obj.name in on_path
+                                       else 1)
+                   for obj in self.objects]
+        return AppSpec(self.app_id, objects, self.compose_time_s)

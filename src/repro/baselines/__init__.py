@@ -1,0 +1,34 @@
+"""The caching systems evaluated in the paper, behind one interface."""
+
+from repro.baselines.ape import ApeCacheLruSystem, ApeCacheSystem
+from repro.baselines.base import CachingSystem, ObjectFetcher
+from repro.baselines.edge_cache import EdgeCacheFetcher, EdgeCacheSystem
+from repro.baselines.multi_ap import WiCacheDistributedSystem
+from repro.baselines.wicache import (
+    WICACHE_LOOKUP_PORT,
+    WiCacheAgent,
+    WiCacheController,
+    WiCacheFetcher,
+    WiCacheSystem,
+)
+
+__all__ = [
+    "ApeCacheLruSystem",
+    "ApeCacheSystem",
+    "CachingSystem",
+    "EdgeCacheFetcher",
+    "EdgeCacheSystem",
+    "ObjectFetcher",
+    "WICACHE_LOOKUP_PORT",
+    "WiCacheAgent",
+    "WiCacheController",
+    "WiCacheDistributedSystem",
+    "WiCacheFetcher",
+    "WiCacheSystem",
+]
+
+
+def all_systems() -> list[CachingSystem]:
+    """Fresh instances of the four evaluated systems, paper order."""
+    return [ApeCacheSystem(), ApeCacheLruSystem(), WiCacheSystem(),
+            EdgeCacheSystem()]

@@ -1,0 +1,78 @@
+"""APE-CACHE wired as a :class:`CachingSystem` (plus its LRU ablation).
+
+``ApeCacheSystem`` is the full paper system (PACM on the AP).
+``ApeCacheLruSystem`` keeps the identical workflow but swaps PACM for
+LRU — the paper's APE-CACHE-LRU baseline isolating PACM's contribution.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies import EvictionPolicy, LruPolicy
+from repro.core.ap_runtime import ApRuntime
+from repro.core.client_runtime import ClientRuntime
+from repro.core.config import ApeCacheConfig
+from repro.errors import ConfigError
+from repro.net.node import Node
+from repro.baselines.base import CachingSystem
+from repro.testbed import Testbed
+
+__all__ = ["ApeCacheSystem", "ApeCacheLruSystem"]
+
+
+class ApeCacheSystem(CachingSystem):
+    """The full APE-CACHE (DNS-Cache piggybacking + PACM)."""
+
+    name = "APE-CACHE"
+
+    def __init__(self, config: ApeCacheConfig | None = None,
+                 device_cache_bytes: int = 0) -> None:
+        self.config = config or ApeCacheConfig()
+        self.device_cache_bytes = device_cache_bytes
+        self.ap_runtime: ApRuntime | None = None
+
+    def _make_policy(self, runtime: ApRuntime) -> EvictionPolicy | None:
+        """None selects the runtime's default (PACM)."""
+        return None
+
+    def install(self, bed: Testbed) -> None:
+        self.ap_runtime = ApRuntime(bed.ap, bed.transport,
+                                    bed.ldns.address, config=self.config)
+        policy = self._make_policy(self.ap_runtime)
+        if policy is not None:
+            self.ap_runtime.policy = policy
+        self.ap_runtime.install()
+
+    def new_fetcher(self, bed: Testbed, node: Node,
+                    app_id: str) -> ClientRuntime:
+        if self.ap_runtime is None:
+            raise ConfigError(f"{self.name}.install was not called")
+        return ClientRuntime(node, bed.transport, bed.ap.address,
+                             app_id=app_id,
+                             device_cache_bytes=self.device_cache_bytes)
+
+    def ap_cache_stats(self) -> dict[str, float]:
+        runtime = self.ap_runtime
+        if runtime is None:
+            return {}
+        return {
+            "dns_cache_queries": float(runtime.dns_cache_queries),
+            "plain_dns_queries": float(runtime.plain_dns_queries),
+            "hits_served": float(runtime.hits_served),
+            "delegations": float(runtime.delegations),
+            "edge_fetches": float(runtime.edge_fetches),
+            "pacm_runs": float(runtime.pacm_runs),
+            "blocked_objects": float(runtime.blocked_objects),
+            "prefetches": float(runtime.prefetches),
+            "coalesced_fetches": float(runtime.coalesced_fetches),
+            "cache_used_bytes": float(runtime.store.used_bytes),
+            "memory_bytes": float(runtime.memory_bytes()),
+        }
+
+
+class ApeCacheLruSystem(ApeCacheSystem):
+    """APE-CACHE's workflow with LRU instead of PACM."""
+
+    name = "APE-CACHE-LRU"
+
+    def _make_policy(self, runtime: ApRuntime) -> EvictionPolicy:
+        return LruPolicy()

@@ -1,0 +1,58 @@
+"""The common interface every caching system under evaluation implements.
+
+The evaluation swaps four systems into the same testbed and workload:
+APE-CACHE, APE-CACHE-LRU, Wi-Cache, and Edge Cache.  A system knows how
+to *install* itself (what software runs on the AP and elsewhere) and how
+to make a per-client *fetcher* whose ``fetch(url)`` returns the same
+:class:`~repro.core.client_runtime.FetchResult` shape, so experiment code
+is system-agnostic.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.annotations import CacheableSpec
+from repro.core.client_runtime import FetchResult
+from repro.net.node import Node
+from repro.testbed import Testbed
+
+__all__ = ["CachingSystem", "ObjectFetcher"]
+
+
+class ObjectFetcher(_t.Protocol):
+    """Per-client handle for retrieving cacheable objects."""
+
+    app_id: str
+
+    def register_spec(self, spec: CacheableSpec) -> None:
+        """Declare a cacheable object this client may fetch."""
+        ...
+
+    def fetch(self, url: str,
+              ) -> _t.Generator[object, object, FetchResult]:
+        """Fetch one object; a simulation generator."""
+        ...
+
+
+class CachingSystem:
+    """Factory/installer for one caching architecture."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "abstract"
+
+    def install(self, bed: Testbed) -> None:
+        """Deploy this system's components onto the testbed."""
+        raise NotImplementedError
+
+    def new_fetcher(self, bed: Testbed, node: Node,
+                    app_id: str) -> ObjectFetcher:
+        """Create the client-side fetcher for ``node``."""
+        raise NotImplementedError
+
+    def ap_cache_stats(self) -> dict[str, float]:
+        """Optional AP-side statistics (hits, delegations, memory...)."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"<CachingSystem {self.name}>"

@@ -1,0 +1,55 @@
+"""Cache machinery: store, entries, policies, PACM, fairness, frequency."""
+
+from repro.cache.entry import CacheEntry
+from repro.cache.fairness import fairness_index, gini, storage_efficiencies
+from repro.cache.frequency import DEFAULT_ALPHA, RequestFrequencyTracker
+from repro.cache.knapsack import (
+    DEFAULT_GRANULARITY,
+    solve_knapsack,
+    solve_knapsack_exact,
+)
+from repro.cache.offline import (
+    BeladyPolicy,
+    OfflineCacheSimulator,
+    OfflineResult,
+    TraceRequest,
+)
+from repro.cache.pacm import (
+    DEFAULT_FAIRNESS_THRESHOLD,
+    PacmPolicy,
+    select_keep_set,
+    utility_of,
+)
+from repro.cache.policies import (
+    EvictionPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+)
+from repro.cache.store import AdmissionResult, CacheStore
+
+__all__ = [
+    "AdmissionResult",
+    "BeladyPolicy",
+    "CacheEntry",
+    "CacheStore",
+    "OfflineCacheSimulator",
+    "OfflineResult",
+    "TraceRequest",
+    "DEFAULT_ALPHA",
+    "DEFAULT_FAIRNESS_THRESHOLD",
+    "DEFAULT_GRANULARITY",
+    "EvictionPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "PacmPolicy",
+    "RequestFrequencyTracker",
+    "fairness_index",
+    "gini",
+    "select_keep_set",
+    "solve_knapsack",
+    "solve_knapsack_exact",
+    "storage_efficiencies",
+    "utility_of",
+]

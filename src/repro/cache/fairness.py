@@ -1,0 +1,64 @@
+"""Fairness of cache-space distribution across apps (paper Eq. 1).
+
+The paper measures fairness with the Gini coefficient over per-app
+*storage efficiency* ``C_a = (sum of sizes of app a's cached objects) /
+R(a)``: an app that occupies much space relative to how often it is
+requested is over-served.  ``F(A) <= theta`` constrains PACM's knapsack.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.cache.entry import CacheEntry
+
+__all__ = ["gini", "storage_efficiencies", "fairness_index"]
+
+#: Frequency floor to keep C_a finite for apps the tracker has barely seen.
+MIN_FREQUENCY = 1e-6
+
+
+def gini(values: _t.Sequence[float]) -> float:
+    """Gini coefficient of non-negative ``values``.
+
+    Computed exactly as the paper's Eq. 1::
+
+        F = sum_x sum_y |C_x - C_y| / (2 * A * sum_x C_x)
+
+    Returns 0.0 for empty input, a single value, or an all-zero vector
+    (perfect equality by convention).
+    """
+    n = len(values)
+    if n <= 1:
+        return 0.0
+    if any(value < 0 for value in values):
+        raise ValueError("gini is defined for non-negative values")
+    total = math.fsum(values)
+    if total == 0.0:
+        return 0.0
+    # O(n log n) equivalent of the double sum: sort and use rank weights.
+    ordered = sorted(values)
+    weighted = math.fsum((2 * (index + 1) - n - 1) * value
+                         for index, value in enumerate(ordered))
+    return weighted / (n * total)
+
+
+def storage_efficiencies(entries: _t.Iterable[CacheEntry],
+                         frequency_of: _t.Callable[[str], float],
+                         ) -> dict[str, float]:
+    """Per-app C_a = (bytes cached for app) / R(app)."""
+    usage: dict[str, int] = {}
+    for entry in entries:
+        usage[entry.app_id] = usage.get(entry.app_id, 0) + entry.size_bytes
+    return {
+        app_id: size / max(frequency_of(app_id), MIN_FREQUENCY)
+        for app_id, size in usage.items()
+    }
+
+
+def fairness_index(entries: _t.Iterable[CacheEntry],
+                   frequency_of: _t.Callable[[str], float]) -> float:
+    """The paper's F(A): Gini over per-app storage efficiencies."""
+    efficiencies = storage_efficiencies(entries, frequency_of)
+    return gini(list(efficiencies.values()))

@@ -1,0 +1,80 @@
+"""Per-app request-frequency estimation (paper Section IV-C).
+
+The AP computes, for each app *a*::
+
+    R(a) = (1 - alpha) * R'(a) + alpha * r_a(dt)
+
+where ``R'(a)`` is the previous estimate, ``r_a(dt)`` is the number of
+requests observed since the last recalculation, and ``alpha`` (0.7 in the
+reference implementation) weights recent measurements.  Estimates are
+recalculated on a fixed period; :meth:`frequency` normalizes to
+requests-per-minute so utilities are comparable across window lengths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.kernel import MINUTE
+
+__all__ = ["RequestFrequencyTracker", "DEFAULT_ALPHA"]
+
+DEFAULT_ALPHA = 0.7
+
+
+class RequestFrequencyTracker:
+    """EWMA request counter per app."""
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA,
+                 window_s: float = MINUTE) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if window_s <= 0:
+            raise ConfigError(f"window must be positive, got {window_s}")
+        self.alpha = alpha
+        self.window_s = window_s
+        self._estimates: dict[str, float] = {}
+        self._pending: dict[str, int] = {}
+        self._last_recalc = 0.0
+
+    def observe(self, app_id: str, now: float, count: int = 1) -> None:
+        """Record ``count`` requests for ``app_id``; may roll the window."""
+        self._maybe_recalculate(now)
+        self._pending[app_id] = self._pending.get(app_id, 0) + count
+
+    def _maybe_recalculate(self, now: float) -> None:
+        while now - self._last_recalc >= self.window_s:
+            self._recalculate()
+            self._last_recalc += self.window_s
+
+    def _recalculate(self) -> None:
+        apps = set(self._estimates) | set(self._pending)
+        for app_id in apps:
+            previous = self._estimates.get(app_id, 0.0)
+            recent = float(self._pending.get(app_id, 0))
+            self._estimates[app_id] = (
+                (1.0 - self.alpha) * previous + self.alpha * recent)
+        self._pending.clear()
+
+    def frequency(self, app_id: str, now: float | None = None) -> float:
+        """Estimated requests per minute for ``app_id``.
+
+        Blends the last recalculated estimate with the still-accumulating
+        window so a cold tracker (first window not yet closed) is not
+        blind to brand-new apps.
+        """
+        if now is not None:
+            self._maybe_recalculate(now)
+        base = self._estimates.get(app_id, 0.0)
+        pending = self._pending.get(app_id, 0)
+        blended = base if pending == 0 else (
+            (1.0 - self.alpha) * base + self.alpha * pending)
+        per_window = max(blended, 0.0)
+        return per_window * (MINUTE / self.window_s)
+
+    def apps(self) -> set[str]:
+        return set(self._estimates) | set(self._pending)
+
+    def reset(self) -> None:
+        self._estimates.clear()
+        self._pending.clear()
+        self._last_recalc = 0.0

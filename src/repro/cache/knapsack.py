@@ -1,0 +1,114 @@
+"""0/1 knapsack solvers used by PACM's object-selection step.
+
+The production solver quantizes sizes and runs a vectorized DP (numpy),
+which keeps per-admission cost low enough to run on every cache-full
+insertion during hour-long workloads.  An exact exponential solver is
+provided for cross-validation in tests.
+
+Quantization rounds item sizes *up* to the granularity, so any DP-feasible
+selection is also feasible in real bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import typing as _t
+
+import numpy as np
+
+from repro.errors import CacheError
+
+__all__ = ["solve_knapsack", "solve_knapsack_exact", "DEFAULT_GRANULARITY"]
+
+#: Default quantization of object sizes (bytes per DP unit).
+DEFAULT_GRANULARITY = 4096
+
+
+def solve_knapsack(utilities: _t.Sequence[float],
+                   sizes: _t.Sequence[int],
+                   capacity: int,
+                   granularity: int = DEFAULT_GRANULARITY) -> list[int]:
+    """Indices of the max-utility subset with total size <= capacity.
+
+    Zero-sized items are always kept.  Items with non-positive utility
+    are still eligible (keeping them never hurts if space permits is NOT
+    assumed — the DP simply never selects utility < 0 unless forced,
+    which it never is in 0/1 knapsack).
+    """
+    if len(utilities) != len(sizes):
+        raise CacheError("utilities and sizes must have equal length")
+    if capacity < 0:
+        raise CacheError(f"negative capacity {capacity}")
+    if granularity <= 0:
+        raise CacheError(f"granularity must be positive, got {granularity}")
+    if any(size < 0 for size in sizes):
+        raise CacheError("negative item size")
+
+    free_items = [index for index, size in enumerate(sizes) if size == 0]
+    candidates = [(index, utilities[index],
+                   math.ceil(sizes[index] / granularity))
+                  for index, size in enumerate(sizes) if size > 0]
+    units = capacity // granularity
+    if units == 0 or not candidates:
+        return sorted(free_items)
+
+    feasible = [(index, value, weight) for index, value, weight in candidates
+                if weight <= units and value > 0]
+    if not feasible:
+        return sorted(free_items)
+
+    # dp[c] = best utility achievable with exactly <= c units.
+    dp = np.zeros(units + 1, dtype=np.float64)
+    keep = np.zeros((len(feasible), units + 1), dtype=np.bool_)
+    for row, (_index, value, weight) in enumerate(feasible):
+        shifted = np.empty_like(dp)
+        shifted[:weight] = -np.inf
+        shifted[weight:] = dp[:units + 1 - weight] + value
+        take = shifted > dp
+        keep[row] = take
+        dp = np.where(take, shifted, dp)
+
+    chosen: list[int] = []
+    remaining = units
+    for row in range(len(feasible) - 1, -1, -1):
+        if keep[row, remaining]:
+            index, _value, weight = feasible[row]
+            chosen.append(index)
+            remaining -= weight
+    return sorted(free_items + chosen)
+
+
+def solve_knapsack_exact(utilities: _t.Sequence[float],
+                         sizes: _t.Sequence[int],
+                         capacity: int) -> list[int]:
+    """Brute-force exact solution (for tests; O(2^n), n <= 20)."""
+    if len(utilities) != len(sizes):
+        raise CacheError("utilities and sizes must have equal length")
+    if len(utilities) > 20:
+        raise CacheError("exact solver limited to 20 items")
+    best_value = -1.0
+    best_subset: tuple[int, ...] = ()
+    indices = range(len(utilities))
+    for r in range(len(utilities) + 1):
+        for subset in itertools.combinations(indices, r):
+            size = sum(sizes[i] for i in subset)
+            if size > capacity:
+                continue
+            value = sum(utilities[i] for i in subset)
+            if value > best_value:
+                best_value = value
+                best_subset = subset
+    return sorted(best_subset)
+
+
+def total_value(utilities: _t.Sequence[float],
+                selection: _t.Iterable[int]) -> float:
+    """Sum of utilities over ``selection`` (test helper)."""
+    return math.fsum(utilities[index] for index in selection)
+
+
+def total_size(sizes: _t.Sequence[int],
+               selection: _t.Iterable[int]) -> int:
+    """Sum of sizes over ``selection`` (test helper)."""
+    return sum(sizes[index] for index in selection)

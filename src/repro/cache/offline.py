@@ -1,0 +1,166 @@
+"""Offline (trace-driven) cache simulation with a clairvoyant bound.
+
+Replaying a request trace through eviction policies without the network
+simulator answers "how good could cache management possibly be?" in
+milliseconds instead of minutes.  :class:`BeladyPolicy` is the
+clairvoyant reference: it evicts the object whose next use lies farthest
+in the future (never-used-again first), the classic upper-bound
+heuristic (exact optimality does not carry over to variable object
+sizes and TTLs, but it remains the standard yardstick).
+
+Traces come from :func:`repro.apps.trace.generate_request_trace`, which
+reproduces the evaluation workload's request stream — same apps, Zipf
+rates, and seeds — without simulating the network underneath.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cache.entry import CacheEntry
+from repro.cache.policies import EvictionPolicy
+from repro.cache.store import CacheStore
+from repro.httplib.content import DataObject
+
+__all__ = ["TraceRequest", "BeladyPolicy", "OfflineCacheSimulator",
+           "OfflineResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRequest:
+    """One object request in an offline trace."""
+
+    time_s: float
+    url: str
+    app_id: str
+    size_bytes: int
+    priority: int
+    ttl_s: float
+    fetch_latency_s: float
+
+
+class BeladyPolicy(EvictionPolicy):
+    """Clairvoyant eviction: farthest-next-use goes first.
+
+    Construct with the full trace; :class:`OfflineCacheSimulator` keeps
+    :attr:`cursor` pointing at the current request index so next-use
+    distances are computed relative to "now".
+    """
+
+    def __init__(self, trace: _t.Sequence[TraceRequest]) -> None:
+        self._occurrences: dict[str, list[int]] = {}
+        for index, request in enumerate(trace):
+            self._occurrences.setdefault(request.url, []).append(index)
+        self.cursor = 0
+
+    def next_use(self, url: str) -> float:
+        """Index of the next request for ``url`` after the cursor."""
+        occurrences = self._occurrences.get(url, [])
+        # Binary search for the first occurrence beyond the cursor.
+        lo, hi = 0, len(occurrences)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if occurrences[mid] <= self.cursor:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(occurrences):
+            return float("inf")
+        return float(occurrences[lo])
+
+    def select_victims(self, store: CacheStore, incoming: CacheEntry,
+                       now: float) -> list[CacheEntry] | None:
+        needed = incoming.size_bytes - store.free_bytes
+        if needed <= 0:
+            return []
+        ranked = sorted(store.entries(),
+                        key=lambda entry: self.next_use(entry.url),
+                        reverse=True)
+        victims: list[CacheEntry] = []
+        freed = 0
+        for entry in ranked:
+            victims.append(entry)
+            freed += entry.size_bytes
+            if freed >= needed:
+                return victims
+        return None
+
+
+@dataclasses.dataclass
+class OfflineResult:
+    """Hit statistics from one offline replay."""
+
+    policy_name: str
+    requests: int = 0
+    hits: int = 0
+    high_priority_requests: int = 0
+    high_priority_hits: int = 0
+    bytes_fetched: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def high_priority_hit_ratio(self) -> float:
+        if not self.high_priority_requests:
+            return 0.0
+        return self.high_priority_hits / self.high_priority_requests
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "requests": float(self.requests),
+            "hit_ratio": self.hit_ratio,
+            "high_priority_hit_ratio": self.high_priority_hit_ratio,
+            "bytes_fetched_mb": self.bytes_fetched / (1024 * 1024),
+            "evictions": float(self.evictions),
+        }
+
+
+class OfflineCacheSimulator:
+    """Replays a trace through one eviction policy."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = capacity_bytes
+
+    def replay(self, trace: _t.Sequence[TraceRequest],
+               policy: EvictionPolicy,
+               policy_name: str | None = None,
+               observe: _t.Callable[[TraceRequest], None] | None = None,
+               ) -> OfflineResult:
+        """Run ``trace`` through ``policy`` and tally hits.
+
+        ``observe`` (if given) is called per request before the cache
+        decision — how PACM's frequency tracker stays current.
+        """
+        store = CacheStore(self.capacity_bytes)
+        result = OfflineResult(policy_name or type(policy).__name__)
+        for index, request in enumerate(trace):
+            if isinstance(policy, BeladyPolicy):
+                policy.cursor = index
+            if observe is not None:
+                observe(request)
+            result.requests += 1
+            high = request.priority >= 2
+            if high:
+                result.high_priority_requests += 1
+            entry = store.get(request.url, request.time_s)
+            if entry is not None:
+                result.hits += 1
+                if high:
+                    result.high_priority_hits += 1
+                continue
+            result.bytes_fetched += request.size_bytes
+            if request.size_bytes > self.capacity_bytes:
+                continue
+            candidate = CacheEntry(
+                DataObject(request.url, request.size_bytes),
+                app_id=request.app_id, priority=request.priority,
+                stored_at=request.time_s,
+                expires_at=request.time_s + request.ttl_s,
+                fetch_latency_s=request.fetch_latency_s)
+            store.admit(candidate, policy, request.time_s)
+        result.evictions = store.evictions
+        return result

@@ -1,0 +1,153 @@
+"""PACM: the paper's Priority-Aware Cache Management algorithm.
+
+Section IV-C models eviction as a two-dimensional knapsack: keep the
+subset O of cached objects maximizing total utility
+
+    U_d = R(A_d) * e_d * l_d * p_d
+
+subject to (1) the kept bytes fitting beside the incoming object and
+(2) the Gini fairness of per-app storage efficiency staying below a
+threshold theta (0.4 in the reference implementation).
+
+The implementation solves the capacity dimension with a DP knapsack and
+enforces the fairness dimension with a bounded repair loop: while the
+kept set is unfair, shed the lowest-utility-density object of the most
+over-served app and try to back-fill spare bytes with the highest-utility
+rejected objects of under-served apps.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.cache.entry import CacheEntry
+from repro.cache.fairness import MIN_FREQUENCY, fairness_index, gini
+from repro.cache.frequency import RequestFrequencyTracker
+from repro.cache.knapsack import DEFAULT_GRANULARITY, solve_knapsack
+from repro.cache.policies import EvictionPolicy
+from repro.cache.store import CacheStore
+
+__all__ = ["PacmPolicy", "utility_of", "select_keep_set",
+           "DEFAULT_FAIRNESS_THRESHOLD"]
+
+DEFAULT_FAIRNESS_THRESHOLD = 0.4
+
+
+def utility_of(entry: CacheEntry, frequency: float, now: float) -> float:
+    """The paper's U_d = R(A_d) * e_d * l_d * p_d."""
+    return (max(frequency, 0.0) * entry.remaining_ttl(now) *
+            entry.fetch_latency_s * entry.priority)
+
+
+def _efficiencies(entries: _t.Sequence[CacheEntry],
+                  frequency_of: _t.Callable[[str], float],
+                  ) -> dict[str, float]:
+    usage: dict[str, int] = {}
+    for entry in entries:
+        usage[entry.app_id] = usage.get(entry.app_id, 0) + entry.size_bytes
+    return {app: size / max(frequency_of(app), MIN_FREQUENCY)
+            for app, size in usage.items()}
+
+
+def select_keep_set(entries: _t.Sequence[CacheEntry],
+                    capacity_bytes: int,
+                    frequency_of: _t.Callable[[str], float],
+                    now: float,
+                    fairness_threshold: float = DEFAULT_FAIRNESS_THRESHOLD,
+                    granularity: int = DEFAULT_GRANULARITY,
+                    max_repair_rounds: int | None = None,
+                    ) -> list[CacheEntry]:
+    """The subset of ``entries`` PACM retains within ``capacity_bytes``."""
+    if capacity_bytes < 0:
+        return []
+    live = [entry for entry in entries if not entry.is_expired(now)]
+    if not live:
+        return []
+    utilities = [utility_of(entry, frequency_of(entry.app_id), now)
+                 for entry in live]
+    sizes = [entry.size_bytes for entry in live]
+    # Never quantize coarser than ~1/512 of the capacity, so small caches
+    # (and unit tests) keep a meaningful DP resolution.
+    effective_granularity = max(1, min(granularity, capacity_bytes // 512))
+    kept_indices = solve_knapsack(utilities, sizes, capacity_bytes,
+                                  effective_granularity)
+    kept = [live[index] for index in kept_indices]
+    rejected = [live[index] for index in range(len(live))
+                if index not in set(kept_indices)]
+    utility_by_id = {id(entry): utility
+                     for entry, utility in zip(live, utilities)}
+
+    rounds = max_repair_rounds if max_repair_rounds is not None else len(live)
+    for _ in range(rounds):
+        efficiencies = _efficiencies(kept, frequency_of)
+        if len(efficiencies) <= 1 or \
+                gini(list(efficiencies.values())) <= fairness_threshold:
+            break
+        over_served = max(efficiencies, key=efficiencies.get)
+        over_entries = [entry for entry in kept
+                        if entry.app_id == over_served]
+        if not over_entries:  # pragma: no cover - app key implies entries
+            break
+        # Shed the over-served app's worst value-per-byte object.
+        victim = min(
+            over_entries,
+            key=lambda entry:
+                utility_by_id[id(entry)] / max(entry.size_bytes, 1))
+        kept.remove(victim)
+        rejected.append(victim)
+        # Back-fill with rejected objects of under-served apps.
+        used = sum(entry.size_bytes for entry in kept)
+        spare = capacity_bytes - used
+        backfill = sorted(
+            (entry for entry in rejected
+             if entry.app_id != over_served and
+             entry.size_bytes <= spare),
+            key=lambda entry: utility_by_id[id(entry)], reverse=True)
+        for entry in backfill:
+            if entry.size_bytes <= spare:
+                kept.append(entry)
+                rejected.remove(entry)
+                spare -= entry.size_bytes
+    return kept
+
+
+class PacmPolicy(EvictionPolicy):
+    """PACM as a drop-in :class:`EvictionPolicy`.
+
+    Shares the AP runtime's :class:`RequestFrequencyTracker`, so utilities
+    reflect live per-app request rates.
+    """
+
+    def __init__(self, tracker: RequestFrequencyTracker,
+                 fairness_threshold: float = DEFAULT_FAIRNESS_THRESHOLD,
+                 granularity: int = DEFAULT_GRANULARITY) -> None:
+        if not 0.0 <= fairness_threshold <= 1.0:
+            raise ConfigError(
+                f"fairness threshold must be in [0, 1], "
+                f"got {fairness_threshold}")
+        self.tracker = tracker
+        self.fairness_threshold = fairness_threshold
+        self.granularity = granularity
+        self.selections = 0
+
+    def select_victims(self, store: CacheStore, incoming: CacheEntry,
+                       now: float) -> list[CacheEntry] | None:
+        """Evict everything PACM's keep-set excludes (see select_keep_set)."""
+        self.selections += 1
+        capacity = store.capacity_bytes - incoming.size_bytes
+        if capacity < 0:
+            return None
+        frequency_of = lambda app_id: self.tracker.frequency(app_id)  # noqa: E731
+        kept = select_keep_set(
+            store.entries(), capacity, frequency_of, now,
+            fairness_threshold=self.fairness_threshold,
+            granularity=self.granularity)
+        kept_ids = {id(entry) for entry in kept}
+        return [entry for entry in store.entries()
+                if id(entry) not in kept_ids]
+
+    def fairness(self, store: CacheStore) -> float:
+        """Current F(A) of the store under this policy's tracker."""
+        return fairness_index(
+            store.entries(), lambda app_id: self.tracker.frequency(app_id))

@@ -1,0 +1,72 @@
+"""Eviction policies: the pluggable victim-selection strategies.
+
+LRU is the baseline used by Wi-Cache and APE-CACHE-LRU in the paper's
+evaluation; LFU and FIFO are included for ablations.  PACM lives in its
+own module (:mod:`repro.cache.pacm`) because it carries more machinery.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+from repro.cache.store import CacheStore
+
+__all__ = ["EvictionPolicy", "LruPolicy", "LfuPolicy", "FifoPolicy"]
+
+
+class EvictionPolicy:
+    """Strategy interface for making room in a full cache."""
+
+    def select_victims(self, store: CacheStore, incoming: CacheEntry,
+                       now: float) -> list[CacheEntry] | None:
+        """Entries to evict so ``incoming`` fits, or None to refuse it.
+
+        Implementations must free at least ``incoming.size_bytes -
+        store.free_bytes`` bytes when they return a list.
+        """
+        raise NotImplementedError
+
+
+class _RankedPolicy(EvictionPolicy):
+    """Evicts in ascending order of a subclass-defined retention score."""
+
+    def score(self, entry: CacheEntry, now: float) -> float:
+        """Higher scores are retained longer."""
+        raise NotImplementedError
+
+    def select_victims(self, store: CacheStore, incoming: CacheEntry,
+                       now: float) -> list[CacheEntry] | None:
+        needed = incoming.size_bytes - store.free_bytes
+        if needed <= 0:
+            return []
+        ranked = sorted(store.entries(),
+                        key=lambda entry: self.score(entry, now))
+        victims: list[CacheEntry] = []
+        freed = 0
+        for entry in ranked:
+            victims.append(entry)
+            freed += entry.size_bytes
+            if freed >= needed:
+                return victims
+        return None  # cannot free enough even by emptying the cache
+
+
+class LruPolicy(_RankedPolicy):
+    """Least-recently-used (the paper's baseline cache management)."""
+
+    def score(self, entry: CacheEntry, now: float) -> float:
+        return entry.last_access
+
+
+class LfuPolicy(_RankedPolicy):
+    """Least-frequently-used, tie-broken by recency."""
+
+    def score(self, entry: CacheEntry, now: float) -> float:
+        # Scale counts so recency only breaks ties between equal counts.
+        return entry.access_count + min(0.5, 1e-9 * entry.last_access)
+
+
+class FifoPolicy(_RankedPolicy):
+    """First-in-first-out by storage time."""
+
+    def score(self, entry: CacheEntry, now: float) -> float:
+        return entry.stored_at

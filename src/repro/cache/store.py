@@ -1,0 +1,161 @@
+"""The bounded cache store running on the AP.
+
+The store tracks byte occupancy and delegates victim selection to a
+pluggable :class:`~repro.cache.policies.EvictionPolicy` (LRU for the
+baselines, PACM for APE-CACHE).  TTL expiry is enforced lazily on access
+and eagerly before every admission decision, mirroring how dnsmasq-style
+daemons sweep their tables.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import CacheError, CapacityError
+from repro.cache.entry import CacheEntry
+from repro.httplib.url import Url
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.policies import EvictionPolicy
+
+__all__ = ["CacheStore", "AdmissionResult"]
+
+
+class AdmissionResult:
+    """Outcome of one admission: whether stored, and who was evicted."""
+
+    def __init__(self, admitted: bool,
+                 evicted: list[CacheEntry] | None = None) -> None:
+        self.admitted = admitted
+        self.evicted = evicted or []
+
+    def __repr__(self) -> str:
+        return (f"<AdmissionResult admitted={self.admitted} "
+                f"evicted={len(self.evicted)}>")
+
+
+class CacheStore:
+    """A capacity-bounded map from base URL to :class:`CacheEntry`."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise CacheError(
+                f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: dict[str, CacheEntry] = {}
+        self.used_bytes = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return self._key(url) in self._entries
+
+    @staticmethod
+    def _key(url: str) -> str:
+        return Url.parse(url).base
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries.values())
+
+    def apps(self) -> set[str]:
+        return {entry.app_id for entry in self._entries.values()}
+
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, url: str, now: float) -> CacheEntry | None:
+        """A fresh entry for ``url`` (touching it), or None."""
+        entry = self._entries.get(self._key(url))
+        if entry is None:
+            return None
+        if entry.is_expired(now):
+            self._drop(entry, expired=True)
+            return None
+        entry.touch(now)
+        return entry
+
+    def peek(self, url: str) -> CacheEntry | None:
+        """The entry regardless of freshness, without touching it."""
+        return self._entries.get(self._key(url))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def sweep_expired(self, now: float) -> list[CacheEntry]:
+        """Remove every expired entry, returning them."""
+        expired = [entry for entry in self._entries.values()
+                   if entry.is_expired(now)]
+        for entry in expired:
+            self._drop(entry, expired=True)
+        return expired
+
+    def admit(self, entry: CacheEntry, policy: "EvictionPolicy",
+              now: float) -> AdmissionResult:
+        """Insert ``entry``, evicting per ``policy`` if space is needed.
+
+        A same-URL entry is replaced in place first.  Raises
+        :class:`CapacityError` if the object alone exceeds capacity.
+        """
+        if entry.size_bytes > self.capacity_bytes:
+            raise CapacityError(
+                f"{entry.url} ({entry.size_bytes}B) exceeds cache capacity "
+                f"({self.capacity_bytes}B)")
+        existing = self._entries.get(self._key(entry.url))
+        if existing is not None:
+            self._drop(existing, expired=False, count_eviction=False)
+        self.sweep_expired(now)
+        evicted: list[CacheEntry] = []
+        if entry.size_bytes > self.free_bytes:
+            victims = policy.select_victims(self, entry, now)
+            if victims is None:
+                return AdmissionResult(admitted=False)
+            for victim in victims:
+                self._drop(victim, expired=False)
+                evicted.append(victim)
+            if entry.size_bytes > self.free_bytes:
+                raise CacheError(
+                    f"policy {type(policy).__name__} freed too little room "
+                    f"for {entry.url}")
+        self._entries[self._key(entry.url)] = entry
+        self.used_bytes += entry.size_bytes
+        self.insertions += 1
+        return AdmissionResult(admitted=True, evicted=evicted)
+
+    def remove(self, url: str) -> CacheEntry | None:
+        entry = self._entries.get(self._key(url))
+        if entry is not None:
+            self._drop(entry, expired=False)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0
+
+    def _drop(self, entry: CacheEntry, expired: bool,
+              count_eviction: bool = True) -> None:
+        removed = self._entries.pop(self._key(entry.url), None)
+        if removed is None:  # pragma: no cover - internal invariant
+            raise CacheError(f"{entry.url} vanished from the store")
+        self.used_bytes -= removed.size_bytes
+        if expired:
+            self.expirations += 1
+        elif count_eviction:
+            self.evictions += 1
+
+    def __repr__(self) -> str:
+        return (f"<CacheStore {self.used_bytes}/{self.capacity_bytes}B "
+                f"entries={len(self._entries)}>")

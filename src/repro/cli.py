@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Lists and runs the paper's experiments from a terminal::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig13 --full --seed 3
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+import typing as _t
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _lazy(module_name: str, attr: str = "run"):
+    def runner(quick: bool, seed: int):
+        import importlib
+
+        module = importlib.import_module(
+            f"repro.experiments.{module_name}")
+        return getattr(module, attr)(quick=quick, seed=seed)
+
+    return runner
+
+
+#: name -> (description, runner(quick, seed) -> table(s)).
+EXPERIMENTS: dict[str, tuple[str, _t.Callable]] = {
+    "table1": ("Akamai DNS/RTT/hops measurement (Table I)",
+               _lazy("table1")),
+    "fig2": ("router load under traffic replay (Table II / Fig. 2)",
+             _lazy("fig2")),
+    "fig11": ("object-level caching latency (Fig. 11a/11c)",
+              _lazy("fig11")),
+    "fig11b": ("DNS-Cache query overhead (Fig. 11b)",
+               _lazy("fig11", "run_lookup_overhead")),
+    "tables456": ("PACM vs LRU hit ratios (Tables IV/V/VI)",
+                  _lazy("pacm_tables")),
+    "fig12": ("real-world apps' latency (Fig. 12)", _lazy("fig12")),
+    "fig13": ("app-level latency sweeps (Fig. 13a/b/c)", _lazy("fig13")),
+    "fig14": ("AP resource overhead (Fig. 14)", _lazy("fig14")),
+    "table7": ("programming effort comparison (Table VII)",
+               _lazy("table7")),
+    "ablations": ("design-choice ablations (beyond the paper)",
+                  _lazy("ablations")),
+    "offline": ("offline policy replay vs clairvoyant Belady bound",
+                _lazy("offline_optimal")),
+    "multiap": ("distributed Wi-Cache scaling with AP count",
+                _lazy("multi_ap")),
+    "replication": ("multi-seed replication with confidence intervals",
+                    _lazy("replication")),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree: one subcommand per experiment plus `list`."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="APE-CACHE reproduction: run the paper's experiments.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--full", action="store_true",
+                        help="paper-length (1 h) runs instead of quick")
+    common.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default 0)")
+    common.add_argument("--format", choices=("text", "csv", "json"),
+                        default="text", help="output format")
+    common.add_argument("--output", type=str, default=None,
+                        help="write results to this file instead of stdout")
+
+    for name, (description, _runner) in EXPERIMENTS.items():
+        subparsers.add_parser(name, help=description, parents=[common])
+    subparsers.add_parser("all", help="run every experiment in order",
+                          parents=[common])
+    return parser
+
+
+def _render_tables(result: object, fmt: str) -> str:
+    tables = result if isinstance(result, list) else [result]
+    if fmt == "csv":
+        return "\n".join(table.to_csv() for table in tables)
+    if fmt == "json":
+        return "[\n" + ",\n".join(table.to_json()
+                                  for table in tables) + "\n]"
+    return "\n\n".join(table.render() for table in tables)
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        width = max(len(name) for name in EXPERIMENTS)
+        print("available experiments:")
+        for name, (description, _runner) in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {description}")
+        print(f"  {'all'.ljust(width)}  run everything")
+        return 0
+
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    quick = not args.full
+
+    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
+    started = time.time()
+    chunks = []
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"--- {name}: {description} ---", file=sys.stderr,
+              flush=True)
+        chunks.append(_render_tables(runner(quick, args.seed),
+                                     args.format))
+    rendered = "\n\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(rendered)
+    print(f"done in {time.time() - started:.0f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""APE-CACHE core: programming model, AP runtime, client runtime.
+
+This package is the paper's primary contribution; everything else in
+:mod:`repro` is substrate (simulation kernel, network, DNS, HTTP) or
+evaluation scaffolding (baselines, workloads, experiments).
+"""
+
+from repro.core.annotations import (
+    HIGH_PRIORITY,
+    LOW_PRIORITY,
+    CacheableSpec,
+    cacheable,
+    group_by_domain,
+    scan_cacheables,
+)
+from repro.core.api_model import invoke_http_request_async
+from repro.core.ap_runtime import (
+    APE_APP_HEADER,
+    APE_MODE_HEADER,
+    APE_PRIORITY_HEADER,
+    APE_TTL_HEADER,
+    ApRuntime,
+)
+from repro.core.blocklist import BlockList
+from repro.core.client_runtime import (
+    ApeCacheInterceptor,
+    ClientRuntime,
+    FetchResult,
+)
+from repro.core.config import ApeCacheConfig
+from repro.core.prefetch import (
+    PREFETCH_HEADER,
+    PrefetchHint,
+    decode_hints,
+    encode_hints,
+)
+from repro.dnslib.cache_rr import CacheFlag
+
+__all__ = [
+    "APE_APP_HEADER",
+    "APE_MODE_HEADER",
+    "APE_PRIORITY_HEADER",
+    "APE_TTL_HEADER",
+    "ApRuntime",
+    "ApeCacheConfig",
+    "ApeCacheInterceptor",
+    "BlockList",
+    "CacheFlag",
+    "CacheableSpec",
+    "ClientRuntime",
+    "FetchResult",
+    "HIGH_PRIORITY",
+    "LOW_PRIORITY",
+    "PREFETCH_HEADER",
+    "PrefetchHint",
+    "cacheable",
+    "decode_hints",
+    "encode_hints",
+    "group_by_domain",
+    "invoke_http_request_async",
+    "scan_cacheables",
+]

@@ -1,0 +1,69 @@
+"""Configuration shared by the APE-CACHE runtimes.
+
+Defaults mirror the paper's reference implementation: 5 MB of AP cache
+memory, a 500 KB block-list threshold, EWMA alpha 0.7, and fairness
+threshold theta 0.4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.sim.kernel import MINUTE, MS
+
+__all__ = ["ApeCacheConfig"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclasses.dataclass
+class ApeCacheConfig:
+    """Tunables of the AP and client runtimes."""
+
+    #: AP cache memory budget (paper evaluation: 5 MB).
+    cache_capacity_bytes: int = 5 * MB
+    #: Objects above this size are never cached (paper: 500 KB).
+    blocklist_threshold_bytes: int = 500 * KB
+    #: PACM fairness threshold theta (paper: 0.4).
+    fairness_threshold: float = 0.4
+    #: EWMA weight alpha for request frequencies (paper: 0.7).
+    frequency_alpha: float = 0.7
+    #: Recalculation window for request frequencies.
+    frequency_window_s: float = MINUTE
+    #: CPU cost on the AP per DNS-Cache query beyond a plain DNS query.
+    dns_cache_extra_cpu_s: float = 0.02 * MS
+    #: CPU cost on the AP per plain DNS query.
+    dns_service_time_s: float = 0.2 * MS
+    #: CPU cost on the AP per HTTP request it serves or delegates.
+    http_service_time_s: float = 0.5 * MS
+    #: CPU cost of one PACM run.
+    pacm_cpu_s: float = 0.8 * MS
+    #: TTL attached to DNS answers the AP fabricates for dummy replies.
+    dummy_answer_ttl_s: int = 0
+    #: Knapsack size quantization.
+    knapsack_granularity: int = 4096
+    #: Whether the AP skips upstream DNS resolution (returning a dummy
+    #: IP, TTL 0) when every looked-up URL is cached.  On in the paper;
+    #: exposed for the ablation benchmarks.
+    enable_dummy_ip_short_circuit: bool = True
+    #: Dependency-aware prefetching after delegations (the APPx-synergy
+    #: extension from the paper's related-work discussion).  Off by
+    #: default: the paper's AP "only sends a request to the remote
+    #: server when triggered by the client".
+    enable_prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity_bytes <= 0:
+            raise ConfigError("cache capacity must be positive")
+        if self.blocklist_threshold_bytes <= 0:
+            raise ConfigError("block-list threshold must be positive")
+        if not 0.0 <= self.fairness_threshold <= 1.0:
+            raise ConfigError("fairness threshold must be in [0, 1]")
+        if not 0.0 < self.frequency_alpha <= 1.0:
+            raise ConfigError("frequency alpha must be in (0, 1]")
+        for field_name in ("dns_cache_extra_cpu_s", "dns_service_time_s",
+                           "http_service_time_s", "pacm_cpu_s"):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"{field_name} must be non-negative")

@@ -1,0 +1,133 @@
+"""RDATA payload of the DNS-Cache record (paper Fig. 8).
+
+The paper's custom RR carries "a list of two-tuples <HASH(URL), FLAG>".
+URLs are hashed "to maintain confidentiality, as DNS messages are
+unencrypted"; this implementation uses truncated SHA-256 digests.
+
+Wire layout (big-endian)::
+
+    +--------+------------------------+
+    | COUNT  |  COUNT x (HASH, FLAG)  |
+    | 2 B    |  16 B + 1 B each       |
+    +--------+------------------------+
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import struct
+import typing as _t
+
+from repro.errors import DnsFormatError
+
+__all__ = ["CacheFlag", "CacheLookupEntry", "CacheLookupRdata", "hash_url"]
+
+#: Truncated digest length carried on the wire.
+URL_HASH_BYTES = 16
+
+
+def hash_url(url: str) -> bytes:
+    """The confidential identifier of a URL inside DNS-Cache messages."""
+    return hashlib.sha256(url.encode("utf-8")).digest()[:URL_HASH_BYTES]
+
+
+class CacheFlag(enum.IntEnum):
+    """Per-URL cache status returned by the AP (paper Section IV-B.1).
+
+    * ``REQUEST`` — placeholder flag in client-to-AP lookups.
+    * ``CACHE_HIT`` — stored on the AP, fetch it there.
+    * ``CACHE_MISS`` — on the AP's block list; fetch from the edge.
+    * ``DELEGATION`` — unknown or expired; the AP will fetch-and-cache on
+      the client's behalf.
+    """
+
+    REQUEST = 0
+    CACHE_HIT = 1
+    CACHE_MISS = 2
+    DELEGATION = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheLookupEntry:
+    """One ``<HASH(URL), FLAG>`` tuple."""
+
+    url_hash: bytes
+    flag: CacheFlag
+
+    def __post_init__(self) -> None:
+        if len(self.url_hash) != URL_HASH_BYTES:
+            raise DnsFormatError(
+                f"url hash must be {URL_HASH_BYTES} bytes, "
+                f"got {len(self.url_hash)}")
+
+    @classmethod
+    def for_url(cls, url: str,
+                flag: CacheFlag = CacheFlag.REQUEST) -> "CacheLookupEntry":
+        return cls(hash_url(url), CacheFlag(flag))
+
+
+@dataclasses.dataclass
+class CacheLookupRdata:
+    """The full RDATA: an ordered list of lookup entries."""
+
+    entries: list[CacheLookupEntry] = dataclasses.field(default_factory=list)
+
+    def add(self, url_hash: bytes, flag: CacheFlag) -> None:
+        self.entries.append(CacheLookupEntry(url_hash, CacheFlag(flag)))
+
+    def add_url(self, url: str, flag: CacheFlag = CacheFlag.REQUEST) -> None:
+        self.entries.append(CacheLookupEntry.for_url(url, flag))
+
+    def flag_for(self, url: str) -> CacheFlag | None:
+        """Find the flag matching ``url``'s hash, or None if absent."""
+        wanted = hash_url(url)
+        for entry in self.entries:
+            if entry.url_hash == wanted:
+                return entry.flag
+        return None
+
+    def hashes(self) -> list[bytes]:
+        return [entry.url_hash for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> _t.Iterator[CacheLookupEntry]:
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        if len(self.entries) > 0xFFFF:
+            raise DnsFormatError("too many cache lookup entries")
+        out = bytearray(struct.pack("!H", len(self.entries)))
+        for entry in self.entries:
+            out.extend(entry.url_hash)
+            out.append(int(entry.flag))
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CacheLookupRdata":
+        if len(data) < 2:
+            raise DnsFormatError("truncated DNS-Cache RDATA")
+        (count,) = struct.unpack_from("!H", data, 0)
+        expected = 2 + count * (URL_HASH_BYTES + 1)
+        if len(data) != expected:
+            raise DnsFormatError(
+                f"DNS-Cache RDATA length {len(data)} != expected {expected}")
+        entries = []
+        offset = 2
+        for _ in range(count):
+            url_hash = data[offset:offset + URL_HASH_BYTES]
+            offset += URL_HASH_BYTES
+            try:
+                flag = CacheFlag(data[offset])
+            except ValueError:
+                raise DnsFormatError(
+                    f"unknown cache flag {data[offset]}") from None
+            offset += 1
+            entries.append(CacheLookupEntry(url_hash, flag))
+        return cls(entries)

@@ -1,0 +1,113 @@
+"""EDNS(0) support (RFC 6891).
+
+The paper motivates its DNS-Cache record by DNS's "built-in
+extensibility support", naming EDNS as the precedent ("EDNS creates a
+new RR type called OPT and uses Additional to transfer its corresponding
+information").  This module implements that precedent: the OPT
+pseudo-record, carried in the Additional section, advertising a larger
+UDP payload size and carrying typed options in its RDATA.
+
+OPT field mapping (RFC 6891 §6.1.2): NAME is the root, CLASS holds the
+requestor's UDP payload size, and the 32-bit TTL packs the extended
+rcode, EDNS version, and flags (DO bit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import DnsFormatError
+from repro.dnslib.message import Message
+from repro.dnslib.name import DomainName
+from repro.dnslib.rr import ResourceRecord, RRType
+
+__all__ = ["EdnsInfo", "EdnsOption", "add_edns", "edns_info",
+           "DEFAULT_UDP_PAYLOAD_SIZE"]
+
+DEFAULT_UDP_PAYLOAD_SIZE = 1232  # the modern flag-day recommendation
+
+
+@dataclasses.dataclass(frozen=True)
+class EdnsOption:
+    """One OPT option TLV."""
+
+    code: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.code <= 0xFFFF:
+            raise DnsFormatError(f"option code out of range: {self.code}")
+        if len(self.data) > 0xFFFF:
+            raise DnsFormatError("option data too long")
+
+
+@dataclasses.dataclass(frozen=True)
+class EdnsInfo:
+    """Decoded view of a message's OPT record."""
+
+    udp_payload_size: int
+    extended_rcode: int
+    version: int
+    dnssec_ok: bool
+    options: tuple[EdnsOption, ...] = ()
+
+
+def _encode_options(options: tuple[EdnsOption, ...]) -> bytes:
+    out = bytearray()
+    for option in options:
+        out.extend(struct.pack("!HH", option.code, len(option.data)))
+        out.extend(option.data)
+    return bytes(out)
+
+
+def _decode_options(data: bytes) -> tuple[EdnsOption, ...]:
+    options = []
+    offset = 0
+    while offset < len(data):
+        if offset + 4 > len(data):
+            raise DnsFormatError("truncated EDNS option header")
+        code, length = struct.unpack_from("!HH", data, offset)
+        offset += 4
+        if offset + length > len(data):
+            raise DnsFormatError("truncated EDNS option data")
+        options.append(EdnsOption(code, data[offset:offset + length]))
+        offset += length
+    return tuple(options)
+
+
+def add_edns(message: Message,
+             udp_payload_size: int = DEFAULT_UDP_PAYLOAD_SIZE,
+             version: int = 0, dnssec_ok: bool = False,
+             options: tuple[EdnsOption, ...] = ()) -> Message:
+    """Attach an OPT record to ``message``'s Additional section."""
+    if not 512 <= udp_payload_size <= 0xFFFF:
+        raise DnsFormatError(
+            f"implausible UDP payload size {udp_payload_size}")
+    if edns_info(message) is not None:
+        raise DnsFormatError("message already carries an OPT record")
+    ttl = (version & 0xFF) << 16
+    if dnssec_ok:
+        ttl |= 0x8000
+    record = ResourceRecord(DomainName(""), RRType.OPT,
+                            udp_payload_size,  # CLASS = payload size
+                            ttl, _encode_options(options))
+    message.additional.append(record)
+    return message
+
+
+def edns_info(message: Message) -> EdnsInfo | None:
+    """Decode the message's OPT record, or None if absent."""
+    for record in message.additional:
+        if record.rtype != RRType.OPT:
+            continue
+        ttl = record.ttl
+        return EdnsInfo(
+            udp_payload_size=int(record.rclass),
+            extended_rcode=(ttl >> 24) & 0xFF,
+            version=(ttl >> 16) & 0xFF,
+            dnssec_ok=bool(ttl & 0x8000),
+            options=_decode_options(
+                bytes(record.rdata)  # type: ignore[arg-type]
+                if isinstance(record.rdata, (bytes, bytearray)) else b""))
+    return None

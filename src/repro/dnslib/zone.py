@@ -1,0 +1,114 @@
+"""Authoritative zone data.
+
+A :class:`Zone` owns a subtree of the namespace and stores record sets
+keyed by (name, type).  A :class:`DnsRegistry` plays the role of the root
+and TLD infrastructure: it maps registered domains to the addresses of
+their authoritative servers so recursive resolvers know whom to ask.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import DnsError, DnsNameError
+from repro.dnslib.name import DomainName
+from repro.dnslib.rr import ResourceRecord, RRClass, RRType
+from repro.net.address import IPv4Address
+
+__all__ = ["Zone", "DnsRegistry"]
+
+
+class Zone:
+    """Records for one authoritative subtree (e.g. ``apple.com``)."""
+
+    def __init__(self, origin: "DomainName | str") -> None:
+        self.origin = DomainName(origin)
+        self._records: dict[tuple[DomainName, RRType],
+                            list[ResourceRecord]] = {}
+
+    def contains(self, name: "DomainName | str") -> bool:
+        return DomainName(name).is_subdomain_of(self.origin)
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add a record; its name must fall inside this zone."""
+        if not self.contains(record.name):
+            raise DnsError(
+                f"{record.name} is outside zone {self.origin}")
+        key = (record.name, record.rtype)
+        self._records.setdefault(key, []).append(record)
+
+    def add_a(self, name: "DomainName | str", address: "IPv4Address | str",
+              ttl: int = 300) -> ResourceRecord:
+        record = ResourceRecord(DomainName(name), RRType.A, RRClass.IN,
+                                ttl, IPv4Address(address))
+        self.add(record)
+        return record
+
+    def add_cname(self, name: "DomainName | str",
+                  target: "DomainName | str", ttl: int = 300,
+                  ) -> ResourceRecord:
+        record = ResourceRecord(DomainName(name), RRType.CNAME, RRClass.IN,
+                                ttl, DomainName(target))
+        self.add(record)
+        return record
+
+    def lookup(self, name: "DomainName | str", rtype: RRType,
+               ) -> list[ResourceRecord]:
+        """Records for (name, type), following the CNAME special case.
+
+        Mirrors RFC1034 §4.3.2: if there is no exact-type match but a
+        CNAME exists at the name, the CNAME is returned instead.
+        """
+        resolved = DomainName(name)
+        if not self.contains(resolved):
+            raise DnsError(f"{resolved} is outside zone {self.origin}")
+        exact = self._records.get((resolved, rtype))
+        if exact:
+            return list(exact)
+        if rtype != RRType.CNAME:
+            alias = self._records.get((resolved, RRType.CNAME))
+            if alias:
+                return list(alias)
+        raise DnsNameError(f"{resolved} has no {rtype.name} record")
+
+    def names(self) -> set[DomainName]:
+        return {name for name, _rtype in self._records}
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._records.values())
+
+
+class DnsRegistry:
+    """Maps registered domains to their authoritative server addresses.
+
+    This flattens the root/TLD referral dance into one lookup, which
+    preserves what the paper measures (the LDNS must contact a *remote*
+    authoritative server) without simulating thirteen root servers.
+    """
+
+    def __init__(self) -> None:
+        self._delegations: dict[DomainName, IPv4Address] = {}
+
+    def delegate(self, domain: "DomainName | str",
+                 server: "IPv4Address | str") -> None:
+        self._delegations[DomainName(domain)] = IPv4Address(server)
+
+    def authority_for(self, name: "DomainName | str") -> IPv4Address:
+        """Address of the authoritative server for ``name``.
+
+        Picks the most specific registered suffix, so ``edgekey.net``
+        (a CDN's DNS) can coexist with ``net`` style delegations.
+        """
+        resolved = DomainName(name)
+        best: tuple[int, IPv4Address] | None = None
+        for domain, address in self._delegations.items():
+            if resolved.is_subdomain_of(domain):
+                specificity = len(domain.labels)
+                if best is None or specificity > best[0]:
+                    best = (specificity, address)
+        if best is None:
+            raise DnsNameError(f"no delegation covers {resolved}")
+        return best[1]
+
+    def domains(self) -> list[DomainName]:
+        return sorted(self._delegations, key=str)

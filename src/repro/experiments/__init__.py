@@ -1,0 +1,51 @@
+"""Experiment harness: one module per paper table/figure, plus ablations.
+
+Every module exposes ``run(quick=True, seed=0)`` returning
+:class:`~repro.experiments.common.ExperimentTable` objects; ``quick``
+shortens simulated durations for CI, and ``REPRO_FULL=1`` in the
+environment forces paper-length (one-hour) runs regardless.
+
+| Paper artifact | Module |
+|---|---|
+| Table I        | :mod:`repro.experiments.table1` |
+| Table II/Fig 2 | :mod:`repro.experiments.fig2` |
+| Fig 11a/b/c    | :mod:`repro.experiments.fig11` |
+| Tables IV-VI   | :mod:`repro.experiments.pacm_tables` |
+| Fig 12         | :mod:`repro.experiments.fig12` |
+| Fig 13a/b/c    | :mod:`repro.experiments.fig13` |
+| Fig 14         | :mod:`repro.experiments.fig14` |
+| Table VII      | :mod:`repro.experiments.table7` |
+| (extensions)   | :mod:`repro.experiments.ablations` |
+"""
+
+from repro.experiments.common import ExperimentTable, effective_duration
+
+__all__ = ["ExperimentTable", "effective_duration", "run_all"]
+
+
+def run_all(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
+    """Run every experiment; returns all tables in paper order."""
+    from repro.experiments import (
+        ablations,
+        fig2,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        pacm_tables,
+        table1,
+        table7,
+    )
+
+    tables: list[ExperimentTable] = []
+    tables.append(table1.run(quick, seed))
+    tables.append(fig2.run(quick, seed))
+    tables.extend(fig11.run(quick, seed))
+    tables.append(fig11.run_lookup_overhead(quick, seed))
+    tables.extend(pacm_tables.run(quick, seed))
+    tables.extend(fig12.run(quick, seed))
+    tables.extend(fig13.run(quick, seed))
+    tables.append(fig14.run(quick, seed))
+    tables.append(table7.run(quick, seed))
+    tables.extend(ablations.run(quick, seed))
+    return tables

@@ -1,0 +1,48 @@
+"""Experiment Table II + Fig. 2: router load under traffic replay."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentTable
+from repro.measurement.resources import GL_MT1300, RouterResourceModel
+from repro.measurement.traffic import (
+    HIGH_RATE_TRACE,
+    LOW_RATE_TRACE,
+    replay_trace,
+    synthesize_trace,
+)
+
+__all__ = ["run"]
+
+MB = 1024 * 1024
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentTable:
+    """Replay both Table II traces and report the Fig. 2 load curves."""
+    del quick  # the replay is cheap; always run in full
+    model = RouterResourceModel(GL_MT1300)
+    table = ExperimentTable(
+        title="Fig. 2: CPU/Memory usage of the WiFi router during replay",
+        columns=["trace", "packets", "flows", "total_mb", "apps",
+                 "mean_cpu_pct", "peak_cpu_pct", "mean_mem_mb",
+                 "peak_mem_mb"])
+    for spec in (LOW_RATE_TRACE, HIGH_RATE_TRACE):
+        trace = synthesize_trace(spec, seed=seed)
+        trace.verify_statistics()
+        report = replay_trace(trace, model)
+        summary = report.summary()
+        table.add_row(trace=spec.name, packets=spec.packets,
+                      flows=spec.flows,
+                      total_mb=spec.total_bytes / MB,
+                      apps=spec.app_count,
+                      mean_cpu_pct=summary["mean_cpu_percent"],
+                      peak_cpu_pct=summary["peak_cpu_percent"],
+                      mean_mem_mb=summary["mean_memory_mb"],
+                      peak_mem_mb=summary["peak_memory_mb"])
+    table.notes.append(
+        "paper: high-rate replay keeps CPU well below 50% and memory "
+        "around 120 MB of the router's 256 MB")
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,140 @@
+"""Experiments Tables IV, V, VI: PACM vs LRU cache hit ratios.
+
+Each table varies one workload dimension — object size range (IV), app
+usage frequency (V), app quantity (VI) — and reports the average hit
+ratio, the high-priority hit ratio under PACM, and LRU's hit ratio (the
+management used by Wi-Cache and APE-CACHE-LRU).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.generator import DummyAppParams
+from repro.apps.workload import Workload, WorkloadConfig
+from repro.baselines.ape import ApeCacheLruSystem, ApeCacheSystem
+from repro.experiments.common import ExperimentTable, effective_duration
+from repro.sim.kernel import MINUTE
+from repro.testbed import TestbedConfig
+
+__all__ = ["run", "run_size_sweep", "run_frequency_sweep",
+           "run_quantity_sweep", "PAPER_TABLE4", "PAPER_TABLE5",
+           "PAPER_TABLE6"]
+
+KB = 1024
+
+SIZE_RANGES = ((1, 100), (1, 200), (1, 300), (1, 400), (1, 500))
+FREQUENCIES = (1.0, 1.5, 2.0, 2.5, 3.0)
+APP_QUANTITIES = (5, 10, 15, 20, 25, 30)
+
+#: Paper values: {x: (PACM-Avg, PACM-High, LRU)}.
+PAPER_TABLE4 = {100: (0.632, 0.832, 0.631), 200: (0.514, 0.754, 0.528),
+                300: (0.426, 0.616, 0.430), 400: (0.320, 0.457, 0.316),
+                500: (0.226, 0.304, 0.220)}
+PAPER_TABLE5 = {1.0: (0.507, 0.743, 0.512), 1.5: (0.563, 0.766, 0.566),
+                2.0: (0.626, 0.774, 0.625), 2.5: (0.627, 0.810, 0.628),
+                3.0: (0.632, 0.832, 0.631)}
+PAPER_TABLE6 = {5: (0.965, 0.965, 0.965), 10: (0.966, 0.966, 0.966),
+                15: (0.967, 0.945, 0.967), 20: (0.763, 0.889, 0.765),
+                25: (0.691, 0.841, 0.668), 30: (0.632, 0.832, 0.631)}
+
+
+def _base_config(duration_s: float, seed: int) -> WorkloadConfig:
+    """Paper defaults: 30 apps, 1-100 KB objects, 3 executions/min."""
+    return WorkloadConfig(
+        n_apps=30, avg_frequency_per_min=3.0, duration_s=duration_s,
+        seed=seed, dummy_params=DummyAppParams(),
+        testbed=TestbedConfig(seed=seed))
+
+
+def _measure(config: WorkloadConfig) -> tuple[float, float, float]:
+    """(PACM avg, PACM high-priority, LRU avg) hit ratios."""
+    pacm_result = Workload(config).run(ApeCacheSystem())
+    lru_result = Workload(config).run(ApeCacheLruSystem())
+    return (pacm_result.hit_ratio(),
+            pacm_result.hit_ratio(only_high_priority=True),
+            lru_result.hit_ratio())
+
+
+def run_size_sweep(quick: bool = True, seed: int = 0) -> ExperimentTable:
+    """Table IV: hit ratio vs data object size."""
+    duration = effective_duration(quick, quick_s=4 * MINUTE)
+    table = ExperimentTable(
+        title="Table IV: Cache hit ratio vs data object size",
+        columns=["size_range_kb", "pacm_avg", "pacm_high_priority",
+                 "lru", "paper_pacm_avg", "paper_pacm_high",
+                 "paper_lru"])
+    for low_kb, high_kb in SIZE_RANGES:
+        config = _base_config(duration, seed)
+        config = dataclasses.replace(config, dummy_params=DummyAppParams(
+            min_size_bytes=low_kb * KB, max_size_bytes=high_kb * KB))
+        pacm_avg, pacm_high, lru = _measure(config)
+        paper = PAPER_TABLE4[high_kb]
+        table.add_row(size_range_kb=f"{low_kb}~{high_kb}",
+                      pacm_avg=pacm_avg, pacm_high_priority=pacm_high,
+                      lru=lru, paper_pacm_avg=paper[0],
+                      paper_pacm_high=paper[1], paper_lru=paper[2])
+    table.notes.append(
+        "paper trend: hit ratios fall as objects grow; PACM keeps a "
+        "consistently higher high-priority hit ratio than LRU")
+    return table
+
+
+def run_frequency_sweep(quick: bool = True,
+                        seed: int = 0) -> ExperimentTable:
+    """Table V: hit ratio vs average app usage frequency."""
+    duration = effective_duration(quick, quick_s=4 * MINUTE)
+    table = ExperimentTable(
+        title="Table V: Cache hit ratio vs avg app usage frequency",
+        columns=["frequency_per_min", "pacm_avg", "pacm_high_priority",
+                 "lru", "paper_pacm_avg", "paper_pacm_high",
+                 "paper_lru"])
+    for frequency in FREQUENCIES:
+        config = dataclasses.replace(_base_config(duration, seed),
+                                     avg_frequency_per_min=frequency)
+        pacm_avg, pacm_high, lru = _measure(config)
+        paper = PAPER_TABLE5[frequency]
+        table.add_row(frequency_per_min=frequency, pacm_avg=pacm_avg,
+                      pacm_high_priority=pacm_high, lru=lru,
+                      paper_pacm_avg=paper[0], paper_pacm_high=paper[1],
+                      paper_lru=paper[2])
+    table.notes.append(
+        "paper trend: lower frequency -> more TTL expiries before reuse "
+        "-> slightly lower hit ratio; PACM-High stays above LRU")
+    return table
+
+
+def run_quantity_sweep(quick: bool = True,
+                       seed: int = 0) -> ExperimentTable:
+    """Table VI: hit ratio vs number of apps."""
+    duration = effective_duration(quick, quick_s=4 * MINUTE)
+    table = ExperimentTable(
+        title="Table VI: Cache hit ratio vs app quantity",
+        columns=["n_apps", "pacm_avg", "pacm_high_priority", "lru",
+                 "paper_pacm_avg", "paper_pacm_high", "paper_lru"])
+    for quantity in APP_QUANTITIES:
+        config = dataclasses.replace(_base_config(duration, seed),
+                                     n_apps=quantity)
+        pacm_avg, pacm_high, lru = _measure(config)
+        paper = PAPER_TABLE6[quantity]
+        table.add_row(n_apps=quantity, pacm_avg=pacm_avg,
+                      pacm_high_priority=pacm_high, lru=lru,
+                      paper_pacm_avg=paper[0], paper_pacm_high=paper[1],
+                      paper_lru=paper[2])
+    table.notes.append(
+        "paper trend: few apps fit entirely (~0.96); past ~15 apps the "
+        "5 MB cache saturates and ratios fall, PACM protecting "
+        "high-priority objects")
+    return table
+
+
+def run(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
+    """All three PACM tables."""
+    return [run_size_sweep(quick, seed), run_frequency_sweep(quick, seed),
+            run_quantity_sweep(quick, seed)]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for result in run():
+        print(result)
+        print()

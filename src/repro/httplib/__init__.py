@@ -1,0 +1,24 @@
+"""HTTP substrate: URLs, messages, origin/edge servers, interceptor client."""
+
+from repro.httplib.client import Chain, HttpClient, Interceptor
+from repro.httplib.content import DataObject
+from repro.httplib.messages import HttpRequest, HttpResponse
+from repro.httplib.server import (
+    EdgeCacheServer,
+    HostingDirectory,
+    OriginServer,
+)
+from repro.httplib.url import Url
+
+__all__ = [
+    "Chain",
+    "DataObject",
+    "EdgeCacheServer",
+    "HostingDirectory",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "Interceptor",
+    "OriginServer",
+    "Url",
+]

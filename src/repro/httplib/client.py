@@ -1,0 +1,141 @@
+"""An HTTP client with an OkHttp-style interceptor chain.
+
+The paper's reference implementation "extends OkHttp" by inserting a
+cache lookup/fetching module that intercepts outgoing requests whose base
+URL matches a cacheable object.  This client reproduces that extension
+point: interceptors see every request and may short-circuit it, rewrite
+it, or let it proceed down the chain to the network.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import HttpError
+from repro.dnslib.resolver import StubResolver
+from repro.httplib.messages import HttpRequest, HttpResponse
+from repro.httplib.url import Url
+from repro.net.address import IPv4Address
+from repro.net.node import Node, TCP_HTTP_PORT
+from repro.net.transport import Transport
+
+__all__ = ["HttpClient", "Interceptor", "Chain", "TLS_CLIENT_HELLO_BYTES",
+           "TLS_SERVER_HELLO_BYTES"]
+
+#: Pseudo-header carrying an already-resolved destination address, used
+#: when a caching layer has done its own lookup (APE-CACHE's DNS-Cache
+#: response supplies the edge server's IP directly).
+TARGET_IP_HEADER = "x-resolved-ip"
+
+#: TLS 1.3 handshake sizes: one extra round trip before the request
+#: (ClientHello out; ServerHello + certificate + Finished back).
+TLS_CLIENT_HELLO_BYTES = 350
+TLS_SERVER_HELLO_BYTES = 2900
+
+
+class Chain:
+    """One position in the interceptor chain."""
+
+    def __init__(self, client: "HttpClient", index: int) -> None:
+        self._client = client
+        self._index = index
+
+    def proceed(self, request: HttpRequest,
+                ) -> _t.Generator[object, object, HttpResponse]:
+        """Pass ``request`` to the next interceptor (or the network)."""
+        interceptors = self._client.interceptors
+        if self._index < len(interceptors):
+            next_chain = Chain(self._client, self._index + 1)
+            response = yield from interceptors[self._index].intercept(
+                next_chain, request)
+        else:
+            response = yield from self._client.transport_call(request)
+        return response
+
+
+class Interceptor:
+    """Base class for request interceptors."""
+
+    def intercept(self, chain: Chain, request: HttpRequest,
+                  ) -> _t.Generator[object, object, HttpResponse]:
+        """Handle ``request``; default behaviour is pass-through."""
+        response = yield from chain.proceed(request)
+        return response
+
+
+class HttpClient:
+    """A client bound to one node, resolving names via a stub resolver."""
+
+    def __init__(self, node: Node, transport: Transport,
+                 resolver: StubResolver | None = None) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.transport = transport
+        self.resolver = resolver
+        self.interceptors: list[Interceptor] = []
+        self.requests_sent = 0
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self.interceptors.append(interceptor)
+
+    # ------------------------------------------------------------------
+    # Public request API
+    # ------------------------------------------------------------------
+    def get(self, url: "Url | str", headers: dict[str, str] | None = None,
+            ) -> _t.Generator[object, object, HttpResponse]:
+        """Issue a GET through the interceptor chain."""
+        request = HttpRequest(
+            Url.parse(url) if isinstance(url, str) else url,
+            headers=dict(headers or {}))
+        response = yield from self.execute(request)
+        return response
+
+    def execute(self, request: HttpRequest,
+                ) -> _t.Generator[object, object, HttpResponse]:
+        """Run ``request`` through interceptors and the network."""
+        self.requests_sent += 1
+        response = yield from Chain(self, 0).proceed(request)
+        return response
+
+    # ------------------------------------------------------------------
+    # Terminal network step
+    # ------------------------------------------------------------------
+    def transport_call(self, request: HttpRequest,
+                       ) -> _t.Generator[object, object, HttpResponse]:
+        """Resolve the destination and perform the TCP(+TLS) exchange.
+
+        ``https`` URLs pay one extra round trip for the TLS 1.3
+        handshake before the request goes out.
+        """
+        address = yield from self._destination(request)
+        if request.url.scheme == "https":
+            peer = self.transport.network.node_by_address(address).name
+            yield self.sim.timeout(self.transport.one_way(
+                self.node.name, peer, TLS_CLIENT_HELLO_BYTES))
+            yield self.sim.timeout(self.transport.one_way(
+                peer, self.node.name, TLS_SERVER_HELLO_BYTES))
+        response = yield self.sim.process(self.transport.tcp_exchange(
+            self.node.name, address, TCP_HTTP_PORT, request))
+        return _t.cast(HttpResponse, response)
+
+    def _destination(self, request: HttpRequest,
+                     ) -> _t.Generator[object, object, IPv4Address]:
+        pinned = request.header(TARGET_IP_HEADER)
+        if pinned is not None:
+            return IPv4Address(pinned)
+        host = request.url.host
+        literal = self._ip_literal(host)
+        if literal is not None:
+            return literal
+        if self.resolver is None:
+            raise HttpError(
+                f"no resolver configured and {host!r} is not an IP literal")
+        result = yield from self.resolver.resolve(host)
+        return result.address
+
+    @staticmethod
+    def _ip_literal(host: str) -> IPv4Address | None:
+        if host.count(".") == 3 and \
+                all(part.isdigit() for part in host.split(".")):
+            return IPv4Address(host)
+        return None

@@ -1,0 +1,49 @@
+"""Content objects: what gets cached and transferred.
+
+A :class:`DataObject` stands in for the payload of one cacheable URL —
+the simulator tracks its size and freshness epoch rather than real bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import HttpError
+
+__all__ = ["DataObject"]
+
+
+@dataclasses.dataclass
+class DataObject:
+    """One cacheable payload.
+
+    Parameters
+    ----------
+    url:
+        The object's basic URL (no query string) — its identity.
+    size_bytes:
+        Payload size; drives transfer and cache-occupancy modeling.
+    version:
+        Bumped each time the origin regenerates the object, so tests can
+        assert that a cache served a stale or fresh copy.
+    created_at:
+        Simulated time the current version was produced.
+    """
+
+    url: str
+    size_bytes: int
+    version: int = 1
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise HttpError(f"negative object size: {self.size_bytes}")
+
+    def refreshed(self, now: float) -> "DataObject":
+        """A new version of the same object produced at ``now``."""
+        return DataObject(self.url, self.size_bytes,
+                          version=self.version + 1, created_at=now)
+
+    def __repr__(self) -> str:
+        return (f"<DataObject {self.url} {self.size_bytes}B "
+                f"v{self.version}>")

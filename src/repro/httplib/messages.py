@@ -1,0 +1,111 @@
+"""HTTP request and response messages.
+
+Bodies are :class:`~repro.httplib.content.DataObject` instances rather
+than byte strings; ``wire_size`` accounts for headers plus body size so
+the transport can charge realistic serialization delay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import HttpError, HttpStatusError
+from repro.httplib.content import DataObject
+from repro.httplib.url import Url
+
+__all__ = ["HttpRequest", "HttpResponse", "REQUEST_HEADER_BYTES",
+           "RESPONSE_HEADER_BYTES"]
+
+#: Typical header overhead of a mobile HTTP GET.
+REQUEST_HEADER_BYTES = 220
+#: Typical response header overhead.
+RESPONSE_HEADER_BYTES = 180
+
+_METHODS = ("GET", "POST", "PUT", "DELETE", "HEAD")
+
+
+@dataclasses.dataclass
+class HttpRequest:
+    """A client request."""
+
+    url: Url
+    method: str = "GET"
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+    body_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.url, str):
+            self.url = Url.parse(self.url)
+        if self.method not in _METHODS:
+            raise HttpError(f"unsupported method {self.method!r}")
+        if self.body_bytes < 0:
+            raise HttpError(f"negative body size {self.body_bytes}")
+
+    @property
+    def wire_size(self) -> int:
+        return (REQUEST_HEADER_BYTES + len(self.url.full) +
+                sum(len(k) + len(v) + 4 for k, v in self.headers.items()) +
+                self.body_bytes)
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def with_header(self, name: str, value: str) -> "HttpRequest":
+        headers = dict(self.headers)
+        headers[name.lower()] = value
+        return HttpRequest(self.url, self.method, headers, self.body_bytes)
+
+    def __repr__(self) -> str:
+        return f"<HttpRequest {self.method} {self.url}>"
+
+
+@dataclasses.dataclass
+class HttpResponse:
+    """A server response, optionally carrying a data object."""
+
+    status: int = 200
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+    body: DataObject | None = None
+
+    def __post_init__(self) -> None:
+        if not 100 <= self.status <= 599:
+            raise HttpError(f"implausible status code {self.status}")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def body_bytes(self) -> int:
+        return self.body.size_bytes if self.body is not None else 0
+
+    @property
+    def wire_size(self) -> int:
+        return (RESPONSE_HEADER_BYTES +
+                sum(len(k) + len(v) + 4 for k, v in self.headers.items()) +
+                self.body_bytes)
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def require_ok(self) -> "HttpResponse":
+        """Return self, or raise :class:`HttpStatusError` on failure."""
+        if not self.ok:
+            raise HttpStatusError(self.status,
+                                  self.headers.get("reason", ""))
+        return self
+
+    def require_body(self) -> DataObject:
+        """The body object; raises when the response has none."""
+        self.require_ok()
+        if self.body is None:
+            raise HttpError("response has no body")
+        return self.body
+
+    @classmethod
+    def not_found(cls, url: _t.Union[Url, str]) -> "HttpResponse":
+        return cls(status=404, headers={"reason": f"no object at {url}"})
+
+    def __repr__(self) -> str:
+        return f"<HttpResponse {self.status} {self.body!r}>"

@@ -1,0 +1,188 @@
+"""HTTP servers: origins and the edge cache tier.
+
+*Origin servers* own the authoritative copy of each object and add a
+per-object service delay — this reproduces the paper's setup where
+synthetic objects carried a configured "retrieval latency" (20–50 ms) to
+emulate fetching from assorted remote backends.
+
+*Edge cache servers* model the paper's edge tier: capacity is assumed
+ample ("eliminating the need for cache replacement"), so they keep every
+object they ever fetch and serve it warm.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import HttpError
+from repro.httplib.content import DataObject
+from repro.httplib.messages import HttpRequest, HttpResponse
+from repro.httplib.url import Url
+from repro.net.address import IPv4Address
+from repro.net.node import Node, TCP_HTTP_PORT
+from repro.net.transport import Transport
+from repro.sim.kernel import MS
+
+__all__ = ["OriginServer", "EdgeCacheServer", "HostingDirectory"]
+
+#: CPU time for a server to process one HTTP request.
+DEFAULT_HTTP_SERVICE_TIME = 0.3 * MS
+
+
+class HostingDirectory:
+    """Maps base URLs to the origin server that owns them.
+
+    Edge caches consult this directory on a cold miss, standing in for
+    the real world's "the CDN knows the customer's origin" configuration.
+    """
+
+    def __init__(self) -> None:
+        self._origins: dict[str, IPv4Address] = {}
+
+    def register(self, base_url: str, origin: "IPv4Address | str") -> None:
+        self._origins[Url.parse(base_url).base] = IPv4Address(origin)
+
+    def origin_for(self, url: "Url | str") -> IPv4Address:
+        base = Url.parse(url).base if isinstance(url, str) else url.base
+        try:
+            return self._origins[base]
+        except KeyError:
+            raise HttpError(f"no origin registered for {base}") from None
+
+    def __len__(self) -> int:
+        return len(self._origins)
+
+
+class OriginServer:
+    """The authoritative source of a set of objects."""
+
+    def __init__(self, node: Node,
+                 service_time_s: float = DEFAULT_HTTP_SERVICE_TIME) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.service_time_s = service_time_s
+        self._objects: dict[str, DataObject] = {}
+        self._delays: dict[str, float] = {}
+        self.requests_served = 0
+
+    def install(self, port: int = TCP_HTTP_PORT) -> None:
+        self.node.bind_tcp(port, self._handle)
+
+    def host(self, data_object: DataObject,
+             service_delay_s: float = 0.0) -> None:
+        """Host ``data_object``; ``service_delay_s`` is the paper's
+        per-object simulated retrieval latency."""
+        if service_delay_s < 0:
+            raise HttpError(f"negative service delay {service_delay_s}")
+        base = Url.parse(data_object.url).base
+        self._objects[base] = data_object
+        self._delays[base] = service_delay_s
+
+    def hosts(self, url: "Url | str") -> bool:
+        base = Url.parse(url).base if isinstance(url, str) else url.base
+        return base in self._objects
+
+    def object_for(self, url: "Url | str") -> DataObject:
+        base = Url.parse(url).base if isinstance(url, str) else url.base
+        try:
+            return self._objects[base]
+        except KeyError:
+            raise HttpError(f"{self.node.name} does not host {base}") \
+                from None
+
+    def refresh(self, url: "Url | str") -> DataObject:
+        """Regenerate an object (bump its version) and return the new copy."""
+        base = Url.parse(url).base if isinstance(url, str) else url.base
+        self._objects[base] = self._objects[base].refreshed(self.sim.now)
+        return self._objects[base]
+
+    def _handle(self, request: object, _source: IPv4Address,
+                ) -> _t.Generator[object, object, HttpResponse]:
+        if not isinstance(request, HttpRequest):
+            raise HttpError(f"origin got a {type(request).__name__}")
+        self.requests_served += 1
+        base = request.url.base
+        yield self.node.occupy_cpu(self.service_time_s)
+        if base not in self._objects:
+            return HttpResponse.not_found(request.url)
+        delay = self._delays.get(base, 0.0)
+        if delay:
+            yield self.sim.timeout(delay)
+        return HttpResponse(status=200, body=self._objects[base])
+
+
+class EdgeCacheServer:
+    """An edge cache with effectively unlimited capacity.
+
+    Serves cached objects immediately; on a miss it fetches from the
+    owning origin (per the hosting directory), stores the object, and
+    serves it.  ``preload`` warms the cache the way a long-running CDN
+    node would be warm in steady state.
+    """
+
+    def __init__(self, node: Node, transport: Transport,
+                 directory: HostingDirectory,
+                 service_time_s: float = DEFAULT_HTTP_SERVICE_TIME) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.transport = transport
+        self.directory = directory
+        self.service_time_s = service_time_s
+        self._cache: dict[str, DataObject] = {}
+        self._serve_delays: dict[str, float] = {}
+        self.hits = 0
+        self.cold_misses = 0
+
+    def install(self, port: int = TCP_HTTP_PORT) -> None:
+        self.node.bind_tcp(port, self._handle)
+
+    def preload(self, objects: _t.Iterable[DataObject]) -> None:
+        for data_object in objects:
+            self._cache[Url.parse(data_object.url).base] = data_object
+
+    def set_serve_delay(self, url: "Url | str", delay_s: float) -> None:
+        """Add a per-object delay to every serve of ``url``.
+
+        Reproduces the paper's evaluation setup: synthetic objects are
+        hosted on the edge server "with an added delay (retrieval
+        latency) to simulate the latency experienced when retrieving
+        them from various servers" (20–50 ms).
+        """
+        if delay_s < 0:
+            raise HttpError(f"negative serve delay {delay_s}")
+        base = Url.parse(url).base if isinstance(url, str) else url.base
+        self._serve_delays[base] = delay_s
+
+    def is_cached(self, url: "Url | str") -> bool:
+        base = Url.parse(url).base if isinstance(url, str) else url.base
+        return base in self._cache
+
+    def evict(self, url: "Url | str") -> None:
+        base = Url.parse(url).base if isinstance(url, str) else url.base
+        self._cache.pop(base, None)
+
+    def _handle(self, request: object, _source: IPv4Address,
+                ) -> _t.Generator[object, object, HttpResponse]:
+        if not isinstance(request, HttpRequest):
+            raise HttpError(f"edge cache got a {type(request).__name__}")
+        base = request.url.base
+        yield self.node.occupy_cpu(self.service_time_s)
+        cached = self._cache.get(base)
+        if cached is not None:
+            self.hits += 1
+            delay = self._serve_delays.get(base, 0.0)
+            if delay:
+                yield self.sim.timeout(delay)
+            return HttpResponse(status=200, body=cached)
+        self.cold_misses += 1
+        try:
+            origin = self.directory.origin_for(request.url)
+        except HttpError:
+            # Nobody publishes this URL through the CDN: not found.
+            return HttpResponse.not_found(request.url)
+        response = yield self.sim.process(self.transport.tcp_exchange(
+            self.node.name, origin, TCP_HTTP_PORT, request))
+        http_response = _t.cast(HttpResponse, response)
+        if http_response.ok and http_response.body is not None:
+            self._cache[base] = http_response.body
+        return http_response

@@ -1,0 +1,70 @@
+"""URL parsing tuned to what APE-CACHE needs.
+
+The paper's programming model identifies cacheable objects by their "basic
+URLs without parameters", so :class:`Url` exposes :attr:`base` (scheme +
+host + path, query stripped) alongside the full text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import HttpError
+from repro.dnslib.name import DomainName
+
+__all__ = ["Url"]
+
+_SUPPORTED_SCHEMES = ("http", "https")
+
+
+@dataclasses.dataclass(frozen=True)
+class Url:
+    """An absolute http(s) URL broken into its parts."""
+
+    scheme: str
+    host: str
+    path: str
+    query: str = ""
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse ``scheme://host/path?query``; path defaults to ``/``."""
+        if "://" not in text:
+            raise HttpError(f"URL missing scheme: {text!r}")
+        scheme, _, rest = text.partition("://")
+        scheme = scheme.lower()
+        if scheme not in _SUPPORTED_SCHEMES:
+            raise HttpError(f"unsupported scheme {scheme!r} in {text!r}")
+        host, slash, path_and_query = rest.partition("/")
+        if not host:
+            raise HttpError(f"URL missing host: {text!r}")
+        path_and_query = (slash + path_and_query) if slash else "/"
+        path, _, query = path_and_query.partition("?")
+        return cls(scheme, host.lower(), path or "/", query)
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise HttpError("URL host must be non-empty")
+        if not self.path.startswith("/"):
+            raise HttpError(f"URL path must start with '/': {self.path!r}")
+
+    @property
+    def base(self) -> str:
+        """The URL without its query string — the paper's object ``id``."""
+        return f"{self.scheme}://{self.host}{self.path}"
+
+    @property
+    def full(self) -> str:
+        if self.query:
+            return f"{self.base}?{self.query}"
+        return self.base
+
+    @property
+    def domain(self) -> DomainName:
+        return DomainName(self.host)
+
+    def with_query(self, query: str) -> "Url":
+        return Url(self.scheme, self.host, self.path, query)
+
+    def __str__(self) -> str:
+        return self.full

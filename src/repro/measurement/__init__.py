@@ -1,0 +1,54 @@
+"""Measurement studies: Akamai (Table I), traffic replay (Table II /
+Fig. 2), and APE-CACHE overhead on the AP (Fig. 14)."""
+
+from repro.measurement.akamai import (
+    PAPER_TABLE1,
+    AkamaiStudy,
+    CellResult,
+    ServicePresence,
+    SiteSpec,
+    paper_sites,
+)
+from repro.measurement.overhead import (
+    APE_STATIC_FOOTPRINT_BYTES,
+    ApOverheadStudy,
+    OverheadReport,
+    OverheadSeries,
+)
+from repro.measurement.resources import (
+    GL_MT1300,
+    RouterResourceModel,
+    RouterSpec,
+)
+from repro.measurement.traffic import (
+    HIGH_RATE_TRACE,
+    LOW_RATE_TRACE,
+    ReplayReport,
+    SyntheticTrace,
+    TraceSpec,
+    replay_trace,
+    synthesize_trace,
+)
+
+__all__ = [
+    "APE_STATIC_FOOTPRINT_BYTES",
+    "AkamaiStudy",
+    "ApOverheadStudy",
+    "CellResult",
+    "GL_MT1300",
+    "HIGH_RATE_TRACE",
+    "LOW_RATE_TRACE",
+    "OverheadReport",
+    "OverheadSeries",
+    "PAPER_TABLE1",
+    "ReplayReport",
+    "RouterResourceModel",
+    "RouterSpec",
+    "ServicePresence",
+    "SiteSpec",
+    "SyntheticTrace",
+    "TraceSpec",
+    "paper_sites",
+    "replay_trace",
+    "synthesize_trace",
+]

@@ -1,0 +1,240 @@
+"""The Akamai measurement study (paper Section II-B, Table I).
+
+The paper requests cached data from Akamai's CDN for three domains
+(apple.com, microsoft.com, yahoo.com) from three sites (Michigan, Tokyo,
+São Paulo), measuring DNS resolution latency, ping RTT to the resolved
+cache server, and traceroute hop count — 100 runs per cell.
+
+This module rebuilds the study in simulation.  Each site is an isolated
+deployment (its own simulator and topology, as real vantage points are
+independent): a client, an ISP LDNS, per-service authoritative and CDN
+DNS servers at calibrated distances, and per-service serving targets
+whose paths match the published RTT/hop measurements.  The resolution
+chain (LDNS -> ADNS CNAME -> CDN DNS -> A record) runs over the real DNS
+codec.  The paper's one qualitative anomaly — Yahoo has no PoP near São
+Paulo, so users there are served by a distant origin — is wired in via
+``has_pop=False``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.dnslib.resolver import StubResolver
+from repro.dnslib.server import (
+    AuthoritativeService,
+    CdnDnsService,
+    RecursiveResolverService,
+)
+from repro.dnslib.zone import DnsRegistry, Zone
+from repro.net.address import IPv4Address
+from repro.net.link import WAN
+from repro.net.network import Network
+from repro.net.transport import Transport
+from repro.sim.kernel import MS, Simulator
+from repro.sim.randomness import RandomStreams
+
+__all__ = ["SiteSpec", "ServicePresence", "AkamaiStudy", "CellResult",
+           "PAPER_TABLE1", "paper_sites"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServicePresence:
+    """How one CDN customer looks from one measurement site.
+
+    ``rtt_ms``/``hops`` describe the path to the *server that ends up
+    serving this site* — a nearby PoP normally, or the distant origin
+    when ``has_pop`` is False.  ``dns_upstream_ms`` is the RTT from the
+    site's LDNS to this service's authoritative/CDN DNS infrastructure.
+    """
+
+    service: str
+    rtt_ms: float
+    hops: int
+    dns_upstream_ms: float
+    has_pop: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteSpec:
+    """One measurement location."""
+
+    name: str
+    ldns_rtt_ms: float
+    services: tuple[ServicePresence, ...]
+
+
+#: Paper Table I, transcribed: (DNS ms, RTT ms, hops) per site x service.
+PAPER_TABLE1: dict[tuple[str, str], tuple[float, float, int]] = {
+    ("Michigan", "apple"): (18, 34, 13),
+    ("Michigan", "microsoft"): (19, 33, 13),
+    ("Michigan", "yahoo"): (21, 53, 16),
+    ("Tokyo", "apple"): (18, 22, 7),
+    ("Tokyo", "microsoft"): (26, 27, 10),
+    ("Tokyo", "yahoo"): (27, 93, 13),
+    ("SaoPaulo", "apple"): (20, 19, 12),
+    ("SaoPaulo", "microsoft"): (26, 19, 10),
+    ("SaoPaulo", "yahoo"): (226, 156, 15),
+}
+
+
+def paper_sites() -> list[SiteSpec]:
+    """Site specs calibrated from Table I.
+
+    Per cell, the serving path is built with the measured hop count and
+    per-hop latency ``rtt / (2 * hops)``; DNS distances absorb the
+    measured resolution latency minus the ~2 ms local client-LDNS leg,
+    split over the two upstream exchanges (ADNS, then CDN DNS).
+    """
+    def presences(site: str) -> tuple[ServicePresence, ...]:
+        out = []
+        for service in ("apple", "microsoft", "yahoo"):
+            dns_ms, rtt_ms, hops = PAPER_TABLE1[(site, service)]
+            has_pop = not (site == "SaoPaulo" and service == "yahoo")
+            upstream = max(1.0, (dns_ms - 2.0) / 2.0)
+            out.append(ServicePresence(service, rtt_ms, hops, upstream,
+                                       has_pop))
+        return tuple(out)
+
+    return [SiteSpec("Michigan", 2.0, presences("Michigan")),
+            SiteSpec("Tokyo", 2.0, presences("Tokyo")),
+            SiteSpec("SaoPaulo", 2.0, presences("SaoPaulo"))]
+
+
+@dataclasses.dataclass
+class CellResult:
+    """Measured values for one (site, service) cell."""
+
+    site: str
+    service: str
+    dns_ms: float
+    rtt_ms: float
+    hops: int
+
+
+class _SiteDeployment:
+    """One site's isolated topology and DNS infrastructure."""
+
+    def __init__(self, site: SiteSpec, seed: int,
+                 jitter_fraction: float) -> None:
+        self.site = site
+        self.sim = Simulator()
+        self.network = Network(self.sim)
+        streams = RandomStreams(seed)
+        self.transport = Transport(
+            self.network, rng=streams.stream(f"jitter:{site.name}"),
+            jitter_fraction=jitter_fraction)
+        registry = DnsRegistry()
+
+        client = self.network.add_node("client", cpu_capacity=4)
+        ldns = self.network.add_node("ldns", cpu_capacity=16)
+        self._chain("client", "ldns", hops=2, rtt_ms=site.ldns_rtt_ms)
+
+        self.targets: dict[str, str] = {}
+        for presence in site.services:
+            service = presence.service
+            target = self.network.add_node(f"{service}.server",
+                                           cpu_capacity=16)
+            self._chain("client", target.name, hops=presence.hops,
+                        rtt_ms=presence.rtt_ms)
+            self.targets[service] = target.name
+
+            adns = self.network.add_node(f"{service}.adns",
+                                         cpu_capacity=16)
+            cdndns = self.network.add_node(f"{service}.cdndns",
+                                           cpu_capacity=16)
+            self._chain("ldns", adns.name, hops=3,
+                        rtt_ms=presence.dns_upstream_ms)
+            self._chain("ldns", cdndns.name, hops=3,
+                        rtt_ms=presence.dns_upstream_ms)
+
+            cdn_suffix = f"{service}.edgekey.example"
+            zone = Zone(f"{service}.example")
+            zone.add_cname(f"www.{service}.example",
+                           f"www.{cdn_suffix}", ttl=3600)
+            AuthoritativeService(adns, [zone]).install()
+            registry.delegate(f"{service}.example", adns.address)
+
+            pop = target.address if presence.has_pop else None
+            CdnDnsService(
+                cdndns, cdn_suffix,
+                pop_selector=lambda _n, _s, pop=pop: pop,
+                origin_for=lambda _n, addr=target.address: addr,
+                answer_ttl=20).install()
+            registry.delegate(cdn_suffix, cdndns.address)
+
+        self.ldns_service = RecursiveResolverService(ldns, self.transport,
+                                                     registry)
+        self.ldns_service.install()
+        self.stub = StubResolver(client, self.transport, ldns.address)
+
+    def _chain(self, a: str, b: str, hops: int, rtt_ms: float) -> None:
+        links = self.network.add_chain(a, b, WAN, hops=hops,
+                                       prefix=f"{a}--{b}")
+        per_hop = (rtt_ms / 2.0 / hops) * MS
+        for link in links:
+            link.latency_s = per_hop
+
+    def measure_cell(self, presence: ServicePresence,
+                     runs: int) -> CellResult:
+        hostname = f"www.{presence.service}.example"
+        dns_samples: list[float] = []
+        rtt_samples: list[float] = []
+        resolved: list[IPv4Address] = []
+
+        def one_run():
+            # The paper's tool uses socket.gethostbyname per request (no
+            # client cache) and measures full resolutions.
+            self.stub.flush_cache()
+            self.ldns_service.flush_cache()
+            result = yield from self.stub.resolve(hostname)
+            dns_samples.append(result.latency_s)
+            resolved.clear()
+            resolved.append(result.address)
+            # Ping: a 64-byte echo round trip.
+            target = self.network.node_by_address(result.address)
+            rtt = (self.transport.one_way("client", target.name, 64) +
+                   self.transport.one_way(target.name, "client", 64))
+            rtt_samples.append(rtt)
+            yield self.sim.timeout(rtt)
+
+        for _ in range(runs):
+            self.sim.run(until=self.sim.process(one_run()))
+
+        target = self.network.node_by_address(resolved[0])
+        return CellResult(
+            site=self.site.name, service=presence.service,
+            dns_ms=sum(dns_samples) / len(dns_samples) * 1e3,
+            rtt_ms=sum(rtt_samples) / len(rtt_samples) * 1e3,
+            hops=self.network.hops("client", target.name))
+
+
+class AkamaiStudy:
+    """Runs the Table I measurement across all sites."""
+
+    def __init__(self, sites: _t.Sequence[SiteSpec] | None = None,
+                 seed: int = 0, jitter_fraction: float = 0.08) -> None:
+        self.sites = list(sites or paper_sites())
+        self.seed = seed
+        self.jitter_fraction = jitter_fraction
+
+    def measure(self, runs: int = 100) -> list[CellResult]:
+        """Resolve + ping + traceroute, ``runs`` times per cell."""
+        results: list[CellResult] = []
+        for site in self.sites:
+            deployment = _SiteDeployment(site, self.seed,
+                                         self.jitter_fraction)
+            for presence in site.services:
+                results.append(deployment.measure_cell(presence, runs))
+        return results
+
+    @staticmethod
+    def averages(results: _t.Sequence[CellResult],
+                 ) -> dict[str, float]:
+        """The paper's headline aggregates: mean DNS, RTT, hops."""
+        return {
+            "mean_dns_ms": sum(r.dns_ms for r in results) / len(results),
+            "mean_rtt_ms": sum(r.rtt_ms for r in results) / len(results),
+            "mean_hops": sum(r.hops for r in results) / len(results),
+        }

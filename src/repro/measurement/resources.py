@@ -1,0 +1,105 @@
+"""Resource model of a router-class WiFi AP (GL-MT1300 calibration).
+
+The paper's feasibility study (Section II-C) replays captured WiFi
+traffic against a GL-MT1300 (MT7621A @ 880 MHz, 256 MB RAM) and records
+CPU/memory; its overhead study (Section V-E) measures the *additional*
+CPU/memory APE-CACHE costs.  Both need a model mapping work done (packets
+forwarded, flows tracked, DNS/HTTP requests handled) to CPU utilization
+and memory occupancy, calibrated so the published curves come out:
+
+* high-rate replay (~2 640 pkt/s): CPU well below 50 %, memory ~120 MB;
+* low-rate replay (~48 pkt/s): a few percent CPU, memory near baseline;
+* APE-CACHE with a 5 MB cache: <= ~6 % extra CPU, ~13 MB extra memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+__all__ = ["RouterSpec", "RouterResourceModel", "GL_MT1300"]
+
+MB = 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterSpec:
+    """Hardware and per-operation cost calibration for one router."""
+
+    name: str
+    cpu_mhz: float
+    memory_bytes: int
+    #: CPU seconds to forward one packet (NAT + bridging + WiFi driver).
+    per_packet_cpu_s: float
+    #: Memory per tracked connection (conntrack entry + socket buffers).
+    per_flow_bytes: int
+    #: Packet buffer memory per unit of throughput (bytes per pkt/s).
+    buffer_bytes_per_pps: float
+    #: OS + daemons at idle.
+    baseline_memory_bytes: int
+    #: Background CPU at idle (timers, housekeeping).
+    baseline_cpu_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_mhz <= 0 or self.memory_bytes <= 0:
+            raise ConfigError("router spec needs positive CPU and memory")
+
+
+#: The paper's test router, calibrated to reproduce Fig. 2.
+GL_MT1300 = RouterSpec(
+    name="GL-MT1300 (MT7621A @ 880MHz, 256MB)",
+    cpu_mhz=880.0,
+    memory_bytes=256 * MB,
+    per_packet_cpu_s=110e-6,
+    per_flow_bytes=1400,
+    buffer_bytes_per_pps=22_000.0,
+    baseline_memory_bytes=58 * MB,
+    baseline_cpu_fraction=0.015,
+)
+
+
+class RouterResourceModel:
+    """Maps observed work rates onto CPU% and memory occupancy."""
+
+    def __init__(self, spec: RouterSpec = GL_MT1300) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # CPU
+    # ------------------------------------------------------------------
+    def forwarding_cpu_fraction(self, packets_per_s: float) -> float:
+        """CPU fraction spent forwarding ``packets_per_s``."""
+        if packets_per_s < 0:
+            raise ConfigError("negative packet rate")
+        busy = packets_per_s * self.spec.per_packet_cpu_s
+        return min(1.0, self.spec.baseline_cpu_fraction + busy)
+
+    def service_cpu_fraction(self, busy_seconds: float,
+                             elapsed_seconds: float) -> float:
+        """CPU fraction for ``busy_seconds`` of service work."""
+        if elapsed_seconds <= 0:
+            raise ConfigError("elapsed time must be positive")
+        return min(1.0, busy_seconds / elapsed_seconds)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def forwarding_memory_bytes(self, active_flows: int,
+                                packets_per_s: float) -> int:
+        """Memory while forwarding: baseline + flow table + buffers."""
+        if active_flows < 0 or packets_per_s < 0:
+            raise ConfigError("negative load")
+        return int(self.spec.baseline_memory_bytes +
+                   active_flows * self.spec.per_flow_bytes +
+                   packets_per_s * self.spec.buffer_bytes_per_pps)
+
+    def headroom(self, memory_bytes: int, cpu_fraction: float,
+                 ) -> dict[str, float]:
+        """How much capacity remains — the paper's feasibility question."""
+        return {
+            "memory_free_bytes": float(self.spec.memory_bytes -
+                                       memory_bytes),
+            "memory_utilization": memory_bytes / self.spec.memory_bytes,
+            "cpu_free_fraction": 1.0 - cpu_fraction,
+        }

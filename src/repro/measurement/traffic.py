@@ -1,0 +1,177 @@
+"""Synthetic WiFi traffic traces and their replay (Table II, Fig. 2).
+
+The paper replays two pre-captured public WiFi traces (Tcpreplay sample
+captures) against the router and records CPU/memory.  The captures are
+not redistributable, so this module synthesizes traces matching every
+published statistic (Table II: bytes, packets, flows, mean packet size,
+duration, app count) and replays them through the
+:class:`~repro.measurement.resources.RouterResourceModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random as _random
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.measurement.resources import GL_MT1300, RouterResourceModel
+
+__all__ = ["TraceSpec", "LOW_RATE_TRACE", "HIGH_RATE_TRACE",
+           "SyntheticTrace", "synthesize_trace", "ReplayReport",
+           "replay_trace"]
+
+MB = 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSpec:
+    """Published statistics of one capture (paper Table II)."""
+
+    name: str
+    total_bytes: int
+    packets: int
+    flows: int
+    duration_s: float
+    app_count: int
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        return self.total_bytes / self.packets
+
+    @property
+    def mean_packets_per_s(self) -> float:
+        return self.packets / self.duration_s
+
+
+#: Table II, "Low Traffic Rate" column.
+LOW_RATE_TRACE = TraceSpec("low-rate", total_bytes=int(9.4 * MB),
+                           packets=14_261, flows=1_209,
+                           duration_s=300.0, app_count=28)
+
+#: Table II, "High Traffic Rate" column.
+HIGH_RATE_TRACE = TraceSpec("high-rate", total_bytes=368 * MB,
+                            packets=791_615, flows=40_686,
+                            duration_s=300.0, app_count=132)
+
+
+@dataclasses.dataclass
+class SyntheticTrace:
+    """A generated trace: per-second packet/flow activity."""
+
+    spec: TraceSpec
+    #: packets transmitted in each one-second bucket.
+    packets_per_second: list[int]
+    #: flows concurrently active in each one-second bucket.
+    active_flows_per_second: list[int]
+    #: bytes transmitted in each one-second bucket.
+    bytes_per_second: list[int]
+
+    def verify_statistics(self, tolerance: float = 0.02) -> None:
+        """Check the synthesis matches the published Table II numbers."""
+        total_packets = sum(self.packets_per_second)
+        total_bytes = sum(self.bytes_per_second)
+        for label, actual, expected in (
+                ("packets", total_packets, self.spec.packets),
+                ("bytes", total_bytes, self.spec.total_bytes)):
+            if abs(actual - expected) > tolerance * expected:
+                raise ConfigError(
+                    f"{self.spec.name}: synthesized {label} {actual} "
+                    f"deviates from published {expected}")
+
+
+def synthesize_trace(spec: TraceSpec, seed: int = 0,
+                     burstiness: float = 0.15) -> SyntheticTrace:
+    """Generate a trace reproducing ``spec``'s aggregate statistics.
+
+    Per-second packet counts follow a lognormal-ish modulation around
+    the mean rate (real WiFi traffic is bursty); flows arrive over the
+    whole window with heavy-tailed sizes and exponential lifetimes.
+    """
+    if burstiness < 0 or burstiness >= 1:
+        raise ConfigError(f"burstiness must be in [0, 1), got {burstiness}")
+    rng = _random.Random(seed)
+    seconds = int(spec.duration_s)
+    mean_pps = spec.packets / seconds
+
+    weights = [max(0.05, 1.0 + burstiness * rng.gauss(0.0, 1.0))
+               for _ in range(seconds)]
+    weight_total = sum(weights)
+    packets = [int(round(spec.packets * w / weight_total))
+               for w in weights]
+    # Fix rounding drift so totals match the published count exactly.
+    drift = spec.packets - sum(packets)
+    step = 1 if drift > 0 else -1
+    index = 0
+    while drift != 0:
+        if packets[index % seconds] + step >= 0:
+            packets[index % seconds] += step
+            drift -= step
+        index += 1
+
+    mean_packet = spec.mean_packet_bytes
+    bytes_per_second = [int(round(count * mean_packet))
+                        for count in packets]
+    byte_drift = spec.total_bytes - sum(bytes_per_second)
+    bytes_per_second[-1] = max(0, bytes_per_second[-1] + byte_drift)
+
+    # Flow activity: arrivals uniform over the window, exponential
+    # lifetimes with a mean chosen so the steady-state concurrency is
+    # arrival_rate * lifetime (Little's law).
+    mean_lifetime_s = 18.0
+    arrivals_per_s = spec.flows / seconds
+    active: list[int] = []
+    current = 0.0
+    for second in range(seconds):
+        departures = current / mean_lifetime_s
+        current = max(0.0, current + arrivals_per_s - departures)
+        jitter = 1.0 + 0.1 * rng.gauss(0.0, 1.0)
+        active.append(max(0, int(current * jitter)))
+    del mean_pps
+
+    return SyntheticTrace(spec=spec, packets_per_second=packets,
+                          active_flows_per_second=active,
+                          bytes_per_second=bytes_per_second)
+
+
+@dataclasses.dataclass
+class ReplayReport:
+    """Per-second CPU/memory while replaying a trace (Fig. 2 series)."""
+
+    spec: TraceSpec
+    cpu_fraction: list[float]
+    memory_bytes: list[int]
+
+    def mean_cpu_percent(self) -> float:
+        return 100.0 * sum(self.cpu_fraction) / len(self.cpu_fraction)
+
+    def peak_cpu_percent(self) -> float:
+        return 100.0 * max(self.cpu_fraction)
+
+    def mean_memory_mb(self) -> float:
+        return sum(self.memory_bytes) / len(self.memory_bytes) / MB
+
+    def peak_memory_mb(self) -> float:
+        return max(self.memory_bytes) / MB
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "mean_cpu_percent": self.mean_cpu_percent(),
+            "peak_cpu_percent": self.peak_cpu_percent(),
+            "mean_memory_mb": self.mean_memory_mb(),
+            "peak_memory_mb": self.peak_memory_mb(),
+        }
+
+
+def replay_trace(trace: SyntheticTrace,
+                 model: RouterResourceModel | None = None) -> ReplayReport:
+    """Tcpreplay-style replay: push the trace through the router model."""
+    model = model or RouterResourceModel(GL_MT1300)
+    cpu = []
+    memory = []
+    for pps, flows in zip(trace.packets_per_second,
+                          trace.active_flows_per_second):
+        cpu.append(model.forwarding_cpu_fraction(pps))
+        memory.append(model.forwarding_memory_bytes(flows, pps))
+    return ReplayReport(spec=trace.spec, cpu_fraction=cpu,
+                        memory_bytes=memory)

@@ -1,0 +1,25 @@
+"""Simulated internetwork: addresses, nodes, links, routing, transport."""
+
+from repro.net.address import DUMMY_IP, AddressAllocator, IPv4Address
+from repro.net.link import ETHERNET, WAN, WIFI, Link, LinkKind
+from repro.net.network import Network, PathInfo
+from repro.net.node import TCP_HTTP_PORT, UDP_DNS_PORT, Node
+from repro.net.transport import Transport, wire_size_of
+
+__all__ = [
+    "AddressAllocator",
+    "DUMMY_IP",
+    "ETHERNET",
+    "IPv4Address",
+    "Link",
+    "LinkKind",
+    "Network",
+    "Node",
+    "PathInfo",
+    "TCP_HTTP_PORT",
+    "Transport",
+    "UDP_DNS_PORT",
+    "WAN",
+    "WIFI",
+    "wire_size_of",
+]

@@ -1,0 +1,120 @@
+"""IPv4 addresses for the simulated internetwork.
+
+Real address semantics matter here because APE-CACHE's protocol returns
+*dummy* IP addresses in DNS responses to short-circuit upstream resolution;
+the client must be able to tell a dummy apart from a routable address.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+
+__all__ = ["IPv4Address", "AddressAllocator", "DUMMY_IP"]
+
+
+class IPv4Address:
+    """A dotted-quad IPv4 address, hashable and totally ordered."""
+
+    __slots__ = ("_packed",)
+
+    def __init__(self, address: "str | int | IPv4Address") -> None:
+        if isinstance(address, IPv4Address):
+            self._packed = address._packed
+        elif isinstance(address, int):
+            if not 0 <= address <= 0xFFFFFFFF:
+                raise AddressError(f"address integer out of range: {address}")
+            self._packed = address
+        elif isinstance(address, str):
+            self._packed = self._parse(address)
+        else:
+            raise AddressError(f"cannot build an address from {address!r}")
+
+    @staticmethod
+    def _parse(text: str) -> int:
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        packed = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255 or (part != "0" and part.startswith("0")):
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            packed = (packed << 8) | octet
+        return packed
+
+    @property
+    def packed(self) -> int:
+        """The address as a 32-bit integer."""
+        return self._packed
+
+    def to_bytes(self) -> bytes:
+        """4-byte big-endian wire form (used by DNS A records)."""
+        return self._packed.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Address":
+        """Parse the 4-byte big-endian wire form."""
+        if len(data) != 4:
+            raise AddressError(f"expected 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def is_private(self) -> bool:
+        """RFC1918 check; the testbed LAN lives in 192.168.0.0/16."""
+        top = self._packed >> 24
+        if top == 10:
+            return True
+        if top == 172 and 16 <= ((self._packed >> 16) & 0xFF) <= 31:
+            return True
+        return top == 192 and ((self._packed >> 16) & 0xFF) == 168
+
+    def __str__(self) -> str:
+        return ".".join(str((self._packed >> shift) & 0xFF)
+                        for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._packed == other._packed
+        if isinstance(other, str):
+            try:
+                return self._packed == IPv4Address(other)._packed
+            except AddressError:
+                return False
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._packed < other._packed
+
+    def __hash__(self) -> int:
+        return hash(self._packed)
+
+
+#: The dummy address APE-CACHE APs return when upstream DNS resolution was
+#: skipped because every URL under the queried domain was already cached.
+#: 0.0.0.0 is never routable, so clients can detect the short circuit.
+DUMMY_IP = IPv4Address("0.0.0.0")
+
+
+class AddressAllocator:
+    """Hands out unique addresses from a /16-style pool."""
+
+    def __init__(self, base: str = "10.0.0.0", pool_size: int = 65536) -> None:
+        self._base = IPv4Address(base).packed
+        self._pool_size = pool_size
+        self._next = 1  # skip the network address itself
+
+    def allocate(self) -> IPv4Address:
+        """Return the next free address; raises once the pool is exhausted."""
+        if self._next >= self._pool_size:
+            raise AddressError("address pool exhausted")
+        address = IPv4Address(self._base + self._next)
+        self._next += 1
+        return address
+
+    def allocate_many(self, count: int) -> list[IPv4Address]:
+        """Allocate `count` consecutive unique addresses."""
+        return [self.allocate() for _ in range(count)]

@@ -1,0 +1,89 @@
+"""Point-to-point links with latency and bandwidth.
+
+A link contributes its propagation delay to every traversal and serializes
+payload bytes at its bandwidth.  Link kinds carry the defaults used by the
+paper's testbed (WiFi hop, wired LAN hop, WAN hop).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import NetworkError
+from repro.sim.kernel import MS
+
+__all__ = ["Link", "LinkKind", "WIFI", "ETHERNET", "WAN"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkKind:
+    """Template of per-kind defaults."""
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+
+
+#: ~1 ms one-way over 802.11ac within a home/office WLAN.
+WIFI = LinkKind("wifi", latency_s=1.0 * MS, bandwidth_bps=300e6)
+#: Sub-millisecond wired LAN hop.
+ETHERNET = LinkKind("ethernet", latency_s=0.2 * MS, bandwidth_bps=1e9)
+#: A WAN hop: ~2 ms propagation per hop reproduces the paper's measured
+#: "7 hops -> ~28-30 ms RTT" edge-server path.
+WAN = LinkKind("wan", latency_s=2.0 * MS, bandwidth_bps=100e6)
+
+
+class Link:
+    """A bidirectional edge between two node names."""
+
+    def __init__(self, a: str, b: str, latency_s: float,
+                 bandwidth_bps: float, name: str = "") -> None:
+        if latency_s < 0:
+            raise NetworkError(f"negative latency {latency_s!r}")
+        if bandwidth_bps <= 0:
+            raise NetworkError(f"non-positive bandwidth {bandwidth_bps!r}")
+        self.a = a
+        self.b = b
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.name = name or f"{a}<->{b}"
+        self.bytes_carried = 0
+
+    @classmethod
+    def of_kind(cls, a: str, b: str, kind: LinkKind,
+                latency_s: float | None = None) -> "Link":
+        """Build a link from a :class:`LinkKind`, optionally overriding latency."""
+        return cls(a, b,
+                   kind.latency_s if latency_s is None else latency_s,
+                   kind.bandwidth_bps,
+                   name=f"{a}<->{b}:{kind.name}")
+
+    def endpoints(self) -> tuple[str, str]:
+        """Both endpoint node names."""
+        return (self.a, self.b)
+
+    def other_end(self, node: str) -> str:
+        """The opposite endpoint from `node`; raises if `node` is neither."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise NetworkError(f"{node!r} is not an endpoint of {self.name}")
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Serialization delay for ``size_bytes`` at this link's bandwidth."""
+        if size_bytes < 0:
+            raise NetworkError(f"negative payload size {size_bytes}")
+        return (size_bytes * 8.0) / self.bandwidth_bps
+
+    def traverse_time(self, size_bytes: int) -> float:
+        """Propagation plus serialization for one traversal."""
+        return self.latency_s + self.transmission_time(size_bytes)
+
+    def account(self, size_bytes: int) -> None:
+        """Record carried traffic (for utilization reporting)."""
+        self.bytes_carried += size_bytes
+
+    def __repr__(self) -> str:
+        return (f"<Link {self.name} {self.latency_s * 1e3:.2f}ms "
+                f"{self.bandwidth_bps / 1e6:.0f}Mbps>")

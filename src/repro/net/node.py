@@ -1,0 +1,109 @@
+"""Network nodes: addressable endpoints that can host protocol handlers.
+
+A node binds handlers to (protocol, port) pairs.  Handlers are *generator
+functions* so they can consume simulated time (CPU service, upstream
+requests) before producing their response — exactly how the AP runtime
+models dnsmasq handling a DNS-Cache query.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import NetworkError, TransportError
+from repro.net.address import IPv4Address
+from repro.sim.kernel import Simulator
+from repro.sim.resources import ServiceQueue
+
+__all__ = ["Node", "UDP_DNS_PORT", "TCP_HTTP_PORT"]
+
+UDP_DNS_PORT = 53
+TCP_HTTP_PORT = 80
+
+#: A UDP handler receives (payload, source address) and is a generator that
+#: returns the response payload (bytes) or None for "no reply".
+UdpHandler = _t.Callable[[bytes, IPv4Address],
+                         _t.Generator[object, object, bytes | None]]
+#: A TCP handler receives an application-level request object and returns
+#: an application-level response object.
+TcpHandler = _t.Callable[[object, IPv4Address],
+                         _t.Generator[object, object, object]]
+
+
+class Node:
+    """An endpoint in the simulated internetwork.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Unique topology name (also the routing key).
+    address:
+        The node's IPv4 address.
+    cpu_capacity:
+        Number of requests the node can service concurrently; models the
+        difference between an 880 MHz router (1) and a desktop (several).
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: IPv4Address,
+                 cpu_capacity: int = 1) -> None:
+        self.sim = sim
+        self.name = name
+        self.address = address
+        self.cpu = ServiceQueue(sim, capacity=cpu_capacity)
+        self._udp_handlers: dict[int, UdpHandler] = {}
+        self._tcp_handlers: dict[int, TcpHandler] = {}
+        self.udp_datagrams_handled = 0
+        self.tcp_requests_handled = 0
+
+    # ------------------------------------------------------------------
+    # Handler registration
+    # ------------------------------------------------------------------
+    def bind_udp(self, port: int, handler: UdpHandler) -> None:
+        """Install ``handler`` for UDP datagrams arriving on ``port``."""
+        if port in self._udp_handlers:
+            raise NetworkError(f"{self.name}: UDP port {port} already bound")
+        self._udp_handlers[port] = handler
+
+    def bind_tcp(self, port: int, handler: TcpHandler) -> None:
+        """Install ``handler`` for TCP requests arriving on ``port``."""
+        if port in self._tcp_handlers:
+            raise NetworkError(f"{self.name}: TCP port {port} already bound")
+        self._tcp_handlers[port] = handler
+
+    def unbind_udp(self, port: int) -> None:
+        """Remove the UDP handler on `port`, if any."""
+        self._udp_handlers.pop(port, None)
+
+    def unbind_tcp(self, port: int) -> None:
+        """Remove the TCP handler on `port`, if any."""
+        self._tcp_handlers.pop(port, None)
+
+    # ------------------------------------------------------------------
+    # Dispatch (called by the transport layer)
+    # ------------------------------------------------------------------
+    def handle_udp(self, port: int, payload: bytes, source: IPv4Address):
+        """Dispatch an inbound datagram; generator returning the reply."""
+        handler = self._udp_handlers.get(port)
+        if handler is None:
+            raise TransportError(
+                f"{self.name}: nothing listening on UDP port {port}")
+        self.udp_datagrams_handled += 1
+        return handler(payload, source)
+
+    def handle_tcp(self, port: int, request: object, source: IPv4Address):
+        """Dispatch an inbound TCP request; generator returning the reply."""
+        handler = self._tcp_handlers.get(port)
+        if handler is None:
+            raise TransportError(
+                f"{self.name}: nothing listening on TCP port {port}")
+        self.tcp_requests_handled += 1
+        return handler(request, source)
+
+    def occupy_cpu(self, duration: float):
+        """Consume ``duration`` seconds of this node's CPU (a process)."""
+        return self.cpu.use(duration)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} {self.address}>"

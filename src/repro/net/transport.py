@@ -1,0 +1,188 @@
+"""UDP and TCP transport over the simulated internetwork.
+
+Both primitives are generator functions intended to be yielded from inside
+simulated processes::
+
+    response = yield sim.process(transport.udp_request(...))
+
+*UDP* is a single request/response datagram pair: one-way delay out,
+handler execution at the destination, one-way delay back.  DNS and
+DNS-Cache queries ride on this.
+
+*TCP* models what the paper measures as cache-retrieval latency: a
+connect handshake (one RTT), the request's one-way trip, server-side
+handling, and the response's one-way trip including serialization of the
+payload.  Objects exchanged over TCP must expose a ``wire_size`` attribute
+(bytes) so serialization delay can be computed.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import typing as _t
+
+from repro.errors import TransportError
+from repro.net.address import IPv4Address
+from repro.net.network import Network
+
+__all__ = ["Transport", "wire_size_of"]
+
+#: Fixed per-datagram UDP header overhead (IP + UDP headers).
+UDP_OVERHEAD_BYTES = 28
+#: Fixed per-segment TCP overhead (IP + TCP headers).
+TCP_OVERHEAD_BYTES = 40
+
+
+def wire_size_of(message: object) -> int:
+    """Bytes a message occupies on the wire.
+
+    Accepts raw ``bytes`` or any object with a ``wire_size`` attribute.
+    """
+    if isinstance(message, (bytes, bytearray)):
+        return len(message)
+    size = getattr(message, "wire_size", None)
+    if size is None:
+        raise TransportError(
+            f"{type(message).__name__} has no wire_size attribute")
+    return int(size)
+
+
+class Transport:
+    """Request/response messaging between nodes.
+
+    Parameters
+    ----------
+    network:
+        The topology to route over.
+    rng:
+        Optional randomness source for latency jitter.
+    jitter_fraction:
+        Each one-way delay is multiplied by ``1 + U(-j, +j)``.  Zero keeps
+        the transport fully deterministic (the default for unit tests).
+    """
+
+    def __init__(self, network: Network,
+                 rng: _random.Random | None = None,
+                 jitter_fraction: float = 0.0,
+                 loss_rate: float = 0.0,
+                 udp_timeout_s: float = 1.0,
+                 udp_retries: int = 3) -> None:
+        if jitter_fraction < 0 or jitter_fraction >= 1:
+            raise TransportError(
+                f"jitter_fraction must be in [0, 1), got {jitter_fraction}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise TransportError(
+                f"loss_rate must be in [0, 1), got {loss_rate}")
+        if udp_timeout_s <= 0 or udp_retries < 0:
+            raise TransportError("bad UDP timeout/retry configuration")
+        self.network = network
+        self.sim = network.sim
+        self._rng = rng or _random.Random(0)
+        self.jitter_fraction = jitter_fraction
+        self.loss_rate = loss_rate
+        self.udp_timeout_s = udp_timeout_s
+        self.udp_retries = udp_retries
+        self.udp_exchanges = 0
+        self.udp_losses = 0
+        self.tcp_exchanges = 0
+
+    # ------------------------------------------------------------------
+    # Delay helpers
+    # ------------------------------------------------------------------
+    def _jitter(self, delay: float) -> float:
+        if self.jitter_fraction == 0.0:
+            return delay
+        spread = self.jitter_fraction
+        return delay * (1.0 + self._rng.uniform(-spread, spread))
+
+    def one_way(self, src: str, dst: str, size_bytes: int) -> float:
+        """Jittered one-way delay for ``size_bytes`` from ``src`` to ``dst``."""
+        path = self.network.path(src, dst)
+        path.account(size_bytes)
+        return self._jitter(path.one_way_delay(size_bytes))
+
+    # ------------------------------------------------------------------
+    # UDP
+    # ------------------------------------------------------------------
+    def _dropped(self) -> bool:
+        return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    def udp_request(self, src: str, dst_address: "IPv4Address | str",
+                    port: int, payload: bytes,
+                    ) -> _t.Generator[object, object, bytes]:
+        """Send a datagram and return the handler's response payload.
+
+        Under a non-zero ``loss_rate`` either direction may drop the
+        datagram; the caller waits out ``udp_timeout_s`` and retries up
+        to ``udp_retries`` times (at-least-once semantics: a lost
+        *response* still means the handler ran).
+        """
+        self.udp_exchanges += 1
+        destination = self.network.node_by_address(dst_address)
+        source = self.network.node(src)
+        for _attempt in range(self.udp_retries + 1):
+            if self._dropped():
+                self.udp_losses += 1
+                yield self.sim.timeout(self.udp_timeout_s)
+                continue
+            out_delay = self.one_way(src, destination.name,
+                                     len(payload) + UDP_OVERHEAD_BYTES)
+            yield self.sim.timeout(out_delay)
+            handler = destination.handle_udp(port, payload,
+                                             source.address)
+            response = yield self.sim.process(handler)
+            if response is None:
+                raise TransportError(
+                    f"{destination.name} dropped a datagram on "
+                    f"port {port}")
+            if not isinstance(response, (bytes, bytearray)):
+                raise TransportError(
+                    f"UDP handler on {destination.name} returned "
+                    f"{type(response).__name__}, expected bytes")
+            if self._dropped():
+                self.udp_losses += 1
+                yield self.sim.timeout(self.udp_timeout_s)
+                continue
+            back_delay = self.one_way(destination.name, src,
+                                      len(response) + UDP_OVERHEAD_BYTES)
+            yield self.sim.timeout(back_delay)
+            return bytes(response)
+        raise TransportError(
+            f"datagram to {destination.name}:{port} lost after "
+            f"{self.udp_retries + 1} attempts")
+
+    # ------------------------------------------------------------------
+    # TCP
+    # ------------------------------------------------------------------
+    def tcp_exchange(self, src: str, dst_address: "IPv4Address | str",
+                     port: int, request: object,
+                     ) -> _t.Generator[object, object, object]:
+        """Connect, send ``request``, and return the handler's response.
+
+        The modeled cost is: one RTT for the SYN/SYN-ACK handshake, the
+        request's one-way trip, destination-side handling (whatever the
+        handler's generator consumes), and the response's one-way trip.
+        """
+        self.tcp_exchanges += 1
+        destination = self.network.node_by_address(dst_address)
+        source = self.network.node(src)
+        # Handshake: SYN out, SYN-ACK back (header-sized segments).
+        yield self.sim.timeout(
+            self.one_way(src, destination.name, TCP_OVERHEAD_BYTES))
+        yield self.sim.timeout(
+            self.one_way(destination.name, src, TCP_OVERHEAD_BYTES))
+        # Request.
+        request_bytes = wire_size_of(request) + TCP_OVERHEAD_BYTES
+        yield self.sim.timeout(
+            self.one_way(src, destination.name, request_bytes))
+        # Server-side handling.
+        handler = destination.handle_tcp(port, request, source.address)
+        response = yield self.sim.process(handler)
+        if response is None:
+            raise TransportError(
+                f"{destination.name} returned no TCP response on port {port}")
+        # Response.
+        response_bytes = wire_size_of(response) + TCP_OVERHEAD_BYTES
+        yield self.sim.timeout(
+            self.one_way(destination.name, src, response_bytes))
+        return response

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small and dependency-free: a clock, an event
+heap, generator-based processes, counted resources, seeded randomness, and
+metric collection.  Every other subsystem in the reproduction (network,
+DNS, HTTP, the APE-CACHE runtimes) is built on these primitives.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Condition, Event, Process, Timeout
+from repro.sim.kernel import HOUR, MINUTE, MS, SECOND, Simulator
+from repro.sim.monitor import MetricSet, Series, percentile
+from repro.sim.randomness import (
+    ExponentialSampler,
+    RandomStreams,
+    ZipfSampler,
+)
+from repro.sim.resources import Resource, ServiceQueue, Store
+from repro.sim.tracing import EventTrace, TraceEvent
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "EventTrace",
+    "ExponentialSampler",
+    "HOUR",
+    "MINUTE",
+    "MS",
+    "MetricSet",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SECOND",
+    "Series",
+    "ServiceQueue",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceEvent",
+    "ZipfSampler",
+    "percentile",
+]

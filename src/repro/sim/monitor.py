@@ -1,0 +1,131 @@
+"""Measurement collection for experiments.
+
+:class:`Series` is a list of (time, value) samples with the summary
+statistics the paper reports (mean, percentiles, tail latency), and
+:class:`MetricSet` is a named bag of series so experiment code can write
+``metrics.record("lookup_ms", latency)`` without threading lists around.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+__all__ = ["Series", "MetricSet", "percentile"]
+
+
+def percentile(values: _t.Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    Matches ``numpy.percentile``'s default behaviour but avoids pulling
+    numpy into hot simulation paths.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be within [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class Series:
+    """An append-only time series of float samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> _t.Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return math.fsum(self.values) / len(self.values)
+
+    def total(self) -> float:
+        return math.fsum(self.values)
+
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return min(self.values)
+
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def p95(self) -> float:
+        """The paper's tail-latency metric (95th percentile)."""
+        return self.percentile(95.0)
+
+    def stddev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean()
+        variance = math.fsum((v - mu) ** 2 for v in self.values)
+        return math.sqrt(variance / (len(self.values) - 1))
+
+    def summary(self) -> dict[str, float]:
+        """Mean/min/max/p50/p95 in one dict, for table rendering."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "min": self.minimum(),
+            "max": self.maximum(),
+            "p50": self.percentile(50.0),
+            "p95": self.p95(),
+        }
+
+
+class MetricSet:
+    """A named collection of :class:`Series`, created lazily on record."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, Series] = {}
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).record(time, value)
+
+    def series(self, name: str) -> Series:
+        if name not in self._series:
+            self._series[name] = Series(name)
+        return self._series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def mean(self, name: str) -> float:
+        return self.series(name).mean()
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {name: series.summary()
+                for name, series in sorted(self._series.items())
+                if series.count}

@@ -1,0 +1,125 @@
+"""Reproducible randomness for experiments.
+
+Every experiment draws from named substreams of a single master seed so
+that (a) runs are exactly reproducible and (b) changing how one component
+consumes randomness does not perturb another component's draws.
+
+The Zipf sampler implements the bounded (finite-support) Zipf distribution
+used by the paper's workload model ("We adopted the Zipf distribution to
+calculate the time interval between executing an app").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random as _random
+import typing as _t
+
+__all__ = ["RandomStreams", "ZipfSampler", "ExponentialSampler"]
+
+
+class RandomStreams:
+    """A factory of independent, named ``random.Random`` substreams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: dict[str, _random.Random] = {}
+
+    def stream(self, name: str) -> _random.Random:
+        """Return (creating on first use) the substream called ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.master_seed}:{name}".encode()).digest()
+            self._streams[name] = _random.Random(
+                int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child factory whose streams are independent of ours."""
+        digest = hashlib.sha256(
+            f"{self.master_seed}/spawn:{name}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+
+class ZipfSampler:
+    """Samples ranks 1..n with probability proportional to ``1 / rank**s``.
+
+    Uses inverse-CDF sampling over the precomputed (finite) distribution,
+    which is exact and O(log n) per draw.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0,
+                 rng: _random.Random | None = None) -> None:
+        if n < 1:
+            raise ValueError(f"support size must be >= 1, got {n}")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng or _random.Random()
+        weights = [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+        total = math.fsum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # defend against float round-off
+
+    def probability(self, rank: int) -> float:
+        """Exact probability mass of ``rank`` (1-based)."""
+        if not 1 <= rank <= self.n:
+            raise ValueError(f"rank {rank} outside 1..{self.n}")
+        low = self._cdf[rank - 2] if rank >= 2 else 0.0
+        return self._cdf[rank - 1] - low
+
+    def sample(self) -> int:
+        """Draw one rank in ``1..n``."""
+        u = self._rng.random()
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo + 1
+
+    def sample_many(self, count: int) -> list[int]:
+        """Draw ``count`` independent ranks."""
+        return [self.sample() for _ in range(count)]
+
+
+class ExponentialSampler:
+    """Exponential inter-arrival times with a given mean (Poisson process)."""
+
+    def __init__(self, mean: float, rng: _random.Random | None = None) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self.mean = mean
+        self._rng = rng or _random.Random()
+
+    def sample(self) -> float:
+        """Draw one inter-arrival time (strictly positive)."""
+        return self._rng.expovariate(1.0 / self.mean)
+
+    def sample_many(self, count: int) -> list[float]:
+        return [self.sample() for _ in range(count)]
+
+
+def weighted_choice(rng: _random.Random, items: _t.Sequence[object],
+                    weights: _t.Sequence[float]) -> object:
+    """Pick one of ``items`` with probability proportional to ``weights``."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    total = math.fsum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    u = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if u <= acc:
+            return item
+    return items[-1]

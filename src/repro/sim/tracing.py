@@ -1,0 +1,93 @@
+"""Structured event tracing for simulated components.
+
+A lightweight, bounded, in-memory event log: components call
+``trace.log("delegation", "fetched from edge", url=..., ms=...)`` and
+tests/operators inspect or render the sequence.  Tracing is opt-in —
+components accept an optional tracer and emit nothing when it is absent,
+so hot paths stay allocation-free by default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+__all__ = ["TraceEvent", "EventTrace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One logged happening."""
+
+    time_s: float
+    category: str
+    message: str
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def field(self, name: str, default: object = None) -> object:
+        for key, value in self.fields:
+            if key == name:
+                return value
+        return default
+
+    def render(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in self.fields)
+        body = f"{self.message} {extras}".rstrip()
+        return f"[{self.time_s * 1e3:10.3f}ms] {self.category}: {body}"
+
+
+class EventTrace:
+    """A bounded ring of :class:`TraceEvent` records."""
+
+    def __init__(self, sim: Simulator, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise SimulationError(
+                f"trace capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def log(self, category: str, message: str, **fields: object) -> None:
+        """Record an event at the current simulated time."""
+        if len(self._events) >= self.capacity:
+            # Ring behaviour: drop the oldest.
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(TraceEvent(
+            self.sim.now, category, message,
+            tuple(sorted(fields.items()))))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> _t.Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, category: str | None = None) -> list[TraceEvent]:
+        """All events, optionally filtered by category."""
+        if category is None:
+            return list(self._events)
+        return [event for event in self._events
+                if event.category == category]
+
+    def tail(self, count: int = 20) -> list[TraceEvent]:
+        return self._events[-count:]
+
+    def categories(self) -> dict[str, int]:
+        """Event counts per category."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def render(self, category: str | None = None) -> str:
+        return "\n".join(event.render()
+                         for event in self.events(category))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

@@ -1,0 +1,183 @@
+"""Executor and workload-driver tests, including cross-system runs."""
+
+import pytest
+
+from repro.apps import (
+    AppRunner,
+    AppSpec,
+    DummyAppParams,
+    ObjectSpec,
+    Workload,
+    WorkloadConfig,
+    movietrailer_app,
+)
+from repro.baselines import (
+    ApeCacheLruSystem,
+    ApeCacheSystem,
+    EdgeCacheSystem,
+    WiCacheSystem,
+    all_systems,
+)
+from repro.errors import ConfigError
+from repro.sim import MINUTE, MS
+from repro.testbed import Testbed, TestbedConfig
+
+
+def deploy(system, app):
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    system.install(bed)
+    node = bed.add_client("phone")
+    fetcher = system.new_fetcher(bed, node, app.app_id)
+    for obj in app.objects:
+        bed.host_object(obj.url, obj.size_bytes,
+                        origin_delay_s=obj.origin_delay_s)
+    return bed, AppRunner(bed.sim, app, fetcher)
+
+
+def test_executor_runs_dag_in_dependency_order():
+    app = movietrailer_app()
+    bed, runner = deploy(ApeCacheSystem(), app)
+    execution = bed.sim.run(until=bed.sim.process(runner.execute()))
+    assert set(execution.fetches) == {obj.name for obj in app.objects}
+    assert execution.latency_s > 0
+
+
+def test_executor_parallel_fanout_faster_than_serial_sum():
+    app = movietrailer_app()
+    bed, runner = deploy(EdgeCacheSystem(), app)
+    execution = bed.sim.run(until=bed.sim.process(runner.execute()))
+    serial_sum = sum(result.total_latency_s
+                     for result in execution.fetches.values())
+    # Four detail objects fetch concurrently: the app finishes well
+    # before the sum of its individual fetch latencies.
+    assert execution.latency_s < serial_sum
+    assert execution.latency_s >= app.compose_time_s
+
+
+def test_executor_latency_includes_compose_time():
+    app = AppSpec("one", [ObjectSpec("o", "http://one.example/o", 1024)],
+                  compose_time_s=50 * MS)
+    bed, runner = deploy(ApeCacheSystem(), app)
+    execution = bed.sim.run(until=bed.sim.process(runner.execute()))
+    assert execution.latency_s >= 50 * MS
+
+
+def test_repeat_executions_get_faster_with_cache():
+    app = movietrailer_app()
+    bed, runner = deploy(ApeCacheSystem(), app)
+    first = bed.sim.run(until=bed.sim.process(runner.execute()))
+    second = bed.sim.run(until=bed.sim.process(runner.execute()))
+    assert second.latency_s < first.latency_s
+    assert runner.hit_ratio() > 0
+
+
+def test_runner_hit_ratio_accounting():
+    app = movietrailer_app()
+    bed, runner = deploy(ApeCacheSystem(), app)
+    bed.sim.run(until=bed.sim.process(runner.execute()))
+    assert runner.hit_ratio() == 0.0  # all cold delegations
+    bed.sim.run(until=bed.sim.process(runner.execute()))
+    assert runner.hit_ratio(only_high_priority=True) > 0
+
+
+# ----------------------------------------------------------------------
+# Workload driver
+# ----------------------------------------------------------------------
+def small_config(**overrides):
+    defaults = dict(
+        n_apps=6,
+        duration_s=3 * MINUTE,
+        seed=5,
+        dummy_params=DummyAppParams(min_objects=3, max_objects=5),
+        testbed=TestbedConfig(jitter_fraction=0.0),
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+def test_workload_builds_real_plus_dummy_apps():
+    workload = Workload(small_config())
+    ids = [app.app_id for app in workload.apps]
+    assert ids[0] == "movietrailer"
+    assert ids[1] == "virtualhome"
+    assert len(ids) == 6
+
+
+def test_workload_without_real_apps():
+    workload = Workload(small_config(include_real_apps=False, n_apps=4))
+    assert all(app.app_id.startswith("dummyapp")
+               for app in workload.apps)
+
+
+def test_workload_config_validation():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(n_apps=1)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(avg_frequency_per_min=0)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(duration_s=0)
+
+
+def test_workload_zipf_rates_average_to_configured_frequency():
+    workload = Workload(small_config(avg_frequency_per_min=3.0))
+    rates = workload._per_app_rates()
+    mean_per_min = 60.0 * sum(rates) / len(rates)
+    assert mean_per_min == pytest.approx(3.0)
+    assert rates[0] > rates[-1]  # Zipf skew
+
+
+def test_workload_run_produces_executions_and_fetches():
+    result = Workload(small_config()).run(ApeCacheSystem())
+    assert len(result.executions) > 10
+    assert len(result.fetches) > 30
+    summary = result.summary()
+    assert summary["mean_app_latency_ms"] > 0
+    assert 0.0 <= summary["hit_ratio"] <= 1.0
+    assert result.ap_stats["delegations"] > 0
+
+
+def test_workload_deterministic_across_runs():
+    first = Workload(small_config()).run(ApeCacheSystem())
+    second = Workload(small_config()).run(ApeCacheSystem())
+    assert first.summary() == second.summary()
+
+
+def test_workload_seed_changes_outcome():
+    first = Workload(small_config()).run(ApeCacheSystem())
+    second = Workload(small_config(seed=6)).run(ApeCacheSystem())
+    assert first.summary() != second.summary()
+
+
+@pytest.mark.parametrize("system_factory", [
+    ApeCacheSystem, ApeCacheLruSystem, WiCacheSystem, EdgeCacheSystem,
+])
+def test_workload_runs_on_every_system(system_factory):
+    result = Workload(small_config()).run(system_factory())
+    assert len(result.executions) > 0
+    assert result.mean_app_latency_s() > 0
+
+
+def test_systems_ranked_as_in_paper():
+    """APE-CACHE < Wi-Cache < Edge Cache on app-level latency."""
+    config = small_config(n_apps=10, duration_s=5 * MINUTE)
+    latencies = {}
+    for system in all_systems():
+        result = Workload(config).run(system)
+        latencies[system.name] = result.mean_app_latency_s()
+    assert latencies["APE-CACHE"] < latencies["Wi-Cache"]
+    assert latencies["Wi-Cache"] < latencies["Edge Cache"]
+    assert latencies["APE-CACHE-LRU"] < latencies["Edge Cache"]
+
+
+def test_edge_cache_never_hits_ap():
+    result = Workload(small_config()).run(EdgeCacheSystem())
+    assert result.hit_ratio() == 0.0
+    assert all(record.result.source == "edge"
+               for record in result.fetches)
+
+
+def test_wicache_hits_after_background_fill():
+    result = Workload(small_config(duration_s=4 * MINUTE)).run(
+        WiCacheSystem())
+    assert result.hit_ratio() > 0
+    assert result.ap_stats["background_fills"] > 0

@@ -1,0 +1,185 @@
+"""App DAG model, real apps, and generator tests."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    AppSpec,
+    DummyAppParams,
+    ObjectSpec,
+    generate_app,
+    generate_apps,
+    movietrailer_app,
+    virtualhome_app,
+)
+from repro.errors import ConfigError
+from repro.sim import MINUTE
+
+
+def linear_app():
+    return AppSpec("linear", [
+        ObjectSpec("a", "http://x.example/a", 100),
+        ObjectSpec("b", "http://x.example/b", 100, depends_on=("a",)),
+        ObjectSpec("c", "http://x.example/c", 100, depends_on=("b",)),
+    ])
+
+
+def test_topological_order_linear():
+    order = [obj.name for obj in linear_app().topological_order()]
+    assert order == ["a", "b", "c"]
+
+
+def test_topological_order_respects_fanout():
+    app = movietrailer_app()
+    order = [obj.name for obj in app.topological_order()]
+    assert order[0] == "movieID"
+    assert set(order[1:]) == {"rating", "plot", "cast", "thumbnail"}
+
+
+def test_cycle_detected():
+    with pytest.raises(ConfigError):
+        AppSpec("cyclic", [
+            ObjectSpec("a", "http://x.example/a", 100, depends_on=("b",)),
+            ObjectSpec("b", "http://x.example/b", 100, depends_on=("a",)),
+        ])
+
+
+def test_unknown_dependency_rejected():
+    with pytest.raises(ConfigError):
+        AppSpec("bad", [
+            ObjectSpec("a", "http://x.example/a", 100,
+                       depends_on=("ghost",)),
+        ])
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ConfigError):
+        AppSpec("dup", [
+            ObjectSpec("a", "http://x.example/a", 100),
+            ObjectSpec("a", "http://x.example/b", 100),
+        ])
+
+
+def test_duplicate_urls_rejected():
+    with pytest.raises(ConfigError):
+        AppSpec("dup", [
+            ObjectSpec("a", "http://x.example/same", 100),
+            ObjectSpec("b", "http://x.example/same", 100),
+        ])
+
+
+def test_critical_path_linear():
+    assert linear_app().critical_path() == ["a", "b", "c"]
+
+
+def test_critical_path_picks_slowest_branch():
+    app = AppSpec("branchy", [
+        ObjectSpec("root", "http://x.example/root", 100,
+                   origin_delay_s=0.020),
+        ObjectSpec("fast", "http://x.example/fast", 100,
+                   origin_delay_s=0.005, depends_on=("root",)),
+        ObjectSpec("slow", "http://x.example/slow", 100,
+                   origin_delay_s=0.050, depends_on=("root",)),
+    ])
+    assert app.critical_path() == ["root", "slow"]
+
+
+def test_movietrailer_matches_paper_fig3():
+    app = movietrailer_app()
+    assert len(app.objects) == 5
+    # Critical path is getMovieID -> getThumbnail (paper Section III-A).
+    assert app.critical_path() == ["movieID", "thumbnail"]
+    # Table III: movieID and thumbnail high, the rest low.
+    assert app.high_priority_names() == {"movieID", "thumbnail"}
+
+
+def test_virtualhome_matches_paper_table3():
+    app = virtualhome_app()
+    path = app.critical_path()
+    assert path[-1] == "ARObjects"
+    assert "ARObjects" in app.high_priority_names()
+    assert "ARObjectsID" not in app.high_priority_names()
+
+
+def test_priorities_from_critical_path():
+    app = linear_app().with_priorities_from_critical_path()
+    assert all(obj.priority == 2 for obj in app.objects)
+
+
+def test_domain_suffix_isolates_instances():
+    a = movietrailer_app("mt1", domain_suffix="-1")
+    b = movietrailer_app("mt2", domain_suffix="-2")
+    assert a.domains().isdisjoint(b.domains())
+
+
+def test_object_spec_validation():
+    with pytest.raises(ConfigError):
+        ObjectSpec("bad", "http://x.example/a", 0)
+    with pytest.raises(ConfigError):
+        ObjectSpec("bad", "http://x.example/a", 10, priority=0)
+    with pytest.raises(ConfigError):
+        ObjectSpec("bad", "http://x.example/a", 10, ttl_s=0)
+
+
+def test_cacheable_specs_roundtrip():
+    specs = movietrailer_app().cacheable_specs()
+    assert len(specs) == 5
+    by_name = {spec.field_name: spec for spec in specs}
+    assert by_name["thumbnail"].priority == 2
+    assert by_name["thumbnail"].ttl_s == 60 * MINUTE
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+def test_generator_respects_parameter_ranges():
+    params = DummyAppParams()
+    rng = random.Random(7)
+    for index in range(20):
+        app = generate_app(f"g{index}", rng, params)
+        assert params.min_objects <= len(app.objects) <= params.max_objects
+        for obj in app.objects:
+            assert params.min_size_bytes <= obj.size_bytes <= \
+                params.max_size_bytes
+            assert params.min_ttl_s <= obj.ttl_s <= params.max_ttl_s
+            assert params.min_origin_delay_s <= obj.origin_delay_s <= \
+                params.max_origin_delay_s
+            assert obj.priority in (1, 2)
+
+
+def test_generator_assigns_critical_path_priorities():
+    apps = generate_apps(10, seed=3)
+    for app in apps:
+        on_path = set(app.critical_path())
+        for obj in app.objects:
+            assert (obj.priority == 2) == (obj.name in on_path)
+
+
+def test_generator_deterministic_per_seed():
+    first = generate_apps(5, seed=11)
+    second = generate_apps(5, seed=11)
+    for a, b in zip(first, second):
+        assert [o.url for o in a.objects] == [o.url for o in b.objects]
+        assert [o.size_bytes for o in a.objects] == \
+            [o.size_bytes for o in b.objects]
+    different = generate_apps(5, seed=12)
+    assert any(
+        [o.size_bytes for o in a.objects] !=
+        [o.size_bytes for o in b.objects]
+        for a, b in zip(first, different))
+
+
+def test_generator_unique_domains():
+    apps = generate_apps(8, seed=0)
+    domains = [domain for app in apps for domain in app.domains()]
+    assert len(domains) == len(set(domains))
+
+
+def test_generator_param_validation():
+    with pytest.raises(ConfigError):
+        DummyAppParams(min_objects=1)
+    with pytest.raises(ConfigError):
+        DummyAppParams(min_size_bytes=0)
+    with pytest.raises(ConfigError):
+        generate_apps(-1)

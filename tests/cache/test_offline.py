@@ -1,0 +1,147 @@
+"""Tests for the offline cache simulator and the Belady bound."""
+
+import pytest
+
+from repro.apps import generate_apps, movietrailer_app
+from repro.cache import LruPolicy, PacmPolicy, RequestFrequencyTracker
+from repro.apps.trace import generate_request_trace
+from repro.cache.offline import (
+    BeladyPolicy,
+    OfflineCacheSimulator,
+    TraceRequest,
+)
+from repro.errors import CacheError
+
+KB = 1024
+
+
+def request(time_s, url, size=10 * KB, app="app", priority=1,
+            ttl=3600.0):
+    return TraceRequest(time_s=time_s, url=url, app_id=app,
+                        size_bytes=size, priority=priority, ttl_s=ttl,
+                        fetch_latency_s=0.03)
+
+
+# ----------------------------------------------------------------------
+# Trace generation
+# ----------------------------------------------------------------------
+def test_trace_sorted_and_complete():
+    apps = [movietrailer_app()] + generate_apps(3, seed=1)
+    trace = generate_request_trace(apps, duration_s=300.0, seed=2)
+    assert trace
+    times = [req.time_s for req in trace]
+    assert times == sorted(times)
+    urls = {req.url for req in trace}
+    assert any("movietrailer" in url for url in urls)
+
+
+def test_trace_deterministic_by_seed():
+    apps = generate_apps(3, seed=1)
+    first = generate_request_trace(apps, 300.0, seed=5)
+    second = generate_request_trace(apps, 300.0, seed=5)
+    assert first == second
+    third = generate_request_trace(apps, 300.0, seed=6)
+    assert first != third
+
+
+def test_trace_rate_scales_with_frequency():
+    apps = generate_apps(4, seed=1)
+    slow = generate_request_trace(apps, 600.0, avg_frequency_per_min=1.0,
+                                  seed=1)
+    fast = generate_request_trace(apps, 600.0, avg_frequency_per_min=4.0,
+                                  seed=1)
+    assert len(fast) > 2 * len(slow)
+
+
+def test_trace_duration_validation():
+    with pytest.raises(CacheError):
+        generate_request_trace(generate_apps(2, seed=0), 0.0)
+
+
+# ----------------------------------------------------------------------
+# Belady policy
+# ----------------------------------------------------------------------
+def test_belady_next_use_lookup():
+    trace = [request(0.0, "http://a.example/x"),
+             request(1.0, "http://a.example/y"),
+             request(2.0, "http://a.example/x")]
+    policy = BeladyPolicy(trace)
+    policy.cursor = 0
+    assert policy.next_use("http://a.example/x") == 2.0
+    assert policy.next_use("http://a.example/y") == 1.0
+    assert policy.next_use("http://a.example/never") == float("inf")
+    policy.cursor = 2
+    assert policy.next_use("http://a.example/x") == float("inf")
+
+
+def test_belady_evicts_farthest_next_use():
+    # Cache of 2 objects; access pattern: a b c, where a recurs soon
+    # and b never again -> when c arrives, b must go.
+    trace = [request(0.0, "http://t.example/a"),
+             request(1.0, "http://t.example/b"),
+             request(2.0, "http://t.example/c"),
+             request(3.0, "http://t.example/a")]
+    simulator = OfflineCacheSimulator(capacity_bytes=20 * KB)
+    result = simulator.replay(trace, BeladyPolicy(trace))
+    # Hit on the final `a` because Belady sacrificed `b`, not `a`.
+    assert result.hits == 1
+
+
+def test_lru_fails_where_belady_wins():
+    trace = [request(0.0, "http://t.example/a"),
+             request(1.0, "http://t.example/b"),
+             request(2.0, "http://t.example/c"),
+             request(3.0, "http://t.example/a")]
+    simulator = OfflineCacheSimulator(capacity_bytes=20 * KB)
+    result = simulator.replay(trace, LruPolicy())
+    # LRU evicts `a` (least recently used) when `c` arrives: no hits.
+    assert result.hits == 0
+
+
+# ----------------------------------------------------------------------
+# Simulator accounting
+# ----------------------------------------------------------------------
+def test_replay_counts_and_ratios():
+    trace = [request(0.0, "http://t.example/a", priority=2),
+             request(1.0, "http://t.example/a", priority=2),
+             request(2.0, "http://t.example/b")]
+    simulator = OfflineCacheSimulator(capacity_bytes=100 * KB)
+    result = simulator.replay(trace, LruPolicy())
+    assert result.requests == 3
+    assert result.hits == 1
+    assert result.hit_ratio == pytest.approx(1 / 3)
+    assert result.high_priority_hit_ratio == pytest.approx(0.5)
+    assert result.bytes_fetched == 2 * 10 * KB
+
+
+def test_replay_respects_ttl_expiry():
+    trace = [request(0.0, "http://t.example/a", ttl=5.0),
+             request(10.0, "http://t.example/a", ttl=5.0)]
+    simulator = OfflineCacheSimulator(capacity_bytes=100 * KB)
+    result = simulator.replay(trace, LruPolicy())
+    assert result.hits == 0  # expired before reuse
+
+
+def test_replay_skips_oversized_objects():
+    trace = [request(0.0, "http://t.example/huge", size=200 * KB)]
+    simulator = OfflineCacheSimulator(capacity_bytes=100 * KB)
+    result = simulator.replay(trace, LruPolicy())
+    assert result.requests == 1
+    assert result.hits == 0
+
+
+def test_offline_pacm_beats_lru_and_belady_bounds_everyone():
+    apps = generate_apps(25, seed=3)
+    trace = generate_request_trace(apps, duration_s=900.0, seed=3)
+    simulator = OfflineCacheSimulator(capacity_bytes=3 * 1024 * KB)
+
+    tracker = RequestFrequencyTracker()
+    pacm = simulator.replay(
+        trace, PacmPolicy(tracker),
+        observe=lambda req: tracker.observe(req.app_id, req.time_s))
+    lru = simulator.replay(trace, LruPolicy())
+    belady = simulator.replay(trace, BeladyPolicy(trace))
+
+    assert pacm.high_priority_hit_ratio > lru.high_priority_hit_ratio
+    assert belady.hit_ratio >= pacm.hit_ratio - 0.02
+    assert belady.hit_ratio >= lru.hit_ratio

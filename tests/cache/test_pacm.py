@@ -1,0 +1,347 @@
+"""PACM, fairness, frequency, and knapsack tests (with hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheEntry,
+    CacheStore,
+    LruPolicy,
+    PacmPolicy,
+    RequestFrequencyTracker,
+    fairness_index,
+    gini,
+    select_keep_set,
+    solve_knapsack,
+    solve_knapsack_exact,
+    storage_efficiencies,
+    utility_of,
+)
+from repro.cache.knapsack import total_size, total_value
+from repro.errors import CacheError, ConfigError
+from repro.httplib import DataObject
+
+
+def make_entry(url, size, app="app-1", priority=1, stored=0.0, ttl=600.0,
+               latency=0.030):
+    return CacheEntry(DataObject(url, size), app_id=app, priority=priority,
+                      stored_at=stored, expires_at=stored + ttl,
+                      fetch_latency_s=latency)
+
+
+# ----------------------------------------------------------------------
+# Gini / fairness
+# ----------------------------------------------------------------------
+def test_gini_equal_values_is_zero():
+    assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+
+def test_gini_total_inequality_approaches_one():
+    # One holder of everything among many: G = (n-1)/n.
+    values = [0.0] * 9 + [100.0]
+    assert gini(values) == pytest.approx(0.9)
+
+
+def test_gini_trivial_inputs():
+    assert gini([]) == 0.0
+    assert gini([42.0]) == 0.0
+    assert gini([0.0, 0.0]) == 0.0
+
+
+def test_gini_rejects_negatives():
+    with pytest.raises(ValueError):
+        gini([1.0, -1.0])
+
+
+def test_gini_matches_definition_formula():
+    values = [1.0, 2.0, 7.0, 4.0]
+    n = len(values)
+    double_sum = sum(abs(x - y) for x in values for y in values)
+    expected = double_sum / (2 * n * sum(values))
+    assert gini(values) == pytest.approx(expected)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=2, max_size=30))
+def test_gini_bounds_property(values):
+    coefficient = gini(values)
+    assert 0.0 <= coefficient <= 1.0
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6,
+                          allow_nan=False), min_size=2, max_size=20),
+       st.floats(min_value=0.1, max_value=10.0))
+def test_gini_scale_invariant(values, scale):
+    assert gini(values) == pytest.approx(gini([v * scale for v in values]),
+                                         abs=1e-9)
+
+
+def test_storage_efficiency_definition():
+    entries = [make_entry("http://a/1", 600, app="a"),
+               make_entry("http://a/2", 400, app="a"),
+               make_entry("http://b/1", 500, app="b")]
+    frequencies = {"a": 2.0, "b": 5.0}
+    efficiencies = storage_efficiencies(entries, frequencies.get)
+    assert efficiencies["a"] == pytest.approx(1000 / 2.0)
+    assert efficiencies["b"] == pytest.approx(500 / 5.0)
+
+
+def test_fairness_index_single_app_is_zero():
+    entries = [make_entry("http://a/1", 100, app="a")]
+    assert fairness_index(entries, lambda _app: 1.0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Frequency tracker
+# ----------------------------------------------------------------------
+def test_tracker_validation():
+    with pytest.raises(ConfigError):
+        RequestFrequencyTracker(alpha=0.0)
+    with pytest.raises(ConfigError):
+        RequestFrequencyTracker(window_s=0)
+
+
+def test_tracker_cold_start_sees_pending_window():
+    tracker = RequestFrequencyTracker(alpha=0.7, window_s=60.0)
+    tracker.observe("app", now=1.0)
+    tracker.observe("app", now=2.0)
+    assert tracker.frequency("app", now=3.0) > 0
+
+
+def test_tracker_ewma_blend():
+    tracker = RequestFrequencyTracker(alpha=0.7, window_s=60.0)
+    for second in range(10):
+        tracker.observe("app", now=float(second))
+    # Roll one full window: estimate = 0.3*0 + 0.7*10.
+    tracker.observe("app", now=61.0)
+    # frequency() blends the closed-window estimate with pending count.
+    estimate = tracker._estimates["app"]
+    assert estimate == pytest.approx(0.7 * 10)
+
+
+def test_tracker_decays_without_traffic():
+    tracker = RequestFrequencyTracker(alpha=0.7, window_s=60.0)
+    for second in range(30):
+        tracker.observe("app", now=float(second))
+    busy = tracker.frequency("app", now=61.0)
+    idle = tracker.frequency("app", now=60.0 * 20)
+    assert idle < busy
+    assert idle == pytest.approx(0.0, abs=1e-3)
+
+
+def test_tracker_unknown_app_is_zero():
+    tracker = RequestFrequencyTracker()
+    assert tracker.frequency("ghost") == 0.0
+
+
+def test_tracker_normalizes_to_per_minute():
+    tracker = RequestFrequencyTracker(alpha=1.0, window_s=30.0)
+    for tick in range(6):
+        tracker.observe("app", now=tick * 5.0)
+    # 6 requests in a closed 30 s window -> 12 per minute.
+    assert tracker.frequency("app", now=31.0) == pytest.approx(12.0)
+
+
+# ----------------------------------------------------------------------
+# Knapsack
+# ----------------------------------------------------------------------
+def test_knapsack_basic():
+    kept = solve_knapsack([10.0, 40.0, 30.0, 50.0],
+                          [5_000, 4_000, 6_000, 3_000],
+                          capacity=10_000, granularity=1_000)
+    assert kept == [1, 3]
+
+
+def test_knapsack_empty_and_zero_capacity():
+    assert solve_knapsack([], [], 1000) == []
+    assert solve_knapsack([1.0], [500], 0) == []
+
+
+def test_knapsack_zero_size_items_always_kept():
+    kept = solve_knapsack([1.0, 5.0], [0, 10_000], capacity=1_000)
+    assert 0 in kept
+
+
+def test_knapsack_rejects_mismatched_inputs():
+    with pytest.raises(CacheError):
+        solve_knapsack([1.0], [1, 2], 10)
+    with pytest.raises(CacheError):
+        solve_knapsack([1.0], [-1], 10)
+    with pytest.raises(CacheError):
+        solve_knapsack([1.0], [1], -5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.1, max_value=100.0),
+                          st.integers(min_value=1, max_value=50)),
+                min_size=1, max_size=12),
+       st.integers(min_value=0, max_value=200))
+def test_knapsack_matches_exact_at_unit_granularity(items, capacity):
+    utilities = [value for value, _size in items]
+    sizes = [size for _value, size in items]
+    dp_selection = solve_knapsack(utilities, sizes, capacity, granularity=1)
+    exact_selection = solve_knapsack_exact(utilities, sizes, capacity)
+    assert total_size(sizes, dp_selection) <= capacity
+    assert total_value(utilities, dp_selection) == pytest.approx(
+        total_value(utilities, exact_selection))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.1, max_value=100.0),
+                          st.integers(min_value=1, max_value=500_000)),
+                min_size=1, max_size=40),
+       st.integers(min_value=0, max_value=5_000_000))
+def test_knapsack_quantized_is_feasible(items, capacity):
+    utilities = [value for value, _size in items]
+    sizes = [size for _value, size in items]
+    selection = solve_knapsack(utilities, sizes, capacity)
+    assert total_size(sizes, selection) <= capacity
+
+
+# ----------------------------------------------------------------------
+# PACM selection
+# ----------------------------------------------------------------------
+def test_utility_formula():
+    entry = make_entry("http://a/1", 100, priority=2, ttl=120.0,
+                       latency=0.040)
+    assert utility_of(entry, frequency=3.0, now=0.0) == \
+        pytest.approx(3.0 * 120.0 * 0.040 * 2)
+
+
+def test_utility_zero_after_expiry():
+    entry = make_entry("http://a/1", 100, ttl=10.0)
+    assert utility_of(entry, frequency=3.0, now=20.0) == 0.0
+
+
+def test_select_keep_set_prefers_high_priority():
+    high = make_entry("http://a/high", 1000, priority=2)
+    low = make_entry("http://a/low", 1000, priority=1)
+    kept = select_keep_set([high, low], capacity_bytes=1000,
+                           frequency_of=lambda _a: 3.0, now=0.0,
+                           granularity=100)
+    assert kept == [high]
+
+
+def test_select_keep_set_drops_expired():
+    dead = make_entry("http://a/dead", 100, ttl=5.0)
+    alive = make_entry("http://a/alive", 100, ttl=600.0)
+    kept = select_keep_set([dead, alive], capacity_bytes=10_000,
+                           frequency_of=lambda _a: 1.0, now=10.0)
+    assert kept == [alive]
+
+
+def test_select_keep_set_negative_capacity():
+    entry = make_entry("http://a/x", 100)
+    assert select_keep_set([entry], capacity_bytes=-1,
+                           frequency_of=lambda _a: 1.0, now=0.0) == []
+
+
+def test_fairness_repair_rebalances_apps():
+    # One over-served app hogging space with low request frequency.
+    hog_entries = [make_entry(f"http://hog/{i}", 2000, app="hog",
+                              priority=2, latency=0.050)
+                   for i in range(4)]
+    busy_entries = [make_entry(f"http://busy/{i}", 1000, app="busy",
+                               priority=1, latency=0.020)
+                    for i in range(4)]
+    frequencies = {"hog": 0.2, "busy": 12.0}
+    kept_strict = select_keep_set(
+        hog_entries + busy_entries, capacity_bytes=6000,
+        frequency_of=frequencies.get, now=0.0,
+        fairness_threshold=0.05, granularity=500)
+    kept_loose = select_keep_set(
+        hog_entries + busy_entries, capacity_bytes=6000,
+        frequency_of=frequencies.get, now=0.0,
+        fairness_threshold=1.0, granularity=500)
+
+    def busy_share(kept):
+        busy = sum(e.size_bytes for e in kept if e.app_id == "busy")
+        total = sum(e.size_bytes for e in kept)
+        return busy / total if total else 0.0
+
+    assert busy_share(kept_strict) >= busy_share(kept_loose)
+
+
+def test_pacm_policy_evicts_lowest_utility():
+    tracker = RequestFrequencyTracker(window_s=60.0)
+    for _ in range(12):
+        tracker.observe("hot", now=1.0)
+    tracker.observe("cold", now=1.0)
+    tracker._maybe_recalculate(61.0)
+
+    store = CacheStore(2_000)
+    policy = PacmPolicy(tracker)
+    store.admit(make_entry("http://hot/1", 1000, app="hot", priority=2),
+                policy, now=61.0)
+    store.admit(make_entry("http://cold/1", 1000, app="cold", priority=1),
+                policy, now=61.0)
+    result = store.admit(
+        make_entry("http://hot/2", 1000, app="hot", priority=2),
+        policy, now=62.0)
+    assert result.admitted
+    assert {entry.url for entry in result.evicted} == {"http://cold/1"}
+
+
+def test_pacm_policy_rejects_impossible_incoming():
+    tracker = RequestFrequencyTracker()
+    policy = PacmPolicy(tracker)
+    store = CacheStore(1_000)
+    victims = policy.select_victims(
+        store, make_entry("http://a/too-big", 5_000), now=0.0)
+    assert victims is None
+
+
+def test_pacm_policy_threshold_validation():
+    with pytest.raises(ConfigError):
+        PacmPolicy(RequestFrequencyTracker(), fairness_threshold=1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=1, max_value=100_000),  # size
+              st.integers(min_value=1, max_value=2),        # priority
+              st.integers(min_value=0, max_value=4),        # app index
+              st.floats(min_value=0.001, max_value=0.2)),   # latency
+    min_size=1, max_size=25),
+    st.integers(min_value=10_000, max_value=500_000))
+def test_select_keep_set_always_fits_property(items, capacity):
+    entries = [make_entry(f"http://app{app}/{index}", size,
+                          app=f"app{app}", priority=priority,
+                          latency=latency)
+               for index, (size, priority, app, latency)
+               in enumerate(items)]
+    frequencies = {f"app{index}": 1.0 + index for index in range(5)}
+    kept = select_keep_set(entries, capacity,
+                           frequency_of=lambda a: frequencies[a], now=0.0)
+    assert sum(entry.size_bytes for entry in kept) <= capacity
+    assert len(set(id(entry) for entry in kept)) == len(kept)
+
+
+def test_pacm_vs_lru_priority_hit_scenario():
+    """PACM should retain high-priority objects that LRU would evict."""
+    tracker = RequestFrequencyTracker(window_s=60.0)
+    for app in ("a", "b"):
+        for _ in range(6):
+            tracker.observe(app, now=1.0)
+    tracker._maybe_recalculate(61.0)
+
+    def run(policy_factory):
+        store = CacheStore(4_000)
+        policy = policy_factory()
+        now = 61.0
+        high = make_entry("http://a/critical", 2000, app="a", priority=2,
+                          latency=0.050, stored=now)
+        store.admit(high, policy, now)
+        # A stream of low-priority objects arrives afterwards.
+        for index in range(6):
+            now += 1.0
+            entry = make_entry(f"http://b/filler{index}", 1500, app="b",
+                               priority=1, latency=0.020, stored=now)
+            store.admit(entry, policy, now)
+        return "http://a/critical" in store
+
+    assert run(lambda: PacmPolicy(tracker))      # PACM keeps the critical
+    assert not run(LruPolicy)                    # LRU lets it churn out

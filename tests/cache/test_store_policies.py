@@ -1,0 +1,179 @@
+"""Cache store and baseline eviction-policy tests."""
+
+import pytest
+
+from repro.cache import (
+    CacheEntry,
+    CacheStore,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+)
+from repro.errors import CacheError, CapacityError
+from repro.httplib import DataObject
+
+
+def make_entry(url, size, app="app-1", priority=1, stored=0.0, ttl=600.0,
+               latency=0.030):
+    return CacheEntry(DataObject(url, size), app_id=app, priority=priority,
+                      stored_at=stored, expires_at=stored + ttl,
+                      fetch_latency_s=latency)
+
+
+def test_store_put_get_roundtrip():
+    store = CacheStore(10_000)
+    entry = make_entry("http://a.example/x", 1000)
+    result = store.admit(entry, LruPolicy(), now=0.0)
+    assert result.admitted
+    assert store.used_bytes == 1000
+    fetched = store.get("http://a.example/x", now=1.0)
+    assert fetched is entry
+    assert fetched.access_count == 1
+
+
+def test_store_query_string_ignored():
+    store = CacheStore(10_000)
+    store.admit(make_entry("http://a.example/x", 100), LruPolicy(), 0.0)
+    assert store.get("http://a.example/x?name=dune", now=0.0) is not None
+
+
+def test_store_miss_returns_none():
+    store = CacheStore(10_000)
+    assert store.get("http://a.example/missing", now=0.0) is None
+
+
+def test_expired_entry_dropped_on_access():
+    store = CacheStore(10_000)
+    store.admit(make_entry("http://a.example/x", 100, ttl=60.0),
+                LruPolicy(), 0.0)
+    assert store.get("http://a.example/x", now=61.0) is None
+    assert store.expirations == 1
+    assert store.used_bytes == 0
+
+
+def test_peek_does_not_touch():
+    store = CacheStore(10_000)
+    store.admit(make_entry("http://a.example/x", 100), LruPolicy(), 0.0)
+    peeked = store.peek("http://a.example/x")
+    assert peeked is not None
+    assert peeked.access_count == 0
+
+
+def test_same_url_replaced_in_place():
+    store = CacheStore(10_000)
+    store.admit(make_entry("http://a.example/x", 4000), LruPolicy(), 0.0)
+    store.admit(make_entry("http://a.example/x", 2000), LruPolicy(), 1.0)
+    assert len(store) == 1
+    assert store.used_bytes == 2000
+    assert store.evictions == 0
+
+
+def test_oversized_object_rejected():
+    store = CacheStore(1_000)
+    with pytest.raises(CapacityError):
+        store.admit(make_entry("http://a.example/huge", 2_000),
+                    LruPolicy(), 0.0)
+
+
+def test_sweep_expired():
+    store = CacheStore(10_000)
+    store.admit(make_entry("http://a.example/x", 100, ttl=10.0),
+                LruPolicy(), 0.0)
+    store.admit(make_entry("http://a.example/y", 100, ttl=100.0),
+                LruPolicy(), 0.0)
+    expired = store.sweep_expired(now=50.0)
+    assert [entry.url for entry in expired] == ["http://a.example/x"]
+    assert len(store) == 1
+
+
+def test_lru_evicts_least_recently_used():
+    store = CacheStore(3_000)
+    policy = LruPolicy()
+    store.admit(make_entry("http://a.example/1", 1000), policy, 0.0)
+    store.admit(make_entry("http://a.example/2", 1000), policy, 1.0)
+    store.admit(make_entry("http://a.example/3", 1000), policy, 2.0)
+    store.get("http://a.example/1", now=3.0)  # 1 becomes most recent
+    result = store.admit(make_entry("http://a.example/4", 1000), policy, 4.0)
+    assert result.admitted
+    evicted_urls = {entry.url for entry in result.evicted}
+    assert evicted_urls == {"http://a.example/2"}
+    assert "http://a.example/1" in store
+
+
+def test_lru_evicts_multiple_when_needed():
+    store = CacheStore(3_000)
+    policy = LruPolicy()
+    for index in range(3):
+        store.admit(make_entry(f"http://a.example/{index}", 1000),
+                    policy, float(index))
+    result = store.admit(make_entry("http://a.example/big", 2500),
+                         policy, 10.0)
+    assert result.admitted
+    assert len(result.evicted) == 3
+    assert store.used_bytes == 2500
+
+
+def test_lfu_prefers_frequent_entries():
+    store = CacheStore(2_000)
+    policy = LfuPolicy()
+    store.admit(make_entry("http://a.example/hot", 1000), policy, 0.0)
+    store.admit(make_entry("http://a.example/cold", 1000), policy, 0.0)
+    for access_time in (1.0, 2.0, 3.0):
+        store.get("http://a.example/hot", now=access_time)
+    result = store.admit(make_entry("http://a.example/new", 1000),
+                         policy, 5.0)
+    assert {entry.url for entry in result.evicted} == \
+        {"http://a.example/cold"}
+
+
+def test_fifo_evicts_oldest_insertion():
+    store = CacheStore(2_000)
+    policy = FifoPolicy()
+    store.admit(make_entry("http://a.example/old", 1000, stored=0.0),
+                policy, 0.0)
+    store.admit(make_entry("http://a.example/new", 1000, stored=5.0),
+                policy, 5.0)
+    store.get("http://a.example/old", now=6.0)  # recency must not matter
+    result = store.admit(make_entry("http://a.example/x", 1000),
+                         policy, 7.0)
+    assert {entry.url for entry in result.evicted} == \
+        {"http://a.example/old"}
+
+
+def test_expired_swept_before_eviction():
+    store = CacheStore(2_000)
+    policy = LruPolicy()
+    store.admit(make_entry("http://a.example/dying", 1000, ttl=5.0),
+                policy, 0.0)
+    store.admit(make_entry("http://a.example/alive", 1000, ttl=600.0),
+                policy, 0.0)
+    result = store.admit(make_entry("http://a.example/new", 1000),
+                         policy, 10.0)
+    assert result.admitted
+    assert result.evicted == []  # expiry freed the space, not eviction
+    assert store.expirations == 1
+
+
+def test_entry_validation():
+    with pytest.raises(CacheError):
+        make_entry("http://a.example/x", 100, priority=0)
+    with pytest.raises(CacheError):
+        CacheEntry(DataObject("http://a.example/x", 10), "app", 1,
+                   stored_at=10.0, expires_at=5.0, fetch_latency_s=0.01)
+    with pytest.raises(CacheError):
+        make_entry("http://a.example/x", 100, latency=-1.0)
+
+
+def test_store_capacity_validation():
+    with pytest.raises(CacheError):
+        CacheStore(0)
+
+
+def test_store_stats_and_clear():
+    store = CacheStore(10_000)
+    store.admit(make_entry("http://a.example/x", 100), LruPolicy(), 0.0)
+    assert store.utilization() == pytest.approx(0.01)
+    assert store.apps() == {"app-1"}
+    store.clear()
+    assert len(store) == 0
+    assert store.used_bytes == 0

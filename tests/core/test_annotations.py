@@ -1,0 +1,95 @@
+"""Programming-model tests: cacheable declarations and scanning."""
+
+import pytest
+
+from repro.core import (
+    HIGH_PRIORITY,
+    LOW_PRIORITY,
+    CacheableSpec,
+    cacheable,
+    group_by_domain,
+    scan_cacheables,
+)
+from repro.errors import ConfigError
+
+
+class MovieApi:
+    movie_id = cacheable("http://api.movies.example/id",
+                         priority=HIGH_PRIORITY, ttl_minutes=30)
+    rating = cacheable("http://api.movies.example/rating",
+                       priority=LOW_PRIORITY, ttl_minutes=30)
+    thumbnail = cacheable("http://img.movies.example/thumb",
+                          priority=HIGH_PRIORITY, ttl_minutes=60)
+
+    def business_logic(self):
+        # App logic reads the field and gets a plain URL string.
+        return self.movie_id
+
+
+def test_scan_finds_all_declarations():
+    specs = scan_cacheables(MovieApi)
+    assert len(specs) == 3
+    by_field = {spec.field_name: spec for spec in specs}
+    assert by_field["movie_id"].priority == HIGH_PRIORITY
+    assert by_field["rating"].priority == LOW_PRIORITY
+    assert by_field["movie_id"].ttl_s == 30 * 60
+
+
+def test_scan_accepts_instances():
+    assert len(scan_cacheables(MovieApi())) == 3
+
+
+def test_field_access_returns_url_string():
+    api = MovieApi()
+    assert api.movie_id == "http://api.movies.example/id"
+    assert api.business_logic() == "http://api.movies.example/id"
+
+
+def test_class_access_returns_marker():
+    assert isinstance(MovieApi.movie_id, cacheable)
+
+
+def test_inheritance_with_override():
+    class ExtendedApi(MovieApi):
+        rating = cacheable("http://api.movies.example/rating",
+                           priority=HIGH_PRIORITY, ttl_minutes=5)
+        cast = cacheable("http://api.movies.example/cast",
+                         priority=LOW_PRIORITY, ttl_minutes=30)
+
+    specs = {spec.field_name: spec for spec in scan_cacheables(ExtendedApi)}
+    assert len(specs) == 4
+    assert specs["rating"].priority == HIGH_PRIORITY
+    assert specs["rating"].ttl_s == 5 * 60
+
+
+def test_duplicate_ids_rejected():
+    class Broken:
+        first = cacheable("http://api.example/same")
+        second = cacheable("http://api.example/same")
+
+    with pytest.raises(ConfigError):
+        scan_cacheables(Broken)
+
+
+def test_id_with_query_rejected():
+    with pytest.raises(ConfigError):
+        cacheable("http://api.example/obj?k=v")
+
+
+def test_bad_priority_and_ttl_rejected():
+    with pytest.raises(ConfigError):
+        cacheable("http://api.example/obj", priority=0)
+    with pytest.raises(ConfigError):
+        cacheable("http://api.example/obj", ttl_minutes=0)
+
+
+def test_spec_accessors():
+    spec = CacheableSpec("http://api.movies.example/id", 2, 600.0)
+    assert spec.domain == "api.movies.example"
+    assert spec.base_url == "http://api.movies.example/id"
+
+
+def test_group_by_domain():
+    grouped = group_by_domain(scan_cacheables(MovieApi))
+    assert set(grouped) == {"api.movies.example", "img.movies.example"}
+    assert len(grouped["api.movies.example"]) == 2

@@ -1,0 +1,153 @@
+"""Tests for the dependency-aware prefetching extension."""
+
+import pytest
+
+from repro.apps import AppRunner, AppSpec, ObjectSpec
+from repro.core import (
+    ApRuntime,
+    ApeCacheConfig,
+    CacheableSpec,
+    PrefetchHint,
+    decode_hints,
+    encode_hints,
+)
+from repro.core.client_runtime import ClientRuntime
+from repro.errors import ConfigError
+from repro.sim import MINUTE, MS
+from repro.testbed import Testbed, TestbedConfig
+
+KB = 1024
+
+
+# ----------------------------------------------------------------------
+# Hint codec
+# ----------------------------------------------------------------------
+def test_hint_roundtrip():
+    hints = [PrefetchHint("http://a.example/one", 600.0, 2),
+             PrefetchHint("http://a.example/two", 1200.5, 1)]
+    decoded = decode_hints(encode_hints(hints))
+    assert decoded == hints
+
+
+def test_hint_empty_roundtrip():
+    assert decode_hints(encode_hints([])) == []
+    assert decode_hints("") == []
+
+
+def test_hint_validation():
+    with pytest.raises(ConfigError):
+        PrefetchHint("http://a.example/bad|url", 600.0, 1)
+    with pytest.raises(ConfigError):
+        PrefetchHint("http://a.example/x", 0.0, 1)
+    with pytest.raises(ConfigError):
+        PrefetchHint("http://a.example/x", 10.0, 0)
+    with pytest.raises(ConfigError):
+        decode_hints("not-a-hint")
+    with pytest.raises(ConfigError):
+        decode_hints("http://a.example/x|abc|1")
+
+
+def test_hint_from_spec():
+    spec = CacheableSpec("http://a.example/x", 2, 600.0)
+    hint = PrefetchHint.from_spec(spec)
+    assert (hint.url, hint.ttl_s, hint.priority) == \
+        ("http://a.example/x", 600.0, 2)
+
+
+# ----------------------------------------------------------------------
+# End-to-end prefetching
+# ----------------------------------------------------------------------
+def chain_app():
+    return AppSpec("chainapp", [
+        ObjectSpec("root", "http://chainapp.example/root", 2 * KB,
+                   priority=2, ttl_s=30 * MINUTE, origin_delay_s=25 * MS),
+        ObjectSpec("child", "http://chainapp.example/child", 40 * KB,
+                   priority=2, ttl_s=30 * MINUTE, origin_delay_s=40 * MS,
+                   depends_on=("root",)),
+        ObjectSpec("grandchild", "http://chainapp.example/grandchild",
+                   20 * KB, priority=1, ttl_s=30 * MINUTE,
+                   origin_delay_s=30 * MS, depends_on=("child",)),
+    ])
+
+
+def deploy(enable_prefetch):
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    ap = ApRuntime(bed.ap, bed.transport, bed.ldns.address,
+                   config=ApeCacheConfig(enable_prefetch=enable_prefetch))
+    ap.install()
+    node = bed.add_client("phone")
+    runtime = ClientRuntime(node, bed.transport, bed.ap.address,
+                            app_id="chainapp")
+    app = chain_app()
+    for obj in app.objects:
+        bed.host_object(obj.url, obj.size_bytes,
+                        origin_delay_s=obj.origin_delay_s)
+    runner = AppRunner(bed.sim, app, runtime)
+    return bed, ap, runner
+
+
+def test_runner_shares_transitive_dependency_edges():
+    _bed, _ap, runner = deploy(enable_prefetch=True)
+    runtime = runner.fetcher
+    root_hints = runtime._dependents["http://chainapp.example/root"]
+    # Transitive closure: both the child and the grandchild.
+    assert {hint.url for hint in root_hints} == {
+        "http://chainapp.example/child",
+        "http://chainapp.example/grandchild"}
+    child_hints = runtime._dependents["http://chainapp.example/child"]
+    assert {hint.url for hint in child_hints} == {
+        "http://chainapp.example/grandchild"}
+    # Leaves have no hint entry.
+    assert "http://chainapp.example/grandchild" not in \
+        runtime._dependents
+
+
+def test_prefetch_warms_dependents_on_cold_start():
+    bed, ap, runner = deploy(enable_prefetch=True)
+    execution = bed.sim.run(until=bed.sim.process(runner.execute()))
+    # Drain the background prefetch processes.
+    bed.sim.run()
+    assert ap.prefetches >= 1
+    # The chain's children were prefetched while the root delegation
+    # returned, so at least one of them hit the AP cache.
+    hits = [name for name, result in execution.fetches.items()
+            if result.cache_hit]
+    assert hits  # some object was served from AP memory on a cold start
+
+
+def test_prefetch_disabled_means_no_background_fetches():
+    bed, ap, runner = deploy(enable_prefetch=False)
+    bed.sim.run(until=bed.sim.process(runner.execute()))
+    bed.sim.run()
+    assert ap.prefetches == 0
+
+
+def test_prefetch_reduces_cold_start_latency():
+    def cold_latency(enable):
+        bed, _ap, runner = deploy(enable_prefetch=enable)
+        execution = bed.sim.run(until=bed.sim.process(runner.execute()))
+        return execution.latency_s
+
+    assert cold_latency(True) < cold_latency(False)
+
+
+def test_prefetch_skips_already_cached_objects():
+    bed, ap, runner = deploy(enable_prefetch=True)
+    bed.sim.run(until=bed.sim.process(runner.execute()))
+    bed.sim.run()
+    first_round = ap.prefetches
+    # Second execution: everything already cached -> no new prefetches.
+    bed.sim.run(until=bed.sim.process(runner.execute()))
+    bed.sim.run()
+    assert ap.prefetches == first_round
+
+
+def test_prefetched_entries_carry_declared_priority_and_ttl():
+    bed, ap, runner = deploy(enable_prefetch=True)
+    bed.sim.run(until=bed.sim.process(runner.execute()))
+    bed.sim.run()
+    entry = ap.store.peek("http://chainapp.example/child")
+    assert entry is not None
+    assert entry.priority == 2
+    assert entry.expires_at - entry.stored_at == \
+        pytest.approx(30 * MINUTE, rel=0.01)

@@ -1,0 +1,92 @@
+"""EDNS(0) OPT record tests (RFC 6891 support)."""
+
+import pytest
+
+from repro.dnslib import Message, RRType
+from repro.dnslib.edns import (
+    DEFAULT_UDP_PAYLOAD_SIZE,
+    EdnsOption,
+    add_edns,
+    edns_info,
+)
+from repro.errors import DnsFormatError
+
+
+def test_add_and_decode_defaults():
+    query = Message.query("www.apple.com")
+    add_edns(query)
+    info = edns_info(Message.decode(query.encode()))
+    assert info is not None
+    assert info.udp_payload_size == DEFAULT_UDP_PAYLOAD_SIZE
+    assert info.version == 0
+    assert not info.dnssec_ok
+    assert info.options == ()
+
+
+def test_payload_size_and_do_bit_roundtrip():
+    query = Message.query("example.com")
+    add_edns(query, udp_payload_size=4096, dnssec_ok=True)
+    info = edns_info(Message.decode(query.encode()))
+    assert info.udp_payload_size == 4096
+    assert info.dnssec_ok
+
+
+def test_options_roundtrip():
+    query = Message.query("example.com")
+    options = (EdnsOption(10, b"\x01\x02\x03"),
+               EdnsOption(8, b"client-subnet"))
+    add_edns(query, options=options)
+    info = edns_info(Message.decode(query.encode()))
+    assert info.options == options
+
+
+def test_version_roundtrip():
+    query = Message.query("example.com")
+    add_edns(query, version=1)
+    info = edns_info(Message.decode(query.encode()))
+    assert info.version == 1
+
+
+def test_no_opt_returns_none():
+    assert edns_info(Message.query("example.com")) is None
+
+
+def test_duplicate_opt_rejected():
+    query = Message.query("example.com")
+    add_edns(query)
+    with pytest.raises(DnsFormatError):
+        add_edns(query)
+
+
+def test_implausible_payload_size_rejected():
+    query = Message.query("example.com")
+    with pytest.raises(DnsFormatError):
+        add_edns(query, udp_payload_size=100)
+
+
+def test_option_validation():
+    with pytest.raises(DnsFormatError):
+        EdnsOption(70000, b"")
+
+
+def test_opt_coexists_with_dns_cache_record():
+    """EDNS and the paper's DNS-Cache record share the Additional
+    section without clobbering each other."""
+    from repro.dnslib import CacheFlag, CacheLookupRdata, RRClass
+    query = Message.query("www.apple.com")
+    rdata = CacheLookupRdata()
+    rdata.add_url("http://www.apple.com/image.jpg", CacheFlag.REQUEST)
+    query.attach_cache_lookup(rdata, RRClass.REQUEST)
+    add_edns(query, udp_payload_size=4096)
+    decoded = Message.decode(query.encode())
+    assert decoded.cache_lookup(RRClass.REQUEST) is not None
+    assert edns_info(decoded).udp_payload_size == 4096
+    assert len(decoded.additional) == 2
+
+
+def test_opt_record_str_renders():
+    query = Message.query("example.com")
+    add_edns(query, udp_payload_size=1400)
+    opt = next(record for record in query.additional
+               if record.rtype == RRType.OPT)
+    assert "1400" in str(opt)

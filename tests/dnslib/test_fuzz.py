@@ -1,0 +1,146 @@
+"""Property-based fuzzing of the DNS wire codec."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnslib import (
+    CacheFlag,
+    CacheLookupEntry,
+    CacheLookupRdata,
+    DomainName,
+    Header,
+    Message,
+    Question,
+    Rcode,
+    ResourceRecord,
+    RRClass,
+    RRType,
+)
+from repro.errors import DnsFormatError
+from repro.net import IPv4Address
+
+_LABEL_ALPHABET = string.ascii_lowercase + string.digits + "-"
+
+labels = st.text(alphabet=_LABEL_ALPHABET, min_size=1, max_size=12)
+names = st.lists(labels, min_size=1, max_size=5).map(
+    lambda parts: DomainName(parts))
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPv4Address)
+ttls = st.integers(min_value=0, max_value=0x7FFFFFFF)
+
+
+@st.composite
+def records(draw):
+    rtype = draw(st.sampled_from([RRType.A, RRType.CNAME, RRType.NS,
+                                  RRType.TXT, RRType.DNSCACHE]))
+    name = draw(names)
+    ttl = draw(ttls)
+    if rtype == RRType.A:
+        return ResourceRecord(name, rtype, RRClass.IN, ttl,
+                              draw(addresses))
+    if rtype in (RRType.CNAME, RRType.NS):
+        return ResourceRecord(name, rtype, RRClass.IN, ttl, draw(names))
+    if rtype == RRType.TXT:
+        return ResourceRecord(name, rtype, RRClass.IN, ttl,
+                              draw(st.binary(max_size=64)))
+    rdata = CacheLookupRdata([
+        CacheLookupEntry(draw(st.binary(min_size=16, max_size=16)),
+                         draw(st.sampled_from(list(CacheFlag))))
+        for _ in range(draw(st.integers(min_value=0, max_value=6)))])
+    rclass = draw(st.sampled_from([RRClass.REQUEST, RRClass.RESPONSE]))
+    return ResourceRecord(name, rtype, rclass, ttl, rdata)
+
+
+@st.composite
+def messages(draw):
+    message = Message(header=Header(
+        message_id=draw(st.integers(min_value=0, max_value=0xFFFF)),
+        is_response=draw(st.booleans()),
+        authoritative=draw(st.booleans()),
+        recursion_desired=draw(st.booleans()),
+        recursion_available=draw(st.booleans()),
+        rcode=draw(st.sampled_from(list(Rcode)))))
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        message.questions.append(Question(
+            draw(names), draw(st.sampled_from([RRType.A, RRType.CNAME,
+                                               RRType.DNSCACHE]))))
+    for section in (message.answers, message.authority,
+                    message.additional):
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            section.append(draw(records()))
+    return message
+
+
+def _canonical_record(record):
+    rdata = record.rdata
+    if isinstance(rdata, CacheLookupRdata):
+        rdata = tuple((entry.url_hash, entry.flag)
+                      for entry in rdata.entries)
+    return (record.name, record.rtype, int(record.rclass), record.ttl,
+            rdata)
+
+
+@settings(max_examples=150, deadline=None)
+@given(messages())
+def test_message_roundtrip_is_identity(message):
+    decoded = Message.decode(message.encode())
+    assert decoded.header == message.header
+    assert decoded.questions == message.questions
+    for original, roundtripped in zip(
+            (message.answers, message.authority, message.additional),
+            (decoded.answers, decoded.authority, decoded.additional)):
+        assert [_canonical_record(r) for r in roundtripped] == \
+            [_canonical_record(r) for r in original]
+
+
+@settings(max_examples=150, deadline=None)
+@given(messages())
+def test_reencoding_is_stable(message):
+    once = message.encode()
+    twice = Message.decode(once).encode()
+    assert Message.decode(twice).encode() == twice
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=120))
+def test_decoder_never_crashes_on_garbage(blob):
+    """Arbitrary bytes either parse or raise DnsFormatError — nothing
+    else (no hangs, index errors, or silent corruption)."""
+    try:
+        Message.decode(blob)
+    except DnsFormatError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(messages(), st.integers(min_value=0, max_value=60),
+       st.integers(min_value=1, max_value=255))
+def test_truncated_or_flipped_messages_fail_cleanly(message, cut, flip):
+    wire = bytearray(message.encode())
+    if cut < len(wire):
+        truncated = bytes(wire[:cut])
+        try:
+            Message.decode(truncated)
+        except DnsFormatError:
+            pass
+    position = flip % len(wire)
+    wire[position] ^= 0xFF
+    try:
+        Message.decode(bytes(wire))
+    except DnsFormatError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(names, min_size=1, max_size=8))
+def test_compression_shrinks_repeated_suffixes(name_list):
+    from repro.dnslib import encode_name
+    with_compression = bytearray()
+    offsets = {}
+    for name in name_list:
+        encode_name(name, with_compression, offsets)
+    without_compression = bytearray()
+    for name in name_list:
+        encode_name(name, without_compression, offsets=None)
+    assert len(with_compression) <= len(without_compression)

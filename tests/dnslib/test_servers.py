@@ -1,0 +1,247 @@
+"""Zone, registry, and server-role tests including the full CDN chain."""
+
+import pytest
+
+from repro.dnslib import (
+    AuthoritativeService,
+    CdnDnsService,
+    DnsRegistry,
+    DomainName,
+    ForwardingDnsService,
+    Message,
+    Rcode,
+    RecursiveResolverService,
+    RRType,
+    StubResolver,
+    Zone,
+)
+from repro.errors import DnsError, DnsNameError
+from repro.net import ETHERNET, WAN, WIFI, IPv4Address, Network, Transport
+from repro.sim import MS, Simulator
+
+
+# ----------------------------------------------------------------------
+# Zones and registry
+# ----------------------------------------------------------------------
+def test_zone_membership_and_lookup():
+    zone = Zone("apple.com")
+    zone.add_a("www.apple.com", "1.1.1.1", ttl=60)
+    assert zone.contains("img.apple.com")
+    assert not zone.contains("microsoft.com")
+    records = zone.lookup("www.apple.com", RRType.A)
+    assert len(records) == 1
+    assert records[0].rdata == IPv4Address("1.1.1.1")
+
+
+def test_zone_rejects_foreign_names():
+    zone = Zone("apple.com")
+    with pytest.raises(DnsError):
+        zone.add_a("www.microsoft.com", "1.2.3.4")
+    with pytest.raises(DnsError):
+        zone.lookup("www.microsoft.com", RRType.A)
+
+
+def test_zone_cname_fallback():
+    zone = Zone("apple.com")
+    zone.add_cname("www.apple.com", "www.apple.com.edgekey.net")
+    records = zone.lookup("www.apple.com", RRType.A)
+    assert records[0].rtype == RRType.CNAME
+
+
+def test_zone_missing_record_raises_nxdomain():
+    zone = Zone("apple.com")
+    with pytest.raises(DnsNameError):
+        zone.lookup("missing.apple.com", RRType.A)
+
+
+def test_registry_longest_suffix_wins():
+    registry = DnsRegistry()
+    registry.delegate("net", "1.0.0.1")
+    registry.delegate("edgekey.net", "1.0.0.2")
+    assert registry.authority_for("www.apple.com.edgekey.net") == \
+        IPv4Address("1.0.0.2")
+    assert registry.authority_for("other.net") == IPv4Address("1.0.0.1")
+    with pytest.raises(DnsNameError):
+        registry.authority_for("unknown.org")
+
+
+# ----------------------------------------------------------------------
+# Full resolution chain (the paper's Fig. 1 workflow)
+# ----------------------------------------------------------------------
+class ChainFixture:
+    """client --wifi-- ap --wan(2)-- ldns --wan(5)-- {adns, cdndns}."""
+
+    def __init__(self, pop_available=True):
+        self.sim = Simulator()
+        self.net = Network(self.sim)
+        self.transport = Transport(self.net)
+
+        client = self.net.add_node("client")
+        ap = self.net.add_node("ap")
+        ldns = self.net.add_node("ldns", cpu_capacity=8)
+        adns = self.net.add_node("adns", cpu_capacity=8)
+        cdndns = self.net.add_node("cdndns", cpu_capacity=8)
+        self.pop = self.net.add_node("pop", "23.10.0.1")
+        self.origin = self.net.add_node("origin", "17.0.0.1")
+
+        self.net.add_link("client", "ap", WIFI)
+        self.net.add_chain("ap", "ldns", WAN, hops=2)
+        self.net.add_chain("ldns", "adns", WAN, hops=5)
+        self.net.add_chain("ldns", "cdndns", WAN, hops=5)
+        self.net.add_link("ldns", "pop", ETHERNET)
+        self.net.add_chain("ldns", "origin", WAN, hops=10)
+
+        registry = DnsRegistry()
+        registry.delegate("apple.com", adns.address)
+        registry.delegate("edgekey.net", cdndns.address)
+
+        zone = Zone("apple.com")
+        zone.add_cname("www.apple.com", "www.apple.com.edgekey.net",
+                       ttl=3600)
+        self.adns_service = AuthoritativeService(adns, [zone])
+        self.adns_service.install()
+
+        pop_addr = self.pop.address if pop_available else None
+        self.cdn_service = CdnDnsService(
+            cdndns, "edgekey.net",
+            pop_selector=lambda _name, _src: pop_addr,
+            origin_for=lambda _name: self.origin.address,
+            answer_ttl=20)
+        self.cdn_service.install()
+
+        self.ldns_service = RecursiveResolverService(
+            ldns, self.transport, registry)
+        self.ldns_service.install()
+
+        self.ap_service = ForwardingDnsService(
+            ap, self.transport, ldns.address)
+        self.ap_service.install()
+
+        self.stub = StubResolver(client, self.transport, ap.address)
+
+    def resolve(self, hostname):
+        return self.sim.run_process(self._resolve(hostname))
+
+    def _resolve(self, hostname):
+        result = yield from self.stub.resolve(hostname)
+        return result
+
+
+def test_chain_resolves_cname_to_pop():
+    fixture = ChainFixture()
+    result = fixture.resolve("www.apple.com")
+    assert result.address == fixture.pop.address
+    assert not result.from_cache
+    assert result.latency_s > 10 * MS  # several WAN round trips
+
+
+def test_chain_missing_pop_falls_back_to_origin():
+    fixture = ChainFixture(pop_available=False)
+    result = fixture.resolve("www.apple.com")
+    assert result.address == fixture.origin.address
+
+
+def test_stub_caches_until_ttl():
+    fixture = ChainFixture()
+    first = fixture.resolve("www.apple.com")
+    second = fixture.resolve("www.apple.com")
+    assert not first.from_cache
+    assert second.from_cache
+    assert second.latency_s == 0.0
+
+
+def test_stub_cache_expires_with_ttl():
+    fixture = ChainFixture()
+    fixture.resolve("www.apple.com")
+    fixture.sim.run(until=fixture.sim.now + 3600 * 2)
+    result = fixture.resolve("www.apple.com")
+    assert not result.from_cache
+
+
+def test_ldns_caches_upstream_answers():
+    fixture = ChainFixture()
+    fixture.resolve("www.apple.com")
+    fixture.stub.flush_cache()
+    fixture.ap_service._cache.clear()
+    misses_before = fixture.ldns_service.cache_misses
+    result = fixture.resolve("www.apple.com")
+    assert fixture.ldns_service.cache_misses == misses_before
+    assert fixture.ldns_service.cache_hits >= 1
+    # Cached resolution skips the ADNS/CDN round trips.
+    assert result.latency_s < 20 * MS
+
+
+def test_ap_forwarder_caches():
+    fixture = ChainFixture()
+    fixture.resolve("www.apple.com")
+    fixture.stub.flush_cache()
+    result = fixture.resolve("www.apple.com")
+    assert fixture.ap_service.cache_hits == 1
+    # Answer came straight from the AP: only the WiFi round trip.
+    assert result.latency_s < 5 * MS
+
+
+def test_nxdomain_propagates_to_stub():
+    fixture = ChainFixture()
+    with pytest.raises(DnsNameError):
+        fixture.resolve("nonexistent.apple.com")
+
+
+def test_unknown_tld_yields_servfail_not_crash():
+    fixture = ChainFixture()
+    with pytest.raises(DnsError):
+        fixture.resolve("www.unknown-tld.org")
+
+
+def test_queries_consume_server_cpu():
+    fixture = ChainFixture()
+    fixture.resolve("www.apple.com")
+    assert fixture.ldns_service.node.cpu.busy_time > 0
+    assert fixture.adns_service.node.cpu.busy_time > 0
+
+
+def test_authoritative_answers_directly():
+    sim = Simulator()
+    net = Network(sim)
+    transport = Transport(net)
+    client = net.add_node("client")
+    adns = net.add_node("adns")
+    net.add_link("client", "adns", ETHERNET)
+    zone = Zone("example.com")
+    zone.add_a("api.example.com", "5.5.5.5", ttl=120)
+    service = AuthoritativeService(adns, [zone])
+    service.install()
+
+    def proc():
+        query = Message.query("api.example.com")
+        payload = yield sim.process(transport.udp_request(
+            "client", adns.address, 53, query.encode()))
+        return Message.decode(payload)
+
+    response = sim.run_process(proc())
+    assert response.header.authoritative
+    assert response.header.rcode == Rcode.NOERROR
+    assert response.first_answer(RRType.A).rdata == IPv4Address("5.5.5.5")
+
+
+def test_authoritative_chases_in_zone_cname():
+    sim = Simulator()
+    net = Network(sim)
+    transport = Transport(net)
+    client = net.add_node("client")
+    adns = net.add_node("adns")
+    net.add_link("client", "adns", ETHERNET)
+    zone = Zone("example.com")
+    zone.add_cname("www.example.com", "real.example.com")
+    zone.add_a("real.example.com", "6.6.6.6")
+    AuthoritativeService(adns, [zone]).install()
+
+    def proc():
+        query = Message.query("www.example.com")
+        payload = yield sim.process(transport.udp_request(
+            "client", adns.address, 53, query.encode()))
+        return Message.decode(payload)
+
+    response = sim.run_process(proc())
+    types = [record.rtype for record in response.answers]
+    assert types == [RRType.CNAME, RRType.A]

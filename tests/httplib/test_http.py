@@ -1,0 +1,290 @@
+"""HTTP substrate tests: URLs, messages, servers, interceptor client."""
+
+import pytest
+
+from repro.errors import HttpError, HttpStatusError
+from repro.httplib import (
+    DataObject,
+    EdgeCacheServer,
+    HostingDirectory,
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    Interceptor,
+    OriginServer,
+    Url,
+)
+from repro.net import ETHERNET, WAN, WIFI, Network, Transport
+from repro.sim import MS, Simulator
+
+
+# ----------------------------------------------------------------------
+# URLs
+# ----------------------------------------------------------------------
+def test_url_parse_full():
+    url = Url.parse("http://API.Movies.example/v1/id?name=dune&yr=2021")
+    assert url.scheme == "http"
+    assert url.host == "api.movies.example"
+    assert url.path == "/v1/id"
+    assert url.query == "name=dune&yr=2021"
+    assert url.base == "http://api.movies.example/v1/id"
+    assert str(url) == "http://api.movies.example/v1/id?name=dune&yr=2021"
+
+
+def test_url_default_path():
+    assert Url.parse("https://example.com").path == "/"
+
+
+@pytest.mark.parametrize("bad", ["example.com/x", "ftp://example.com/",
+                                 "http:///nope"])
+def test_bad_urls_rejected(bad):
+    with pytest.raises(HttpError):
+        Url.parse(bad)
+
+
+def test_url_with_query():
+    base = Url.parse("http://a.example/obj")
+    varied = base.with_query("k=v")
+    assert varied.base == base.base
+    assert varied.full.endswith("?k=v")
+
+
+# ----------------------------------------------------------------------
+# Messages and content
+# ----------------------------------------------------------------------
+def test_request_wire_size_scales_with_url_and_body():
+    small = HttpRequest("http://a.example/x")
+    large = HttpRequest("http://a.example/x" + "y" * 50, body_bytes=1000)
+    assert large.wire_size > small.wire_size + 1000
+
+
+def test_response_ok_and_body_accessors():
+    body = DataObject("http://a.example/x", 2048)
+    response = HttpResponse(status=200, body=body)
+    assert response.ok
+    assert response.require_body() is body
+    assert response.wire_size >= 2048
+
+
+def test_response_not_found():
+    response = HttpResponse.not_found("http://a.example/missing")
+    assert response.status == 404
+    with pytest.raises(HttpStatusError):
+        response.require_ok()
+    with pytest.raises(HttpStatusError):
+        response.require_body()
+
+
+def test_require_body_on_empty_ok_response():
+    with pytest.raises(HttpError):
+        HttpResponse(status=200).require_body()
+
+
+def test_data_object_refresh_bumps_version():
+    data_object = DataObject("http://a.example/x", 10)
+    newer = data_object.refreshed(now=5.0)
+    assert newer.version == 2
+    assert newer.created_at == 5.0
+    assert newer.url == data_object.url
+
+
+def test_bad_method_rejected():
+    with pytest.raises(HttpError):
+        HttpRequest("http://a.example/x", method="FETCH")
+
+
+# ----------------------------------------------------------------------
+# Servers + client end to end
+# ----------------------------------------------------------------------
+class Fixture:
+    def __init__(self):
+        self.sim = Simulator()
+        self.net = Network(self.sim)
+        self.transport = Transport(self.net)
+        self.client_node = self.net.add_node("client")
+        edge_node = self.net.add_node("edge", cpu_capacity=8)
+        origin_node = self.net.add_node("origin", cpu_capacity=8)
+        self.net.add_link("client", "edge", WIFI)
+        self.net.add_chain("edge", "origin", WAN, hops=6)
+
+        self.directory = HostingDirectory()
+        self.origin = OriginServer(origin_node)
+        self.origin.install()
+        self.edge = EdgeCacheServer(edge_node, self.transport,
+                                    self.directory)
+        self.edge.install()
+        self.edge_address = edge_node.address
+        self.origin_address = origin_node.address
+        self.client = HttpClient(self.client_node, self.transport)
+
+    def host(self, url, size, delay=0.0):
+        data_object = DataObject(url, size)
+        self.origin.host(data_object, service_delay_s=delay)
+        self.directory.register(url, self.origin_address)
+        return data_object
+
+    def get(self, address, url):
+        def proc():
+            request = HttpRequest(url).with_header(
+                "x-resolved-ip", str(address))
+            response = yield from self.client.execute(request)
+            return (self.sim.now, response)
+        return self.sim.run_process(proc())
+
+
+def test_origin_serves_hosted_object():
+    fixture = Fixture()
+    hosted = fixture.host("http://api.example/obj", 4096)
+    _, response = fixture.get(fixture.origin_address,
+                              "http://api.example/obj")
+    assert response.require_body() is hosted
+
+
+def test_origin_404_for_unknown_object():
+    fixture = Fixture()
+    _, response = fixture.get(fixture.origin_address,
+                              "http://api.example/nope")
+    assert response.status == 404
+
+
+def test_origin_service_delay_applied():
+    fixture = Fixture()
+    fixture.host("http://api.example/slow", 100, delay=35 * MS)
+    elapsed, response = fixture.get(fixture.origin_address,
+                                    "http://api.example/slow")
+    assert response.ok
+    assert elapsed > 35 * MS
+
+
+def test_query_string_ignored_for_object_identity():
+    fixture = Fixture()
+    fixture.host("http://api.example/obj", 128)
+    _, response = fixture.get(fixture.origin_address,
+                              "http://api.example/obj?name=dune")
+    assert response.ok
+
+
+def test_edge_cold_miss_fetches_from_origin_then_caches():
+    fixture = Fixture()
+    fixture.host("http://api.example/obj", 1000)
+    first_elapsed, first = fixture.get(fixture.edge_address,
+                                       "http://api.example/obj")
+    assert first.ok
+    assert fixture.edge.cold_misses == 1
+    assert fixture.edge.is_cached("http://api.example/obj")
+    second_elapsed_total, second = fixture.get(fixture.edge_address,
+                                               "http://api.example/obj")
+    assert second.ok
+    assert fixture.edge.hits == 1
+    # Warm hit avoids the WAN trip to the origin.
+    assert (second_elapsed_total - first_elapsed) < first_elapsed
+
+
+def test_edge_preload_avoids_cold_miss():
+    fixture = Fixture()
+    hosted = fixture.host("http://api.example/obj", 1000)
+    fixture.edge.preload([hosted])
+    _, response = fixture.get(fixture.edge_address, "http://api.example/obj")
+    assert response.ok
+    assert fixture.edge.cold_misses == 0
+    assert fixture.origin.requests_served == 0
+
+
+def test_edge_unregistered_origin_404s():
+    fixture = Fixture()
+
+    def proc():
+        request = HttpRequest("http://ghost.example/x").with_header(
+            "x-resolved-ip", str(fixture.edge_address))
+        response = yield from fixture.client.execute(request)
+        return response
+
+    response = fixture.sim.run_process(proc())
+    assert response.status == 404
+
+
+def test_larger_objects_take_longer_to_transfer():
+    fixture = Fixture()
+    fixture.host("http://api.example/small", 1_000)
+    fixture.host("http://api.example/big", 5_000_000)
+    small_elapsed, _ = fixture.get(fixture.origin_address,
+                                   "http://api.example/small")
+    fixture2 = Fixture()
+    fixture2.host("http://api.example/big", 5_000_000)
+    big_elapsed, _ = fixture2.get(fixture2.origin_address,
+                                  "http://api.example/big")
+    assert big_elapsed > small_elapsed
+
+
+def test_ip_literal_host_needs_no_resolver():
+    fixture = Fixture()
+    fixture.host("http://api.example/obj", 64)
+    hosted = fixture.origin.object_for("http://api.example/obj")
+
+    def proc():
+        response = yield from fixture.client.get(
+            f"http://{fixture.origin_address}/obj")
+        return response
+
+    # The origin does not host an object under the literal URL, but the
+    # request must at least reach it without a resolver.
+    response = fixture.sim.run_process(proc())
+    assert response.status == 404
+    assert hosted is not None
+
+
+def test_missing_resolver_rejected_for_hostnames():
+    fixture = Fixture()
+
+    def proc():
+        yield from fixture.client.get("http://needs-dns.example/x")
+
+    with pytest.raises(HttpError):
+        fixture.sim.run_process(proc())
+
+
+def test_interceptor_short_circuit_and_order():
+    fixture = Fixture()
+    fixture.host("http://api.example/obj", 64)
+    calls = []
+
+    class Recorder(Interceptor):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def intercept(self, chain, request):
+            calls.append(self.tag)
+            response = yield from chain.proceed(request)
+            return response
+
+    class ShortCircuit(Interceptor):
+        def intercept(self, chain, request):
+            yield fixture.sim.timeout(0)
+            return HttpResponse(status=200,
+                                body=DataObject(request.url.base, 1))
+
+    fixture.client.add_interceptor(Recorder("outer"))
+    fixture.client.add_interceptor(Recorder("inner"))
+    fixture.client.add_interceptor(ShortCircuit())
+
+    def proc():
+        response = yield from fixture.client.get("http://api.example/obj")
+        return response
+
+    response = fixture.sim.run_process(proc())
+    assert response.ok
+    assert calls == ["outer", "inner"]
+    assert fixture.origin.requests_served == 0
+
+
+def test_origin_refresh_served_after_cache_evict():
+    fixture = Fixture()
+    fixture.host("http://api.example/obj", 64)
+    fixture.get(fixture.edge_address, "http://api.example/obj")
+    refreshed = fixture.origin.refresh("http://api.example/obj")
+    # Edge still serves v1 until eviction.
+    _, stale = fixture.get(fixture.edge_address, "http://api.example/obj")
+    assert stale.body.version == 1
+    fixture.edge.evict("http://api.example/obj")
+    _, fresh = fixture.get(fixture.edge_address, "http://api.example/obj")
+    assert fresh.body.version == refreshed.version == 2

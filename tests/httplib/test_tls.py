@@ -1,0 +1,69 @@
+"""HTTPS/TLS handshake modeling tests."""
+
+import pytest
+
+from repro.core import ApRuntime, CacheableSpec
+from repro.core.client_runtime import ClientRuntime
+from repro.httplib import HttpClient, HttpRequest
+from repro.sim import HOUR
+from repro.testbed import Testbed, TestbedConfig
+
+KB = 1024
+
+
+def timed_get(bed, client, url):
+    def proc():
+        started = bed.sim.now
+        request = HttpRequest(url).with_header(
+            "x-resolved-ip", str(bed.edge.address))
+        response = yield from client.execute(request)
+        return (bed.sim.now - started, response)
+
+    return bed.sim.run(until=bed.sim.process(proc()))
+
+
+def test_https_pays_one_extra_round_trip():
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    bed.host_object("http://plain.example/obj", 2 * KB)
+    bed.host_object("https://secure.example/obj", 2 * KB)
+    client = HttpClient(bed.add_client("phone"), bed.transport)
+
+    http_elapsed, http_response = timed_get(
+        bed, client, "http://plain.example/obj")
+    https_elapsed, https_response = timed_get(
+        bed, client, "https://secure.example/obj")
+
+    assert http_response.ok and https_response.ok
+    rtt = bed.network.rtt("phone", "edge")
+    extra = https_elapsed - http_elapsed
+    # The TLS 1.3 handshake costs ~one extra RTT (plus hello bytes).
+    assert extra == pytest.approx(rtt, rel=0.25)
+
+
+def test_https_cacheable_object_through_ape_cache():
+    """HTTPS objects cache on the AP like any other (the paper's flows
+    mention 'HTTP or HTTPS' fetches from the AP)."""
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    ApRuntime(bed.ap, bed.transport, bed.ldns.address).install()
+    runtime = ClientRuntime(bed.add_client("phone"), bed.transport,
+                            bed.ap.address, app_id="secureapp")
+    url = "https://secureapp.example/payload"
+    bed.host_object(url, 8 * KB)
+    runtime.register_spec(CacheableSpec(url, 2, 1 * HOUR))
+
+    first = bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+    runtime.flush()
+    second = bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+    assert first.source == "ap-delegated"
+    assert second.source == "ap-hit"
+    # Hit still pays the WiFi-local TLS handshake, but remains fast.
+    assert second.total_latency_s < 0.015
+
+
+def test_scheme_is_part_of_object_identity():
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    bed.host_object("http://dual.example/obj", 1 * KB)
+    client = HttpClient(bed.add_client("phone"), bed.transport)
+    _elapsed, response = timed_get(bed, client,
+                                   "https://dual.example/obj")
+    assert response.status == 404  # only the http:// variant is hosted

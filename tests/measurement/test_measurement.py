@@ -1,0 +1,155 @@
+"""Tests for the measurement studies: Akamai, traffic, resources."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.measurement import (
+    GL_MT1300,
+    HIGH_RATE_TRACE,
+    LOW_RATE_TRACE,
+    PAPER_TABLE1,
+    AkamaiStudy,
+    RouterResourceModel,
+    paper_sites,
+    replay_trace,
+    synthesize_trace,
+)
+
+# ----------------------------------------------------------------------
+# Akamai study (Table I)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def akamai_results():
+    return AkamaiStudy(seed=1).measure(runs=12)
+
+
+def test_akamai_measures_all_nine_cells(akamai_results):
+    cells = {(cell.site, cell.service) for cell in akamai_results}
+    assert cells == set(PAPER_TABLE1)
+
+
+def test_akamai_hops_exact(akamai_results):
+    for cell in akamai_results:
+        assert cell.hops == PAPER_TABLE1[(cell.site, cell.service)][2]
+
+
+def test_akamai_dns_and_rtt_calibrated(akamai_results):
+    for cell in akamai_results:
+        paper_dns, paper_rtt, _ = PAPER_TABLE1[(cell.site, cell.service)]
+        assert cell.dns_ms == pytest.approx(paper_dns, rel=0.25)
+        assert cell.rtt_ms == pytest.approx(paper_rtt, rel=0.25)
+
+
+def test_akamai_popless_cell_is_the_outlier(akamai_results):
+    by_cell = {(c.site, c.service): c for c in akamai_results}
+    outlier = by_cell[("SaoPaulo", "yahoo")]
+    rest = [c for key, c in by_cell.items()
+            if key != ("SaoPaulo", "yahoo")]
+    assert outlier.dns_ms > 4 * max(c.dns_ms for c in rest)
+    assert outlier.rtt_ms > 1.5 * max(c.rtt_ms for c in rest)
+
+
+def test_akamai_averages_match_paper_narrative(akamai_results):
+    regular = [c for c in akamai_results
+               if not (c.site == "SaoPaulo" and c.service == "yahoo")]
+    mean_dns = sum(c.dns_ms for c in regular) / len(regular)
+    # Paper: "The average latency involved in DNS resolution ... is 22ms".
+    assert 18.0 <= mean_dns <= 26.0
+
+
+def test_paper_sites_cover_three_locations():
+    sites = paper_sites()
+    assert [site.name for site in sites] == ["Michigan", "Tokyo",
+                                             "SaoPaulo"]
+    for site in sites:
+        assert len(site.services) == 3
+
+
+# ----------------------------------------------------------------------
+# Traffic synthesis (Table II)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", [LOW_RATE_TRACE, HIGH_RATE_TRACE],
+                         ids=["low", "high"])
+def test_synthesized_trace_matches_published_statistics(spec):
+    trace = synthesize_trace(spec, seed=3)
+    trace.verify_statistics()
+    assert sum(trace.packets_per_second) == spec.packets
+    assert abs(sum(trace.bytes_per_second) - spec.total_bytes) <= \
+        0.001 * spec.total_bytes
+    assert len(trace.packets_per_second) == int(spec.duration_s)
+
+
+def test_trace_spec_derived_stats():
+    assert LOW_RATE_TRACE.mean_packet_bytes == pytest.approx(646, rel=0.1)
+    assert HIGH_RATE_TRACE.mean_packet_bytes == pytest.approx(449, rel=0.1)
+    assert HIGH_RATE_TRACE.mean_packets_per_s == pytest.approx(2638.7,
+                                                               rel=0.01)
+
+
+def test_trace_synthesis_deterministic():
+    first = synthesize_trace(LOW_RATE_TRACE, seed=9)
+    second = synthesize_trace(LOW_RATE_TRACE, seed=9)
+    assert first.packets_per_second == second.packets_per_second
+    third = synthesize_trace(LOW_RATE_TRACE, seed=10)
+    assert first.packets_per_second != third.packets_per_second
+
+
+def test_trace_burstiness_validation():
+    with pytest.raises(ConfigError):
+        synthesize_trace(LOW_RATE_TRACE, burstiness=1.5)
+
+
+def test_bad_trace_detected_by_verify():
+    trace = synthesize_trace(LOW_RATE_TRACE)
+    trace.packets_per_second[0] += 10_000
+    with pytest.raises(ConfigError):
+        trace.verify_statistics()
+
+
+# ----------------------------------------------------------------------
+# Router resource model (Fig. 2)
+# ----------------------------------------------------------------------
+def test_replay_reproduces_fig2_envelope():
+    high = replay_trace(synthesize_trace(HIGH_RATE_TRACE))
+    assert high.mean_cpu_percent() < 50.0
+    assert 95.0 <= high.mean_memory_mb() <= 130.0
+    low = replay_trace(synthesize_trace(LOW_RATE_TRACE))
+    assert low.mean_cpu_percent() < 5.0
+    assert low.mean_memory_mb() < high.mean_memory_mb()
+
+
+def test_cpu_fraction_saturates_at_one():
+    model = RouterResourceModel(GL_MT1300)
+    assert model.forwarding_cpu_fraction(10_000_000) == 1.0
+
+
+def test_cpu_monotone_in_packet_rate():
+    model = RouterResourceModel(GL_MT1300)
+    rates = [0, 100, 1000, 2500]
+    fractions = [model.forwarding_cpu_fraction(rate) for rate in rates]
+    assert fractions == sorted(fractions)
+
+
+def test_memory_components_additive():
+    model = RouterResourceModel(GL_MT1300)
+    idle = model.forwarding_memory_bytes(0, 0)
+    loaded = model.forwarding_memory_bytes(1000, 500)
+    assert idle == GL_MT1300.baseline_memory_bytes
+    assert loaded > idle
+
+
+def test_headroom_report():
+    model = RouterResourceModel(GL_MT1300)
+    headroom = model.headroom(120 * 1024 * 1024, 0.35)
+    assert headroom["cpu_free_fraction"] == pytest.approx(0.65)
+    assert 0.0 < headroom["memory_utilization"] < 0.5
+
+
+def test_model_input_validation():
+    model = RouterResourceModel(GL_MT1300)
+    with pytest.raises(ConfigError):
+        model.forwarding_cpu_fraction(-1)
+    with pytest.raises(ConfigError):
+        model.forwarding_memory_bytes(-1, 0)
+    with pytest.raises(ConfigError):
+        model.service_cpu_fraction(1.0, 0.0)

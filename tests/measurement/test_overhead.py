@@ -1,0 +1,87 @@
+"""Direct tests of the Fig. 14 overhead study machinery."""
+
+import pytest
+
+from repro.apps import DummyAppParams, WorkloadConfig
+from repro.measurement.overhead import (
+    APE_STATIC_FOOTPRINT_BYTES,
+    ApOverheadStudy,
+    OverheadReport,
+    OverheadSeries,
+)
+from repro.sim import MINUTE
+from repro.testbed import TestbedConfig
+
+MB = 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Series / report math
+# ----------------------------------------------------------------------
+def series(cpu, memory):
+    out = OverheadSeries()
+    for index, (c, m) in enumerate(zip(cpu, memory)):
+        out.times_s.append(float(index))
+        out.cpu_fraction.append(c)
+        out.memory_bytes.append(m)
+    return out
+
+
+def test_series_statistics():
+    sample = series([0.1, 0.3], [10 * MB, 14 * MB])
+    assert sample.mean_cpu_percent() == pytest.approx(20.0)
+    assert sample.peak_cpu_percent() == pytest.approx(30.0)
+    assert sample.mean_memory_mb() == pytest.approx(12.0)
+    assert sample.peak_memory_mb() == pytest.approx(14.0)
+
+
+def test_empty_series_is_zero():
+    empty = OverheadSeries()
+    assert empty.mean_cpu_percent() == 0.0
+    assert empty.peak_cpu_percent() == 0.0
+    assert empty.mean_memory_mb() == 0.0
+    assert empty.peak_memory_mb() == 0.0
+
+
+def test_report_differences_clamped_at_zero():
+    report = OverheadReport(
+        ape=series([0.01], [12 * MB]),
+        regular=series([0.05], [0]))
+    # APE can never get credit for being "cheaper" than baseline.
+    assert report.extra_cpu_percent() == 0.0
+    assert report.extra_memory_mb() == pytest.approx(12.0)
+
+
+def test_report_summary_keys():
+    report = OverheadReport(ape=series([0.02], [13 * MB]),
+                            regular=series([0.01], [0]))
+    summary = report.summary()
+    assert set(summary) == {
+        "ape_mean_cpu_percent", "regular_mean_cpu_percent",
+        "extra_cpu_percent", "peak_extra_cpu_percent",
+        "extra_memory_mb", "peak_extra_memory_mb"}
+    assert summary["extra_cpu_percent"] == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end study (small workload)
+# ----------------------------------------------------------------------
+def test_study_produces_paper_shaped_overheads():
+    config = WorkloadConfig(
+        n_apps=8, duration_s=2 * MINUTE, seed=4,
+        dummy_params=DummyAppParams(min_objects=3, max_objects=5),
+        testbed=TestbedConfig(seed=4))
+    report = ApOverheadStudy(config, sample_interval_s=5.0).run()
+    assert len(report.ape.times_s) >= 10
+    assert len(report.regular.times_s) >= 10
+    # APE does strictly more AP-side work than the stock AP.
+    assert report.ape.mean_cpu_percent() >= \
+        report.regular.mean_cpu_percent()
+    # Memory = static daemon + cached objects; bounded by footprint +
+    # the 5 MB cache ceiling.
+    assert report.ape.peak_memory_mb() >= \
+        APE_STATIC_FOOTPRINT_BYTES / MB
+    assert report.ape.peak_memory_mb() <= \
+        APE_STATIC_FOOTPRINT_BYTES / MB + 6.0
+    # The regular run attributes no memory to APE-CACHE.
+    assert report.regular.peak_memory_mb() == 0.0

@@ -1,0 +1,93 @@
+"""Link-level accounting and delay-math tests."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import ETHERNET, WAN, WIFI, Link, Network, Transport
+from repro.sim import MS, Simulator
+
+
+def test_link_kind_templates():
+    assert WIFI.latency_s == pytest.approx(1.0 * MS)
+    assert ETHERNET.bandwidth_bps > WAN.bandwidth_bps
+
+
+def test_link_of_kind_override():
+    link = Link.of_kind("a", "b", WAN, latency_s=5 * MS)
+    assert link.latency_s == pytest.approx(5 * MS)
+    assert link.bandwidth_bps == WAN.bandwidth_bps
+    assert "wan" in link.name
+
+
+def test_link_transmission_and_traverse_time():
+    link = Link("a", "b", latency_s=2 * MS, bandwidth_bps=100e6)
+    assert link.transmission_time(0) == 0.0
+    # 1 MB at 100 Mbps = 80 ms.
+    assert link.transmission_time(1_000_000) == pytest.approx(0.080)
+    assert link.traverse_time(1_000_000) == pytest.approx(0.082)
+    with pytest.raises(NetworkError):
+        link.transmission_time(-1)
+
+
+def test_link_validation():
+    with pytest.raises(NetworkError):
+        Link("a", "b", latency_s=-1.0, bandwidth_bps=1e6)
+    with pytest.raises(NetworkError):
+        Link("a", "b", latency_s=0.0, bandwidth_bps=0.0)
+
+
+def test_link_other_end():
+    link = Link("a", "b", 1 * MS, 1e6)
+    assert link.other_end("a") == "b"
+    assert link.other_end("b") == "a"
+    with pytest.raises(NetworkError):
+        link.other_end("c")
+
+
+def test_path_bottleneck_bandwidth():
+    sim = Simulator()
+    net = Network(sim)
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+    net.add_link("a", "b", ETHERNET)   # 1 Gbps
+    net.add_link("b", "c", WAN)        # 100 Mbps
+    path = net.path("a", "c")
+    assert path.bottleneck_bps == pytest.approx(WAN.bandwidth_bps)
+    # Cut-through: propagation + one serialization at the bottleneck.
+    size = 500_000
+    expected = (ETHERNET.latency_s + WAN.latency_s +
+                size * 8.0 / WAN.bandwidth_bps)
+    assert path.one_way_delay(size) == pytest.approx(expected)
+
+
+def test_transport_accounts_bytes_on_links():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    net.add_node("b")
+    link = net.add_link("a", "b", WIFI)
+    transport = Transport(net)
+
+    def echo(payload, _source):
+        yield sim.timeout(0)
+        return payload
+
+    net.node("b").bind_udp(53, echo)
+
+    def proc():
+        yield sim.process(transport.udp_request(
+            "a", net.node("b").address, 53, b"x" * 100))
+
+    sim.run_process(proc())
+    # Both directions (payload + UDP overhead) were charged to the link.
+    assert link.bytes_carried == 2 * (100 + 28)
+
+
+def test_duplicate_link_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", WIFI)
+    with pytest.raises(NetworkError):
+        net.add_link("a", "b", WAN)

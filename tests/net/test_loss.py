@@ -1,0 +1,169 @@
+"""UDP loss/retry tests and the device-cache (L1) extension."""
+
+import random
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import WIFI, Network, Transport
+from repro.sim import HOUR, Simulator
+
+
+def lossy_setup(loss_rate, seed=0, retries=3, timeout_s=0.5):
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("client")
+    net.add_node("server")
+    net.add_link("client", "server", WIFI)
+    transport = Transport(net, rng=random.Random(seed),
+                          loss_rate=loss_rate, udp_retries=retries,
+                          udp_timeout_s=timeout_s)
+
+    def echo(payload, _source):
+        yield sim.timeout(0)
+        return b"ok:" + payload
+
+    net.node("server").bind_udp(53, echo)
+    return sim, net, transport
+
+
+def test_loss_free_transport_unchanged():
+    sim, net, transport = lossy_setup(loss_rate=0.0)
+
+    def proc():
+        response = yield sim.process(transport.udp_request(
+            "client", net.node("server").address, 53, b"x"))
+        return response
+
+    assert sim.run_process(proc()) == b"ok:x"
+    assert transport.udp_losses == 0
+
+
+def test_total_loss_raises_after_retries():
+    sim, net, transport = lossy_setup(loss_rate=0.999, retries=2,
+                                      timeout_s=0.5)
+
+    def proc():
+        yield sim.process(transport.udp_request(
+            "client", net.node("server").address, 53, b"x"))
+
+    with pytest.raises(TransportError, match="lost after 3 attempts"):
+        sim.run_process(proc())
+    # Each failed attempt waited out the full timeout.
+    assert sim.now >= 3 * 0.5 - 1e-9
+
+
+def test_moderate_loss_eventually_succeeds_with_delay():
+    sim, net, transport = lossy_setup(loss_rate=0.30, seed=7,
+                                      retries=10, timeout_s=0.2)
+    successes = 0
+    total_elapsed = 0.0
+    for _ in range(30):
+        started = sim.now
+
+        def proc():
+            response = yield sim.process(transport.udp_request(
+                "client", net.node("server").address, 53, b"x"))
+            return response
+
+        assert sim.run_process(proc()) == b"ok:x"
+        successes += 1
+        total_elapsed += sim.now - started
+    assert successes == 30
+    assert transport.udp_losses > 0
+    # Mean latency is inflated well past the loss-free ~2 ms.
+    assert total_elapsed / successes > 0.010
+
+
+def test_loss_configuration_validation():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(TransportError):
+        Transport(net, loss_rate=1.0)
+    with pytest.raises(TransportError):
+        Transport(net, udp_timeout_s=0)
+    with pytest.raises(TransportError):
+        Transport(net, udp_retries=-1)
+
+
+def test_ape_cache_survives_lossy_wifi():
+    """End to end: DNS-Cache lookups and fetches retry through loss."""
+    from repro.core import ApRuntime, CacheableSpec
+    from repro.core.client_runtime import ClientRuntime
+    from repro.testbed import Testbed, TestbedConfig
+
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0, seed=3))
+    bed.transport.loss_rate = 0.15
+    bed.transport.udp_timeout_s = 0.25
+    bed.transport.udp_retries = 6
+    ApRuntime(bed.ap, bed.transport, bed.ldns.address).install()
+    runtime = ClientRuntime(bed.add_client("phone"), bed.transport,
+                            bed.ap.address, app_id="lossy")
+    url = "http://lossyapp.example/obj"
+    bed.host_object(url, 4 * 1024)
+    runtime.register_spec(CacheableSpec(url, 2, 1 * HOUR))
+
+    results = []
+    for _ in range(10):
+        runtime.flush()
+        results.append(bed.sim.run(
+            until=bed.sim.process(runtime.fetch(url))))
+    assert all(result.data_object is not None for result in results)
+    assert bed.transport.udp_losses > 0
+
+
+# ----------------------------------------------------------------------
+# Device cache (L1) extension
+# ----------------------------------------------------------------------
+def device_setup(device_cache_bytes):
+    from repro.core import ApRuntime, CacheableSpec
+    from repro.core.client_runtime import ClientRuntime
+    from repro.testbed import Testbed, TestbedConfig
+
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    ApRuntime(bed.ap, bed.transport, bed.ldns.address).install()
+    runtime = ClientRuntime(bed.add_client("phone"), bed.transport,
+                            bed.ap.address, app_id="deviceapp",
+                            device_cache_bytes=device_cache_bytes)
+    url = "http://deviceapp.example/obj"
+    bed.host_object(url, 8 * 1024)
+    runtime.register_spec(CacheableSpec(url, 2, 1 * HOUR))
+    return bed, runtime, url
+
+
+def test_device_cache_serves_repeat_fetches_locally():
+    bed, runtime, url = device_setup(device_cache_bytes=64 * 1024)
+    first = bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+    second = bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+    assert first.source == "ap-delegated"
+    assert second.source == "device-hit"
+    assert second.total_latency_s == 0.0
+    assert runtime.device_hits == 1
+
+
+def test_device_cache_disabled_by_default():
+    bed, runtime, url = device_setup(device_cache_bytes=0)
+    assert runtime.device_cache is None
+    bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+    second = bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+    assert second.source != "device-hit"
+
+
+def test_device_cache_respects_ttl():
+    from repro.core import CacheableSpec
+    bed, runtime, url = device_setup(device_cache_bytes=64 * 1024)
+    short = "http://deviceapp.example/short"
+    bed.host_object(short, 1024)
+    runtime.register_spec(CacheableSpec(short, 1, 60.0))
+    bed.sim.run(until=bed.sim.process(runtime.fetch(short)))
+    bed.sim.run(until=bed.sim.now + 120.0)
+    runtime.flush()
+    result = bed.sim.run(until=bed.sim.process(runtime.fetch(short)))
+    assert result.source != "device-hit"
+
+
+def test_oversized_object_skips_device_cache():
+    bed, runtime, url = device_setup(device_cache_bytes=4 * 1024)
+    bed.sim.run(until=bed.sim.process(runtime.fetch(url)))  # 8 KB > 4 KB
+    second = bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+    assert second.source != "device-hit"

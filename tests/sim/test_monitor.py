@@ -1,0 +1,124 @@
+"""Tests for Series, MetricSet, and the percentile helper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import MetricSet, Series, percentile
+
+
+# ----------------------------------------------------------------------
+# percentile
+# ----------------------------------------------------------------------
+def test_percentile_basics():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 100) == 5.0
+    assert percentile(values, 25) == pytest.approx(2.0)
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+    assert percentile([0.0, 10.0], 95) == pytest.approx(9.5)
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 95) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_matches_numpy(values, q):
+    import numpy as np
+    assert percentile(values, q) == pytest.approx(
+        float(np.percentile(values, q)), rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Series
+# ----------------------------------------------------------------------
+def make_series():
+    series = Series("latency")
+    for index, value in enumerate([10.0, 30.0, 20.0, 40.0]):
+        series.record(float(index), value)
+    return series
+
+
+def test_series_statistics():
+    series = make_series()
+    assert series.count == 4
+    assert series.mean() == pytest.approx(25.0)
+    assert series.minimum() == 10.0
+    assert series.maximum() == 40.0
+    assert series.total() == pytest.approx(100.0)
+    assert series.p95() == pytest.approx(percentile(series.values, 95))
+
+
+def test_series_stddev():
+    series = Series()
+    for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        series.record(0.0, value)
+    assert series.stddev() == pytest.approx(2.138, abs=0.01)
+    single = Series()
+    single.record(0.0, 1.0)
+    assert single.stddev() == 0.0
+
+
+def test_series_iteration_pairs_time_and_value():
+    series = make_series()
+    pairs = list(series)
+    assert pairs[0] == (0.0, 10.0)
+    assert len(pairs) == 4
+
+
+def test_series_empty_statistics_raise():
+    series = Series("empty")
+    with pytest.raises(ValueError):
+        series.mean()
+    with pytest.raises(ValueError):
+        series.minimum()
+    with pytest.raises(ValueError):
+        series.maximum()
+
+
+def test_series_summary_keys():
+    summary = make_series().summary()
+    assert set(summary) == {"count", "mean", "min", "max", "p50", "p95"}
+
+
+# ----------------------------------------------------------------------
+# MetricSet
+# ----------------------------------------------------------------------
+def test_metricset_lazy_series_creation():
+    metrics = MetricSet()
+    metrics.record("lookup", 0.0, 1.5)
+    metrics.record("lookup", 1.0, 2.5)
+    assert "lookup" in metrics
+    assert "retrieval" not in metrics
+    assert metrics.mean("lookup") == pytest.approx(2.0)
+
+
+def test_metricset_names_sorted():
+    metrics = MetricSet()
+    metrics.record("zeta", 0.0, 1.0)
+    metrics.record("alpha", 0.0, 1.0)
+    assert metrics.names() == ["alpha", "zeta"]
+
+
+def test_metricset_summary_skips_empty_series():
+    metrics = MetricSet()
+    metrics.series("created-but-empty")
+    metrics.record("filled", 0.0, 3.0)
+    summary = metrics.summary()
+    assert "filled" in summary
+    assert "created-but-empty" not in summary

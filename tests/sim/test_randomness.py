@@ -1,0 +1,138 @@
+"""Tests for seeded random streams and samplers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ExponentialSampler, RandomStreams, ZipfSampler
+from repro.sim.randomness import weighted_choice
+
+
+# ----------------------------------------------------------------------
+# RandomStreams
+# ----------------------------------------------------------------------
+def test_same_seed_same_stream():
+    a = RandomStreams(7).stream("workload")
+    b = RandomStreams(7).stream("workload")
+    assert [a.random() for _ in range(10)] == \
+        [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = streams.stream("alpha")
+    b = streams.stream("beta")
+    assert [a.random() for _ in range(5)] != \
+        [b.random() for _ in range(5)]
+
+
+def test_stream_is_memoised():
+    streams = RandomStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_spawn_derives_independent_factory():
+    parent = RandomStreams(3)
+    child = parent.spawn("worker")
+    assert child.master_seed != parent.master_seed
+    assert parent.stream("s").random() != child.stream("s").random()
+
+
+# ----------------------------------------------------------------------
+# ZipfSampler
+# ----------------------------------------------------------------------
+def test_zipf_probabilities_sum_to_one():
+    sampler = ZipfSampler(30, exponent=0.8)
+    total = math.fsum(sampler.probability(rank)
+                      for rank in range(1, 31))
+    assert total == pytest.approx(1.0)
+
+
+def test_zipf_rank_one_most_probable():
+    sampler = ZipfSampler(10, exponent=1.0)
+    probabilities = [sampler.probability(rank) for rank in range(1, 11)]
+    assert probabilities == sorted(probabilities, reverse=True)
+    assert probabilities[0] == pytest.approx(2 * probabilities[1],
+                                             rel=0.01)
+
+
+def test_zipf_exponent_zero_is_uniform():
+    sampler = ZipfSampler(4, exponent=0.0)
+    for rank in range(1, 5):
+        assert sampler.probability(rank) == pytest.approx(0.25)
+
+
+def test_zipf_samples_within_support():
+    import random
+    sampler = ZipfSampler(5, rng=random.Random(1))
+    draws = sampler.sample_many(500)
+    assert all(1 <= draw <= 5 for draw in draws)
+    assert set(draws) == {1, 2, 3, 4, 5}
+
+
+def test_zipf_empirical_matches_pmf():
+    import random
+    sampler = ZipfSampler(6, exponent=1.0, rng=random.Random(42))
+    n = 20_000
+    draws = sampler.sample_many(n)
+    for rank in range(1, 7):
+        empirical = draws.count(rank) / n
+        assert empirical == pytest.approx(sampler.probability(rank),
+                                          abs=0.015)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(5, exponent=-1.0)
+    with pytest.raises(ValueError):
+        ZipfSampler(5).probability(6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=200),
+       st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+def test_zipf_pmf_properties(n, exponent):
+    sampler = ZipfSampler(n, exponent)
+    total = math.fsum(sampler.probability(rank)
+                      for rank in range(1, n + 1))
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# ExponentialSampler
+# ----------------------------------------------------------------------
+def test_exponential_mean_converges():
+    import random
+    sampler = ExponentialSampler(20.0, rng=random.Random(3))
+    draws = sampler.sample_many(20_000)
+    assert sum(draws) / len(draws) == pytest.approx(20.0, rel=0.05)
+    assert all(draw > 0 for draw in draws)
+
+
+def test_exponential_validation():
+    with pytest.raises(ValueError):
+        ExponentialSampler(0.0)
+
+
+# ----------------------------------------------------------------------
+# weighted_choice
+# ----------------------------------------------------------------------
+def test_weighted_choice_respects_weights():
+    import random
+    rng = random.Random(5)
+    draws = [weighted_choice(rng, ["a", "b"], [0.9, 0.1])
+             for _ in range(5000)]
+    assert 0.85 < draws.count("a") / len(draws) < 0.95
+
+
+def test_weighted_choice_validation():
+    import random
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [0.0])

@@ -1,0 +1,105 @@
+"""Tests for the event-tracing facility and its AP integration."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.tracing import EventTrace, TraceEvent
+
+
+def test_log_records_time_and_fields():
+    sim = Simulator()
+    trace = EventTrace(sim)
+
+    def proc():
+        yield sim.timeout(2.5)
+        trace.log("demo", "something happened", url="http://x", n=3)
+
+    sim.run_process(proc())
+    assert len(trace) == 1
+    event = trace.events()[0]
+    assert event.time_s == pytest.approx(2.5)
+    assert event.category == "demo"
+    assert event.field("url") == "http://x"
+    assert event.field("n") == 3
+    assert event.field("missing", "default") == "default"
+
+
+def test_filtering_and_counts():
+    sim = Simulator()
+    trace = EventTrace(sim)
+    trace.log("a", "one")
+    trace.log("b", "two")
+    trace.log("a", "three")
+    assert len(trace.events("a")) == 2
+    assert trace.categories() == {"a": 2, "b": 1}
+    assert [event.message for event in trace.tail(2)] == ["two", "three"]
+
+
+def test_ring_buffer_drops_oldest():
+    sim = Simulator()
+    trace = EventTrace(sim, capacity=3)
+    for index in range(5):
+        trace.log("c", f"event{index}")
+    assert len(trace) == 3
+    assert trace.dropped == 2
+    assert [event.message for event in trace] == \
+        ["event2", "event3", "event4"]
+
+
+def test_render_contains_time_category_fields():
+    sim = Simulator()
+    trace = EventTrace(sim)
+    trace.log("cache", "evicted", url="http://x/obj")
+    rendered = trace.render()
+    assert "cache" in rendered
+    assert "url=http://x/obj" in rendered
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        EventTrace(sim, capacity=0)
+
+
+def test_clear_resets():
+    sim = Simulator()
+    trace = EventTrace(sim, capacity=1)
+    trace.log("x", "1")
+    trace.log("x", "2")
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.dropped == 0
+
+
+def test_trace_event_is_immutable():
+    event = TraceEvent(0.0, "c", "m")
+    with pytest.raises(AttributeError):
+        event.message = "other"
+
+
+def test_ap_runtime_emits_protocol_events():
+    from repro.core import ApRuntime, ApeCacheConfig, CacheableSpec
+    from repro.core.client_runtime import ClientRuntime
+    from repro.testbed import Testbed, TestbedConfig
+
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    tracer = EventTrace(bed.sim)
+    ApRuntime(bed.ap, bed.transport, bed.ldns.address,
+              config=ApeCacheConfig(cache_capacity_bytes=32 * 1024),
+              tracer=tracer).install()
+    runtime = ClientRuntime(bed.add_client("phone"), bed.transport,
+                            bed.ap.address, app_id="traced")
+    for index in range(4):
+        url = f"http://tracedapp.example/obj{index}"
+        bed.host_object(url, 12 * 1024)
+        runtime.register_spec(CacheableSpec(url, 1, 3600.0))
+        bed.sim.run(until=bed.sim.process(runtime.fetch(url)))
+
+    counts = tracer.categories()
+    assert counts.get("dns-cache", 0) >= 1
+    assert counts.get("admission", 0) == 4
+    # 4 x 12 KB into a 32 KB cache forces at least one eviction.
+    assert counts.get("eviction", 0) >= 1
+    eviction = tracer.events("eviction")[0]
+    assert str(eviction.field("url")).startswith("http://tracedapp")

@@ -1,0 +1,94 @@
+"""CLI tests: parsing, listing, formats, and one cheap end-to-end run."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.experiments.common import ExperimentTable
+
+
+def test_parser_knows_every_experiment():
+    parser = build_parser()
+    for name in EXPERIMENTS:
+        args = parser.parse_args([name])
+        assert args.command == name
+        assert not args.full
+        assert args.seed == 0
+
+
+def test_parser_common_flags():
+    parser = build_parser()
+    args = parser.parse_args(["fig12", "--full", "--seed", "7",
+                              "--format", "csv", "--output", "x.csv"])
+    assert args.full
+    assert args.seed == 7
+    assert args.format == "csv"
+    assert args.output == "x.csv"
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_run_table7_text(capsys):
+    assert main(["table7"]) == 0
+    out = capsys.readouterr().out
+    assert "Programming efforts" in out
+    assert "MovieTrailer" in out
+
+
+def test_run_table7_json_output(tmp_path):
+    target = tmp_path / "out.json"
+    assert main(["table7", "--format", "json",
+                 "--output", str(target)]) == 0
+    payload = json.loads(target.read_text())
+    assert payload[0]["title"].startswith("Table VII")
+    assert len(payload[0]["rows"]) == 4
+
+
+def test_run_fig2_csv(capsys):
+    assert main(["fig2", "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith("trace,")
+    assert "high-rate" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-an-experiment"])
+
+
+# ----------------------------------------------------------------------
+# Table export formats
+# ----------------------------------------------------------------------
+def make_table():
+    table = ExperimentTable("demo", columns=["name", "value"])
+    table.add_row(name="a", value=1.5)
+    table.add_row(name="b", value=2.5)
+    table.notes.append("hello")
+    return table
+
+
+def test_to_csv_roundtrip():
+    import csv as csv_module
+    import io
+    rows = list(csv_module.DictReader(io.StringIO(make_table().to_csv())))
+    assert rows == [{"name": "a", "value": "1.5"},
+                    {"name": "b", "value": "2.5"}]
+
+
+def test_to_json_structure():
+    payload = json.loads(make_table().to_json())
+    assert payload["title"] == "demo"
+    assert payload["columns"] == ["name", "value"]
+    assert payload["rows"][1]["value"] == 2.5
+    assert payload["notes"] == ["hello"]

@@ -1,0 +1,11 @@
+"""Executable-documentation guard: the package docstring's example runs."""
+
+import doctest
+
+import repro
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

@@ -1,0 +1,105 @@
+"""Testbed topology and calibration tests (the Fig. 9 deployment)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.httplib import HttpRequest
+from repro.testbed import Testbed, TestbedConfig
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return Testbed(TestbedConfig(jitter_fraction=0.0))
+
+
+def test_paper_hop_counts(bed):
+    assert bed.network.hops("ap", "edge") == 7
+    assert bed.network.hops("ap", "controller") == 12
+
+
+def test_calibrated_rtts(bed):
+    # Edge server ~14 ms RTT from the AP (7 hops x 1 ms each way).
+    assert bed.rtt_ms("ap", "edge") == pytest.approx(14.0)
+    # Controller ~22 ms RTT (12 hops x 0.9 ms each way).
+    assert bed.rtt_ms("ap", "controller") == pytest.approx(21.6)
+
+
+def test_client_attachment():
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    phone = bed.add_client("phone")
+    assert bed.network.hops("phone", "ap") == 1
+    assert bed.rtt_ms("phone", "ap") == pytest.approx(2.0)
+    auto = bed.add_client()
+    assert auto.name.startswith("client")
+
+
+def test_host_object_publishes_domain_and_preloads_edge():
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    hosted = bed.host_object("http://newapp.example/obj", 2048,
+                             origin_delay_s=0.03)
+    assert bed.edge_server.is_cached("http://newapp.example/obj")
+    assert bed.origin_server.hosts("http://newapp.example/obj")
+    assert hosted.size_bytes == 2048
+    # The domain resolves through the CDN chain to the edge server.
+    assert bed.registry.authority_for("newapp.example") == \
+        bed.adns.address
+
+
+def test_host_object_without_preload():
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    bed.host_object("http://coldapp.example/obj", 1024,
+                    preload_edge=False)
+    assert not bed.edge_server.is_cached("http://coldapp.example/obj")
+
+
+def test_edge_serve_delay_applied():
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    bed.host_object("http://slowapp.example/obj", 1024,
+                    origin_delay_s=0.040)
+    client = bed.add_client("probe")
+
+    def fetch():
+        started = bed.sim.now
+        request = HttpRequest("http://slowapp.example/obj").with_header(
+            "x-resolved-ip", str(bed.edge.address))
+        response = yield bed.sim.process(bed.transport.tcp_exchange(
+            "probe", bed.edge.address, 80, request))
+        return (bed.sim.now - started, response)
+
+    elapsed, response = bed.sim.run(until=bed.sim.process(fetch()))
+    assert response.ok
+    assert elapsed > 0.040
+    del client
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TestbedConfig(edge_hops=0)
+    with pytest.raises(ConfigError):
+        TestbedConfig(controller_hops=0)
+
+
+def test_dns_chain_resolves_hosted_domain_to_edge():
+    from repro.dnslib import ForwardingDnsService, StubResolver
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    ForwardingDnsService(bed.ap, bed.transport, bed.ldns.address).install()
+    bed.host_object("http://resolved.example/obj", 64)
+    phone = bed.add_client("phone")
+    stub = StubResolver(phone, bed.transport, bed.ap.address)
+
+    def resolve():
+        result = yield from stub.resolve("resolved.example")
+        return result
+
+    result = bed.sim.run(until=bed.sim.process(resolve()))
+    assert result.address == bed.edge.address
+
+
+def test_add_domain_idempotent():
+    bed = Testbed(TestbedConfig(jitter_fraction=0.0))
+    bed.add_domain("twice.example")
+    bed.add_domain("twice.example")  # must not raise
+
+
+def test_repr_smoke(bed):
+    assert "Testbed" in repr(bed)
