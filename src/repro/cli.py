@@ -13,10 +13,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 import typing as _t
 
 from repro._version import __version__
+from repro.perf import perf_timer
 
 __all__ = ["main", "build_parser", "EXPERIMENTS"]
 
@@ -116,7 +116,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     quick = not args.full
 
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]
-    started = time.time()
+    elapsed = perf_timer()
     chunks = []
     for name in names:
         description, runner = EXPERIMENTS[name]
@@ -131,7 +131,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(rendered)
-    print(f"done in {time.time() - started:.0f}s", file=sys.stderr)
+    print(f"done in {elapsed():.0f}s", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,39 @@
+"""``repro.lint`` — an AST-based determinism & simulation-safety linter.
+
+The APE-CACHE reproduction's headline guarantee is that every experiment
+is a *deterministic* discrete-event simulation: the PACM hit-rate tables
+(Tables IV-VI) and the latency CDFs (Figs. 11/13) must come out
+bit-identical for a given ``--seed``.  Nothing in the Python language
+enforces that, so this package does: a small, pluggable static analyzer
+that walks the AST of every source file and reports repo-specific
+violations — unseeded RNGs, wall-clock reads, iteration-order hazards,
+blocking calls inside simulation processes, float equality against
+simulated time, and out-of-range ``@cacheable`` declarations.
+
+Run it as a module::
+
+    python -m repro.lint src           # human output, exit 1 on findings
+    python -m repro.lint --format json src
+    python -m repro.lint --write-baseline src
+
+See ``docs/linting.md`` for the checker catalogue, the suppression
+syntax (``# lint: disable=CODE``), and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import lint_file, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, all_checkers, register
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "all_checkers",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "register",
+]

@@ -1,0 +1,91 @@
+"""The committed findings baseline.
+
+A baseline is the linter's grandfather clause: findings recorded in it
+are *known and accepted* (reported as "baselined", exit code stays 0);
+anything not in it fails the run.  This lets a new checker land with
+strict enforcement for new code while existing, intentional cases are
+reviewed once and committed — the same model ruff's ``--add-noqa`` and
+mypy's ``--txt-report`` baselines use.
+
+The file is JSON (sorted, newline-terminated) so diffs are reviewable::
+
+    {
+      "version": 1,
+      "findings": [
+        {"path": "src/repro/x.py", "code": "DET003", "line": 42,
+         "message": "..."}
+      ]
+    }
+
+Matching is by ``(path, code, line)``; the message is stored only for
+the human reading the diff.  After a refactor shifts lines, regenerate
+with ``python -m repro.lint --write-baseline`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.lint.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_by_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: pathlib.Path) -> set[tuple[str, str, int]]:
+    """Baseline keys from ``path``; empty set if the file doesn't exist."""
+    if not path.is_file():
+        return set()
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}") \
+            from exc
+    if document.get("version") != _VERSION:
+        raise ConfigError(
+            f"baseline {path} has version {document.get('version')!r}; "
+            f"this linter understands version {_VERSION}")
+    keys = set()
+    for entry in document.get("findings", []):
+        try:
+            keys.add((str(entry["path"]), str(entry["code"]),
+                      int(entry["line"])))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed baseline entry in {path}: {entry!r}") from exc
+    return keys
+
+
+def write_baseline(path: pathlib.Path,
+                   findings: _t.Iterable[Finding]) -> None:
+    """Write (sorted, deduplicated) ``findings`` as the new baseline."""
+    entries = sorted(
+        {finding.baseline_key(): finding for finding in findings}.values())
+    document = {
+        "version": _VERSION,
+        "findings": [
+            {"path": finding.path, "code": finding.code,
+             "line": finding.line, "message": finding.message}
+            for finding in entries
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+
+def split_by_baseline(findings: _t.Sequence[Finding],
+                      baseline: set[tuple[str, str, int]],
+                      ) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (fresh, baselined) preserving order."""
+    fresh: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        if finding.baseline_key() in baseline:
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered

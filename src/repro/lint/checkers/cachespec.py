@@ -1,0 +1,94 @@
+"""Cache-declaration checker: CACHE001.
+
+The paper's ``@Cacheable(id, Priority, TTL)`` annotation (here
+:func:`repro.core.annotations.cacheable`) constrains its fields: PACM's
+priority scale is "values of 1 or 2, which stand for low and high
+priority", and a TTL must be strictly positive for the expiry logic to
+make sense.  ``CacheableSpec`` validates at *runtime*, but app models
+are often imported lazily — this checker moves the error to review
+time.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as _t
+
+from repro.lint.asthelpers import (call_keyword, call_positional,
+                                   literal_number)
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, ModuleUnderLint, register
+
+__all__ = ["CacheableRanges"]
+
+
+@register
+class CacheableRanges(Checker):
+    """CACHE001: ``cacheable(...)`` priority/TTL literal out of range.
+
+    Checks literal arguments only; values computed at runtime are left
+    to ``CacheableSpec.__post_init__``.  The accepted priority range
+    comes from ``[tool.repro-lint] cacheable-priority-range``
+    (default ``[1, 2]``, the paper's scale).
+    """
+
+    code = "CACHE001"
+    description = ("@cacheable priority/TTL literal outside the valid "
+                   "PACM range")
+
+    def check(self, module: ModuleUnderLint) -> _t.Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._call_name(node)
+            if name == "cacheable":
+                yield from self._check_priority(module, node, "priority", 1)
+                yield from self._check_ttl(module, node, "ttl_minutes", 2)
+            elif name == "CacheableSpec":
+                yield from self._check_priority(module, node, "priority", 1)
+                yield from self._check_ttl(module, node, "ttl_s", 2)
+
+    @staticmethod
+    def _call_name(node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def _check_priority(self, module: ModuleUnderLint, node: ast.Call,
+                        keyword: str, position: int,
+                        ) -> _t.Iterator[Finding]:
+        argument = call_keyword(node, keyword) \
+            or call_positional(node, position)
+        if argument is None:
+            return
+        value = literal_number(argument)
+        if value is None:
+            return
+        low = module.config.cacheable_priority_min
+        high = module.config.cacheable_priority_max
+        if isinstance(value, float):
+            yield module.finding(
+                self.code, argument,
+                f"priority must be an integer in {low}..{high}, "
+                f"got float {value!r}")
+        elif not low <= value <= high:
+            yield module.finding(
+                self.code, argument,
+                f"priority {value} outside PACM's valid range "
+                f"{low}..{high} (LOW_PRIORITY={low}, HIGH_PRIORITY={high})")
+
+    def _check_ttl(self, module: ModuleUnderLint, node: ast.Call,
+                   keyword: str, position: int) -> _t.Iterator[Finding]:
+        argument = call_keyword(node, keyword) \
+            or call_positional(node, position)
+        if argument is None:
+            return
+        value = literal_number(argument)
+        if value is None:
+            return
+        if value <= 0:
+            yield module.finding(
+                self.code, argument,
+                f"TTL must be strictly positive, got {value!r}")

@@ -1,0 +1,89 @@
+"""File discovery and checker execution.
+
+The engine is deliberately free of CLI concerns so tests (and the tier-1
+gate in ``tests/test_lint_clean.py``) call it as a library:
+
+    config = load_config(repo_root)
+    findings = lint_paths([repo_root / "src"], config)
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import typing as _t
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleUnderLint, all_checkers
+from repro.lint.suppressions import parse_suppressions
+
+__all__ = ["lint_file", "lint_paths", "iter_python_files"]
+
+
+def iter_python_files(paths: _t.Iterable[pathlib.Path],
+                      config: LintConfig) -> _t.Iterator[pathlib.Path]:
+    """Expand files/directories into the sorted set of ``.py`` files."""
+    seen: set[pathlib.Path] = set()
+    collected: list[pathlib.Path] = []
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            parts = candidate.parts
+            if any(part in config.exclude or part.endswith(".egg-info")
+                   or part.startswith(".") for part in parts[:-1]):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(collected)
+
+
+def _relpath(path: pathlib.Path, config: LintConfig) -> str:
+    """``path`` relative to the project root, POSIX separators."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(config.root.resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def lint_file(path: pathlib.Path, config: LintConfig) -> list[Finding]:
+    """All non-suppressed findings for one file, sorted by location."""
+    relpath = _relpath(path, config)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(path=relpath, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, code="LINT999",
+                        message=f"file does not parse: {exc.msg}")]
+    module = ModuleUnderLint(relpath, source, tree, config)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for checker_class in all_checkers():
+        if checker_class.code in config.ignore:
+            continue
+        for finding in checker_class().check(module):
+            if not suppressions.is_suppressed(finding.code, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(paths: _t.Iterable[pathlib.Path | str],
+               config: LintConfig) -> list[Finding]:
+    """Lint every Python file under ``paths``; sorted, deduplicated."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(
+            (pathlib.Path(p) for p in paths), config):
+        findings.extend(lint_file(file_path, config))
+    return sorted(set(findings))

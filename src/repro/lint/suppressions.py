@@ -1,0 +1,77 @@
+"""Parsing of ``# lint: disable=...`` suppression comments.
+
+Two scopes, one syntax:
+
+* **Line scope** — the comment trails code on the same line; only
+  findings reported *on that line* are suppressed::
+
+      self._rng = random.Random()  # lint: disable=DET001
+
+* **File scope** — the comment stands alone on its own line (top of the
+  module by convention); the listed codes are suppressed for the whole
+  file::
+
+      # lint: disable=DET002
+
+``disable=all`` suppresses every checker in the given scope.  Codes are
+comma-separated.  Suppressions are parsed with :mod:`tokenize`, not
+regexes over raw lines, so string literals that merely *contain* the
+marker text are never misread as directives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+)")
+
+
+@dataclasses.dataclass
+class Suppressions:
+    """Suppression state for one source file."""
+
+    file_codes: set[str] = dataclasses.field(default_factory=set)
+    line_codes: dict[int, set[str]] = dataclasses.field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if "all" in self.file_codes or code in self.file_codes:
+            return True
+        at_line = self.line_codes.get(line, ())
+        return "all" in at_line or code in at_line
+
+
+def _codes(comment: str) -> set[str] | None:
+    match = _DIRECTIVE.search(comment)
+    if match is None:
+        return None
+    return {code.strip().upper() if code.strip() != "all" else "all"
+            for code in match.group("codes").split(",") if code.strip()}
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract all suppression directives from ``source``."""
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return result
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        codes = _codes(token.string)
+        if codes is None:
+            continue
+        before = token.line[:token.start[1]]
+        if before.strip():
+            # Trailing comment: suppress on this physical line only.
+            result.line_codes.setdefault(token.start[0], set()).update(codes)
+        else:
+            result.file_codes.update(codes)
+    return result

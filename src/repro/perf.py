@@ -1,0 +1,36 @@
+"""The one blessed wall-clock helper.
+
+Everything under ``repro`` takes time from the simulated clock
+(``sim.now``); real time would make results depend on machine load, so
+DET002 (see ``docs/linting.md``) bans wall-clock calls across ``src/``.
+Operator-facing progress reporting still legitimately wants elapsed real
+time, and this module is the single allowlisted place it may come from::
+
+    elapsed = perf_timer()
+    ...                     # do work
+    print(f"done in {elapsed():.0f}s")
+
+Keeping the clock read behind one seam also gives tests a single patch
+point.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+
+__all__ = ["perf_timer"]
+
+
+def perf_timer() -> _t.Callable[[], float]:
+    """Start a stopwatch; the returned callable yields elapsed seconds.
+
+    Uses :func:`time.perf_counter`, which is monotonic — immune to NTP
+    steps and wall-clock adjustments mid-run.
+    """
+    started = time.perf_counter()
+
+    def elapsed() -> float:
+        return time.perf_counter() - started
+
+    return elapsed

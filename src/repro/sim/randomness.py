@@ -57,7 +57,10 @@ class ZipfSampler:
             raise ValueError(f"exponent must be >= 0, got {exponent}")
         self.n = n
         self.exponent = exponent
-        self._rng = rng or _random.Random()
+        # Default to a *fixed* seed, never the OS: an implicit
+        # ``Random()`` here would make every default-constructed
+        # workload unreproducible (see DET001 in docs/linting.md).
+        self._rng = rng if rng is not None else _random.Random(0)
         weights = [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
         total = math.fsum(weights)
         self._cdf: list[float] = []
@@ -98,7 +101,8 @@ class ExponentialSampler:
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean}")
         self.mean = mean
-        self._rng = rng or _random.Random()
+        # Fixed-seed default for reproducibility, as in ZipfSampler.
+        self._rng = rng if rng is not None else _random.Random(0)
 
     def sample(self) -> float:
         """Draw one inter-arrival time (strictly positive)."""

@@ -1,0 +1,40 @@
+"""CACHE001 fixture — never imported, only linted.
+
+``# expect: CODE`` markers are read by the tests; see
+``determinism_violations.py``.
+"""
+
+from repro.core.annotations import cacheable, CacheableSpec
+
+
+class BadApi:
+    too_high = cacheable("http://api.example/a",
+                         priority=9,               # expect: CACHE001
+                         ttl_minutes=10.0)
+    too_low = cacheable("http://api.example/b",
+                        priority=0,                # expect: CACHE001
+                        ttl_minutes=10.0)
+    negative = cacheable("http://api.example/c",
+                         priority=-1,              # expect: CACHE001
+                         ttl_minutes=10.0)
+    fractional = cacheable("http://api.example/d",
+                           priority=1.5,           # expect: CACHE001
+                           ttl_minutes=10.0)
+    dead_ttl = cacheable("http://api.example/e",
+                         priority=1,
+                         ttl_minutes=0)            # expect: CACHE001
+    negative_ttl = cacheable("http://api.example/f",
+                             priority=2,
+                             ttl_minutes=-30)      # expect: CACHE001
+    positional = cacheable("http://api.example/g", 3, 10.0)  # expect: CACHE001
+
+
+class GoodApi:
+    low = cacheable("http://api.example/h", priority=1, ttl_minutes=30)
+    high = cacheable("http://api.example/i", priority=2, ttl_minutes=0.5)
+    computed = cacheable("http://api.example/j", priority=int("2"))
+
+
+BAD_SPEC = CacheableSpec(url="http://api.example/k",
+                         priority=11,              # expect: CACHE001
+                         ttl_s=600.0)

@@ -1,0 +1,21 @@
+"""A file the linter must pass with zero findings."""
+
+import heapq
+import random
+
+
+def seeded_draws(seed):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(3)]
+
+
+def ordered_iteration(table, heap):
+    for key in sorted(table):
+        heapq.heappush(heap, key)
+    return min(sorted(table.values()))
+
+
+def simulated_delay(sim):
+    yield sim.timeout(1.0)
+    if sim.now >= 1.0:
+        return sim.now

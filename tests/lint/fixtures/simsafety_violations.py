@@ -1,0 +1,47 @@
+"""SIM001/SIM002 fixture — never imported, only linted.
+
+``# expect: CODE`` markers are read by the tests; see
+``determinism_violations.py``.
+"""
+
+import socket
+import subprocess
+import time
+
+
+def slow_process(sim):
+    time.sleep(0.5)                                # expect: SIM001
+    yield sim.timeout(1.0)
+    connection = socket.create_connection(("host", 80))  # expect: SIM001
+    subprocess.run(["true"])                       # expect: SIM001
+    handle = open("/tmp/trace.log")                # expect: SIM001
+    return connection, handle
+
+
+def method_style_process(self):
+    yield self.sim.timeout(2.0)
+    time.sleep(1)                                  # expect: SIM001
+
+
+def plain_helper():
+    # Not a process generator: no yield, so blocking calls are fine.
+    time.sleep(0)
+    return open("/dev/null")
+
+
+def plain_generator():
+    # A generator with no simulator handle and no event yields is not a
+    # simulation process either.
+    time.sleep(0)
+    yield 1
+
+
+def time_comparisons(sim, deadline):
+    if sim.now == deadline:                        # expect: SIM002
+        pass
+    while sim.now != deadline:                     # expect: SIM002
+        pass
+    finished = deadline == sim.now                 # expect: SIM002
+    ordered_ok = sim.now <= deadline
+    close_ok = abs(sim.now - deadline) < 1e-9
+    return finished, ordered_ok, close_ok

@@ -1,0 +1,34 @@
+"""Suppression fixture — never imported, only linted.
+
+The file-scope directive below silences DET002 everywhere in this file;
+the trailing directives silence single lines.  The remaining markers are
+the findings that must still be reported.
+"""
+
+# lint: disable=DET002
+
+import random
+import time
+
+
+def wall_clock_is_file_suppressed():
+    return time.time(), time.monotonic()
+
+
+def line_scope():
+    quiet = random.Random()  # lint: disable=DET001
+    both = random.Random()  # lint: disable=DET001,DET003
+    loud = random.Random()                         # expect: DET001
+    wrong_code = random.Random()  # lint: disable=SIM001  # expect: DET001
+    return quiet, both, loud, wrong_code
+
+
+def everything_off():
+    noisy = random.Random()  # lint: disable=all
+    return noisy
+
+
+# A *string literal* that merely mentions a disable directive is not a
+# directive (directives are comments, parsed with tokenize):
+DOC = "to silence a line, append '# lint: disable=DET001'"
+STILL_CAUGHT = random.Random()                     # expect: DET001

@@ -1,0 +1,87 @@
+"""End-to-end CLI behaviour: ``python -m repro.lint`` exit codes & output."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.lint.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def run_cli(*arguments, cwd=REPO_ROOT):
+    environment = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *arguments],
+        cwd=cwd, env=environment, capture_output=True, text=True)
+
+
+def test_src_is_clean_exit_zero():
+    result = run_cli("src")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_default_paths_come_from_pyproject():
+    result = run_cli()
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_fixtures_fail_with_codes_and_line_numbers():
+    result = run_cli("--no-baseline",
+                     str(FIXTURES / "determinism_violations.py"))
+    assert result.returncode == 1
+    assert "DET001" in result.stdout
+    assert "DET002" in result.stdout
+    assert "DET003" in result.stdout
+    # path:line:col: CODE message
+    assert "tests/lint/fixtures/determinism_violations.py:20:" \
+        in result.stdout
+
+
+def test_json_format_is_machine_readable():
+    result = run_cli("--format", "json", "--no-baseline",
+                     str(FIXTURES / "cachespec_violations.py"))
+    assert result.returncode == 1
+    document = json.loads(result.stdout)
+    codes = {finding["code"] for finding in document["findings"]}
+    assert codes == {"CACHE001"}
+    assert all(finding["line"] > 0 for finding in document["findings"])
+
+
+def test_list_checkers_names_all_six():
+    result = run_cli("--list-checkers")
+    assert result.returncode == 0
+    for code in ("DET001", "DET002", "DET003",
+                 "SIM001", "SIM002", "CACHE001"):
+        assert code in result.stdout
+
+
+def test_nonexistent_path_is_a_usage_error():
+    result = run_cli("no/such/dir")
+    assert result.returncode == 2
+    assert "error" in result.stderr
+
+
+def test_write_baseline_then_clean(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    fixture = str(FIXTURES / "simsafety_violations.py")
+    wrote = run_cli("--write-baseline", "--baseline", str(baseline),
+                    fixture)
+    assert wrote.returncode == 0
+    rerun = run_cli("--baseline", str(baseline), fixture)
+    assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+    assert "baselined" in rerun.stdout
+
+
+def test_main_is_callable_in_process(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["src"]) == 0
+    captured = capsys.readouterr()
+    assert "clean" in captured.out

@@ -33,6 +33,37 @@ def test_stream_is_memoised():
     assert streams.stream("x") is streams.stream("x")
 
 
+def test_default_constructed_samplers_are_reproducible():
+    # Regression: the samplers used to fall back to an *unseeded*
+    # ``random.Random()``, silently making default-constructed
+    # workloads unreproducible (DET001 in docs/linting.md).
+    assert ZipfSampler(50).sample_many(100) == \
+        ZipfSampler(50).sample_many(100)
+    assert ExponentialSampler(3.0).sample_many(100) == \
+        ExponentialSampler(3.0).sample_many(100)
+
+
+def test_default_constructed_simulations_produce_identical_traces():
+    from repro.sim import Simulator
+
+    def run_once():
+        sim = Simulator()
+        arrivals = ExponentialSampler(0.5)
+        ranks = ZipfSampler(20)
+        trace = []
+
+        def workload(sim):
+            for _ in range(200):
+                yield sim.timeout(arrivals.sample())
+                trace.append((sim.now, ranks.sample()))
+
+        sim.process(workload(sim))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
 def test_spawn_derives_independent_factory():
     parent = RandomStreams(3)
     child = parent.spawn("worker")

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# The full local gate: determinism/sim-safety lint, then the test suite.
+#
+# Usage: tools/check.sh [extra pytest args]
+#
+# Mirrors what CI enforces: `python -m repro.lint` must exit 0 (only
+# baselined findings allowed — see docs/linting.md), and the tier-1
+# pytest run must pass (which itself re-checks the lint gate via
+# tests/test_lint_clean.py, so forgetting this script cannot skip it).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "==> repro.lint"
+python -m repro.lint
+
+echo "==> pytest"
+python -m pytest -x -q "$@"
