@@ -13,7 +13,7 @@ from repro.core.client_runtime import ClientRuntime
 from repro.core.config import ApeCacheConfig
 from repro.errors import ConfigError
 from repro.net.node import Node
-from repro.baselines.base import CachingSystem
+from repro.baselines.base import CachingSystem, telemetry_of
 from repro.testbed import Testbed
 
 __all__ = ["ApeCacheSystem", "ApeCacheLruSystem"]
@@ -36,7 +36,8 @@ class ApeCacheSystem(CachingSystem):
 
     def install(self, bed: Testbed) -> None:
         self.ap_runtime = ApRuntime(bed.ap, bed.transport,
-                                    bed.ldns.address, config=self.config)
+                                    bed.ldns.address, config=self.config,
+                                    telemetry=telemetry_of(bed))
         policy = self._make_policy(self.ap_runtime)
         if policy is not None:
             self.ap_runtime.policy = policy
@@ -48,7 +49,8 @@ class ApeCacheSystem(CachingSystem):
             raise ConfigError(f"{self.name}.install was not called")
         return ClientRuntime(node, bed.transport, bed.ap.address,
                              app_id=app_id,
-                             device_cache_bytes=self.device_cache_bytes)
+                             device_cache_bytes=self.device_cache_bytes,
+                             telemetry=telemetry_of(bed))
 
     def ap_cache_stats(self) -> dict[str, float]:
         runtime = self.ap_runtime

@@ -15,9 +15,18 @@ import typing as _t
 from repro.core.annotations import CacheableSpec
 from repro.core.client_runtime import FetchResult
 from repro.net.node import Node
+from repro.telemetry.registry import NULL
 from repro.testbed import Testbed
 
-__all__ = ["CachingSystem", "ObjectFetcher"]
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
+
+__all__ = ["CachingSystem", "ObjectFetcher", "telemetry_of"]
+
+
+def telemetry_of(bed: Testbed) -> "Telemetry":
+    """The testbed's registry (the null backend for bare stand-ins)."""
+    return getattr(bed, "telemetry", NULL) or NULL
 
 
 class ObjectFetcher(_t.Protocol):

@@ -20,7 +20,7 @@ from repro.httplib.messages import HttpRequest
 from repro.httplib.url import Url
 from repro.net.node import Node
 from repro.sim.monitor import MetricSet
-from repro.baselines.base import CachingSystem
+from repro.baselines.base import CachingSystem, telemetry_of
 from repro.testbed import Testbed
 
 __all__ = ["EdgeCacheSystem", "EdgeCacheFetcher"]
@@ -34,10 +34,17 @@ class EdgeCacheFetcher:
         self.node = node
         self.sim = node.sim
         self.app_id = app_id
-        self.resolver = StubResolver(node, bed.transport, bed.ap.address)
-        self.http = HttpClient(node, bed.transport, self.resolver)
+        self.telemetry = telemetry_of(bed)
+        self.resolver = StubResolver(node, bed.transport, bed.ap.address,
+                                     telemetry=self.telemetry)
+        self.http = HttpClient(node, bed.transport, self.resolver,
+                               telemetry=self.telemetry)
         self._specs: dict[str, CacheableSpec] = {}
         self.metrics = MetricSet()
+        self._h_lookup = self.telemetry.histogram("client.lookup_ms")
+        self._h_retrieval = self.telemetry.histogram("client.retrieval_ms")
+        self._h_total = self.telemetry.histogram("client.total_ms")
+        self._t_fetches = self.telemetry.counter("client.fetches")
 
     def register_spec(self, spec: CacheableSpec) -> None:
         self._specs[spec.base_url] = spec
@@ -45,15 +52,21 @@ class EdgeCacheFetcher:
     def fetch(self, url: str,
               ) -> _t.Generator[object, object, FetchResult]:
         parsed = Url.parse(url)
-        lookup_started = self.sim.now
-        resolution = yield from self.resolver.resolve(parsed.host)
-        lookup_latency = self.sim.now - lookup_started
+        with self.telemetry.span("request", app=self.app_id,
+                                 url=parsed.base) as req:
+            lookup_started = self.sim.now
+            with self.telemetry.span("dns_lookup", parent=req,
+                                     domain=parsed.host):
+                resolution = yield from self.resolver.resolve(parsed.host)
+            lookup_latency = self.sim.now - lookup_started
 
-        retrieval_started = self.sim.now
-        request = HttpRequest(parsed, headers={
-            TARGET_IP_HEADER: str(resolution.address)})
-        response = yield from self.http.transport_call(request)
-        retrieval_latency = self.sim.now - retrieval_started
+            retrieval_started = self.sim.now
+            request = HttpRequest(parsed, headers={
+                TARGET_IP_HEADER: str(resolution.address)})
+            with self.telemetry.span("edge_fetch", parent=req):
+                response = yield from self.http.transport_call(request)
+            retrieval_latency = self.sim.now - retrieval_started
+            req.set_attr("source", "edge")
 
         result = FetchResult(
             data_object=response.body if response.ok else None,
@@ -67,6 +80,12 @@ class EdgeCacheFetcher:
         self.metrics.record("lookup_s", now, result.lookup_latency_s)
         self.metrics.record("retrieval_s", now, result.retrieval_latency_s)
         self.metrics.record("total_s", now, result.total_latency_s)
+        self._h_lookup.observe(lookup_latency * 1e3, app=self.app_id)
+        self._h_retrieval.observe(retrieval_latency * 1e3,
+                                  app=self.app_id, source="edge")
+        self._h_total.observe(result.total_latency_s * 1e3,
+                              app=self.app_id, source="edge")
+        self._t_fetches.inc(app=self.app_id, source="edge", hit="no")
         return result
 
     def flush(self) -> None:
@@ -84,6 +103,7 @@ class EdgeCacheSystem(CachingSystem):
     def install(self, bed: Testbed) -> None:
         self.ap_dns = ForwardingDnsService(bed.ap, bed.transport,
                                            bed.ldns.address)
+        self.ap_dns.bind_telemetry(telemetry_of(bed))
         self.ap_dns.install()
 
     def new_fetcher(self, bed: Testbed, node: Node,

@@ -39,7 +39,7 @@ from repro.net.address import IPv4Address
 from repro.net.node import Node, TCP_HTTP_PORT
 from repro.sim.kernel import MS
 from repro.sim.monitor import MetricSet
-from repro.baselines.base import CachingSystem
+from repro.baselines.base import CachingSystem, telemetry_of
 from repro.testbed import Testbed
 
 __all__ = ["WiCacheSystem", "WiCacheController", "WiCacheAgent",
@@ -96,7 +96,8 @@ class WiCacheAgent:
         self.sim = bed.sim
         self.transport = bed.transport
         self.controller = controller
-        self.store = CacheStore(cache_capacity_bytes)
+        self.store = CacheStore(cache_capacity_bytes,
+                                telemetry=telemetry_of(bed), tier="ap")
         self.policy = LruPolicy()
         self.http_service_time_s = http_service_time_s
         self.hits_served = 0
@@ -166,9 +167,15 @@ class WiCacheFetcher:
         self.app_id = app_id
         self.agent = agent
         self.controller_address = controller_address
-        self.http = HttpClient(node, bed.transport)
+        self.telemetry = telemetry_of(bed)
+        self.http = HttpClient(node, bed.transport,
+                               telemetry=self.telemetry)
         self._specs: dict[str, CacheableSpec] = {}
         self.metrics = MetricSet()
+        self._h_lookup = self.telemetry.histogram("client.lookup_ms")
+        self._h_retrieval = self.telemetry.histogram("client.retrieval_ms")
+        self._h_total = self.telemetry.histogram("client.total_ms")
+        self._t_fetches = self.telemetry.counter("client.fetches")
 
     def register_spec(self, spec: CacheableSpec) -> None:
         self._specs[spec.base_url] = spec
@@ -178,27 +185,36 @@ class WiCacheFetcher:
         parsed = Url.parse(url)
         spec = self._specs.get(parsed.base)
 
-        lookup_started = self.sim.now
-        payload = yield self.sim.process(self.bed.transport.udp_request(
-            self.node.name, self.controller_address, WICACHE_LOOKUP_PORT,
-            hash_url(parsed.base)))
-        cached_flag, raw_address = struct.unpack(
-            "!B4s", _t.cast(bytes, payload))
-        target = IPv4Address.from_bytes(raw_address)
-        lookup_latency = self.sim.now - lookup_started
+        with self.telemetry.span("request", app=self.app_id,
+                                 url=parsed.base) as req:
+            lookup_started = self.sim.now
+            with self.telemetry.span("controller_lookup", parent=req):
+                payload = yield self.sim.process(
+                    self.bed.transport.udp_request(
+                        self.node.name, self.controller_address,
+                        WICACHE_LOOKUP_PORT, hash_url(parsed.base)))
+            cached_flag, raw_address = struct.unpack(
+                "!B4s", _t.cast(bytes, payload))
+            target = IPv4Address.from_bytes(raw_address)
+            lookup_latency = self.sim.now - lookup_started
 
-        retrieval_started = self.sim.now
-        request = HttpRequest(parsed, headers={
-            TARGET_IP_HEADER: str(target)})
-        response = yield from self.http.transport_call(request)
-        if cached_flag and not response.ok:
-            # Stale controller state: the AP evicted meanwhile. Fall back
-            # to the edge like any miss.
-            cached_flag = 0
+            retrieval_started = self.sim.now
             request = HttpRequest(parsed, headers={
-                TARGET_IP_HEADER: str(self.bed.edge.address)})
-            response = yield from self.http.transport_call(request)
-        retrieval_latency = self.sim.now - retrieval_started
+                TARGET_IP_HEADER: str(target)})
+            with self.telemetry.span(
+                    "ap_hit" if cached_flag else "edge_fetch",
+                    parent=req):
+                response = yield from self.http.transport_call(request)
+                if cached_flag and not response.ok:
+                    # Stale controller state: the AP evicted meanwhile.
+                    # Fall back to the edge like any miss.
+                    cached_flag = 0
+                    request = HttpRequest(parsed, headers={
+                        TARGET_IP_HEADER: str(self.bed.edge.address)})
+                    response = yield from self.http.transport_call(request)
+            retrieval_latency = self.sim.now - retrieval_started
+            req.set_attr("source",
+                         "ap-hit" if cached_flag else "edge")
 
         if not cached_flag and response.ok and spec is not None:
             self.agent.background_fill(parsed, self.app_id, spec.ttl_s,
@@ -217,6 +233,14 @@ class WiCacheFetcher:
         self.metrics.record("lookup_s", now, result.lookup_latency_s)
         self.metrics.record("retrieval_s", now, result.retrieval_latency_s)
         self.metrics.record("total_s", now, result.total_latency_s)
+        source = result.source
+        self._h_lookup.observe(lookup_latency * 1e3, app=self.app_id)
+        self._h_retrieval.observe(retrieval_latency * 1e3,
+                                  app=self.app_id, source=source)
+        self._h_total.observe(result.total_latency_s * 1e3,
+                              app=self.app_id, source=source)
+        self._t_fetches.inc(app=self.app_id, source=source,
+                            hit="yes" if result.cache_hit else "no")
         return result
 
     def flush(self) -> None:
@@ -235,8 +259,9 @@ class WiCacheSystem(CachingSystem):
 
     def install(self, bed: Testbed) -> None:
         # The AP still provides ordinary DNS for non-cacheable traffic.
-        ForwardingDnsService(bed.ap, bed.transport,
-                             bed.ldns.address).install()
+        ForwardingDnsService(
+            bed.ap, bed.transport,
+            bed.ldns.address).bind_telemetry(telemetry_of(bed)).install()
         self.controller = WiCacheController(bed.controller,
                                             bed.edge.address)
         self.controller.install()

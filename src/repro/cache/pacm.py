@@ -27,6 +27,10 @@ from repro.cache.frequency import RequestFrequencyTracker
 from repro.cache.knapsack import DEFAULT_GRANULARITY, solve_knapsack
 from repro.cache.policies import EvictionPolicy
 from repro.cache.store import CacheStore
+from repro.telemetry.registry import NULL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["PacmPolicy", "utility_of", "select_keep_set",
            "DEFAULT_FAIRNESS_THRESHOLD"]
@@ -121,7 +125,8 @@ class PacmPolicy(EvictionPolicy):
 
     def __init__(self, tracker: RequestFrequencyTracker,
                  fairness_threshold: float = DEFAULT_FAIRNESS_THRESHOLD,
-                 granularity: int = DEFAULT_GRANULARITY) -> None:
+                 granularity: int = DEFAULT_GRANULARITY,
+                 telemetry: "Telemetry | None" = None) -> None:
         if not 0.0 <= fairness_threshold <= 1.0:
             raise ConfigError(
                 f"fairness threshold must be in [0, 1], "
@@ -130,11 +135,18 @@ class PacmPolicy(EvictionPolicy):
         self.fairness_threshold = fairness_threshold
         self.granularity = granularity
         self.selections = 0
+        telemetry = telemetry if telemetry is not None else NULL
+        self._t_selections = telemetry.counter(
+            "pacm.selections", help="PACM victim-selection invocations")
+        self._t_victims = telemetry.histogram(
+            "pacm.victims", help="victims evicted per PACM selection",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0))
 
     def select_victims(self, store: CacheStore, incoming: CacheEntry,
                        now: float) -> list[CacheEntry] | None:
         """Evict everything PACM's keep-set excludes (see select_keep_set)."""
         self.selections += 1
+        self._t_selections.inc()
         capacity = store.capacity_bytes - incoming.size_bytes
         if capacity < 0:
             return None
@@ -144,8 +156,10 @@ class PacmPolicy(EvictionPolicy):
             fairness_threshold=self.fairness_threshold,
             granularity=self.granularity)
         kept_ids = {id(entry) for entry in kept}
-        return [entry for entry in store.entries()
-                if id(entry) not in kept_ids]
+        victims = [entry for entry in store.entries()
+                   if id(entry) not in kept_ids]
+        self._t_victims.observe(float(len(victims)))
+        return victims
 
     def fairness(self, store: CacheStore) -> float:
         """Current F(A) of the store under this policy's tracker."""

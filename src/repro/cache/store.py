@@ -14,9 +14,11 @@ import typing as _t
 from repro.errors import CacheError, CapacityError
 from repro.cache.entry import CacheEntry
 from repro.httplib.url import Url
+from repro.telemetry.registry import NULL
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.cache.policies import EvictionPolicy
+    from repro.telemetry import Telemetry
 
 __all__ = ["CacheStore", "AdmissionResult"]
 
@@ -37,16 +39,27 @@ class AdmissionResult:
 class CacheStore:
     """A capacity-bounded map from base URL to :class:`CacheEntry`."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int,
+                 telemetry: "Telemetry | None" = None,
+                 tier: str = "ap") -> None:
         if capacity_bytes <= 0:
             raise CacheError(
                 f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
+        self.tier = tier
         self._entries: dict[str, CacheEntry] = {}
         self.used_bytes = 0
         self.insertions = 0
         self.evictions = 0
         self.expirations = 0
+        telemetry = telemetry if telemetry is not None else NULL
+        self._t_lookups = telemetry.counter(
+            "cache.lookups", help="store lookups by tier and outcome")
+        self._t_events = telemetry.counter(
+            "cache.events",
+            help="insertions/evictions/expirations by tier (and app)")
+        self._t_used = telemetry.gauge(
+            "cache.used_bytes", help="occupied bytes by tier")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -81,11 +94,14 @@ class CacheStore:
         """A fresh entry for ``url`` (touching it), or None."""
         entry = self._entries.get(self._key(url))
         if entry is None:
+            self._t_lookups.inc(tier=self.tier, outcome="miss")
             return None
         if entry.is_expired(now):
             self._drop(entry, expired=True)
+            self._t_lookups.inc(tier=self.tier, outcome="expired")
             return None
         entry.touch(now)
+        self._t_lookups.inc(tier=self.tier, outcome="hit")
         return entry
 
     def peek(self, url: str) -> CacheEntry | None:
@@ -133,6 +149,9 @@ class CacheStore:
         self._entries[self._key(entry.url)] = entry
         self.used_bytes += entry.size_bytes
         self.insertions += 1
+        self._t_events.inc(tier=self.tier, event="insertion",
+                           app=entry.app_id)
+        self._t_used.set(self.used_bytes, tier=self.tier)
         return AdmissionResult(admitted=True, evicted=evicted)
 
     def remove(self, url: str) -> CacheEntry | None:
@@ -151,10 +170,15 @@ class CacheStore:
         if removed is None:  # pragma: no cover - internal invariant
             raise CacheError(f"{entry.url} vanished from the store")
         self.used_bytes -= removed.size_bytes
+        self._t_used.set(self.used_bytes, tier=self.tier)
         if expired:
             self.expirations += 1
+            self._t_events.inc(tier=self.tier, event="expiration",
+                               app=removed.app_id)
         elif count_eviction:
             self.evictions += 1
+            self._t_events.inc(tier=self.tier, event="eviction",
+                               app=removed.app_id)
 
     def __repr__(self) -> str:
         return (f"<CacheStore {self.used_bytes}/{self.capacity_bytes}B "

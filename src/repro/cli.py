@@ -85,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
         subparsers.add_parser(name, help=description, parents=[common])
     subparsers.add_parser("all", help="run every experiment in order",
                           parents=[common])
+
+    obs = subparsers.add_parser(
+        "obs", parents=[common],
+        help="telemetry panel: per-stage latency breakdown, per-app "
+             "hit ratios, span export")
+    obs.add_argument("--spans", type=str, default=None, metavar="FILE",
+                     help="write the run's span log to FILE as JSONL")
+    obs.add_argument("--profile", action="store_true",
+                     help="also report host events/sec and wall-ms "
+                          "per sim-s")
     return parser
 
 
@@ -109,22 +119,34 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         for name, (description, _runner) in EXPERIMENTS.items():
             print(f"  {name.ljust(width)}  {description}")
         print(f"  {'all'.ljust(width)}  run everything")
+        print(f"  {'obs'.ljust(width)}  telemetry panel: per-stage "
+              f"latency, per-app hit ratios, span export")
         return 0
 
     if args.full:
         os.environ["REPRO_FULL"] = "1"
     quick = not args.full
 
-    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
     elapsed = perf_timer()
-    chunks = []
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        print(f"--- {name}: {description} ---", file=sys.stderr,
+    if args.command == "obs":
+        from repro.telemetry.obs import run_obs
+
+        print("--- obs: unified telemetry panel ---", file=sys.stderr,
               flush=True)
-        chunks.append(_render_tables(runner(quick, args.seed),
-                                     args.format))
-    rendered = "\n\n".join(chunks)
+        rendered = _render_tables(
+            run_obs(quick, args.seed, spans_path=args.spans,
+                    profile=args.profile), args.format)
+    else:
+        names = (list(EXPERIMENTS) if args.command == "all"
+                 else [args.command])
+        chunks = []
+        for name in names:
+            description, runner = EXPERIMENTS[name]
+            print(f"--- {name}: {description} ---", file=sys.stderr,
+                  flush=True)
+            chunks.append(_render_tables(runner(quick, args.seed),
+                                         args.format))
+        rendered = "\n\n".join(chunks)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")

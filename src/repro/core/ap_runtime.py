@@ -38,15 +38,24 @@ from repro.net.address import DUMMY_IP, IPv4Address
 from repro.net.node import Node, TCP_HTTP_PORT, UDP_DNS_PORT
 from repro.net.transport import Transport
 from repro.sim.tracing import EventTrace
+from repro.telemetry.spans import ParentLike, parse_trace_parent
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["ApRuntime", "APE_MODE_HEADER", "APE_APP_HEADER",
-           "APE_TTL_HEADER", "APE_PRIORITY_HEADER", "SERVED_FROM_HEADER"]
+           "APE_TTL_HEADER", "APE_PRIORITY_HEADER", "SERVED_FROM_HEADER",
+           "APE_TRACE_HEADER"]
 
 #: Pseudo-headers of the client<->AP cache protocol.
 APE_MODE_HEADER = "x-ape-cache"          # "fetch" | "delegate"
 APE_APP_HEADER = "x-ape-app"             # requesting app id
 APE_TTL_HEADER = "x-ape-ttl"             # object TTL in seconds
 APE_PRIORITY_HEADER = "x-ape-priority"   # developer-assigned priority
+#: Trace context ("trace.span") linking the AP's spans under the
+#: client's request span.  Shares the x-ape- prefix, so — like the rest
+#: of the cache protocol — it is stripped from edge-bound requests.
+APE_TRACE_HEADER = "x-ape-trace"
 #: Response header telling the client whether the AP answered from its
 #: cache ("cache") or had to reach the edge ("edge").
 SERVED_FROM_HEADER = "x-ape-served-from"
@@ -59,19 +68,28 @@ class ApRuntime(ForwardingDnsService):
                  upstream: "IPv4Address | str",
                  config: ApeCacheConfig | None = None,
                  policy: EvictionPolicy | None = None,
-                 tracer: "EventTrace | None" = None) -> None:
+                 tracer: "EventTrace | None" = None,
+                 telemetry: "Telemetry | None" = None) -> None:
         self.config = config or ApeCacheConfig()
         super().__init__(node, transport, upstream,
                          service_time_s=self.config.dns_service_time_s)
+        if telemetry is not None:
+            self.bind_telemetry(telemetry)
         self.tracker = RequestFrequencyTracker(
             alpha=self.config.frequency_alpha,
             window_s=self.config.frequency_window_s)
         self.policy = policy if policy is not None else PacmPolicy(
             self.tracker,
             fairness_threshold=self.config.fairness_threshold,
-            granularity=self.config.knapsack_granularity)
-        self.store = CacheStore(self.config.cache_capacity_bytes)
+            granularity=self.config.knapsack_granularity,
+            telemetry=telemetry)
+        self.store = CacheStore(self.config.cache_capacity_bytes,
+                                telemetry=telemetry, tier="ap")
         self.blocklist = BlockList(self.config.blocklist_threshold_bytes)
+        self._h_edge_fetch = self.telemetry.histogram(
+            "ap.edge_fetch_ms", help="AP-to-edge retrieval latency (ms)")
+        self._t_http = self.telemetry.counter(
+            "ap.http_requests", help="cache-endpoint requests, by mode")
         self.tracer = tracer
         self._url_by_hash: dict[bytes, str] = {}
         # Statistics surfaced by the overhead experiments (Fig. 14).
@@ -186,15 +204,25 @@ class ApRuntime(ForwardingDnsService):
         mode = request.header(APE_MODE_HEADER)
         app_id = request.header(APE_APP_HEADER, "unknown-app")
         self.tracker.observe(app_id, self.sim.now)
-        if mode == "fetch":
-            response = yield from self._serve_fetch(request, app_id)
-        elif mode == "delegate":
-            response = yield from self._serve_delegation(request, app_id)
-        else:
-            raise HttpError(f"unknown APE mode {mode!r}")
+        self._t_http.inc(mode=mode or "unknown", app=app_id)
+        link = parse_trace_parent(request.header(APE_TRACE_HEADER))
+        with self.telemetry.span("ap.request", parent=link,
+                                 mode=mode or "unknown",
+                                 app=app_id) as span:
+            if mode == "fetch":
+                response = yield from self._serve_fetch(
+                    request, app_id, parent=span)
+            elif mode == "delegate":
+                response = yield from self._serve_delegation(
+                    request, app_id, parent=span)
+            else:
+                raise HttpError(f"unknown APE mode {mode!r}")
+            span.set_attr("served_from",
+                          response.header(SERVED_FROM_HEADER, "none"))
         return response
 
     def _serve_fetch(self, request: HttpRequest, app_id: str,
+                     parent: ParentLike = None,
                      ) -> _t.Generator[object, object, HttpResponse]:
         entry = self.store.get(request.url.base, self.sim.now)
         if entry is not None:
@@ -204,10 +232,12 @@ class ApRuntime(ForwardingDnsService):
         # The client's flag table was stale; behave like a delegation so
         # the request still succeeds in one round trip.
         self.stale_fetches += 1
-        response = yield from self._serve_delegation(request, app_id)
+        response = yield from self._serve_delegation(request, app_id,
+                                                     parent=parent)
         return response
 
     def _serve_delegation(self, request: HttpRequest, app_id: str,
+                          parent: ParentLike = None,
                           ) -> _t.Generator[object, object, HttpResponse]:
         self.delegations += 1
         base = request.url.base
@@ -237,11 +267,12 @@ class ApRuntime(ForwardingDnsService):
         ttl_s = float(request.header(APE_TTL_HEADER, "600"))
         priority = int(request.header(APE_PRIORITY_HEADER, "1"))
         response = yield from self._fetch_admit_coalesced(
-            request, app_id, priority, ttl_s)
+            request, app_id, priority, ttl_s, parent=parent)
         return response
 
     def _fetch_admit_coalesced(self, request: HttpRequest, app_id: str,
                                priority: int, ttl_s: float,
+                               parent: ParentLike = None,
                                ) -> _t.Generator[object, object,
                                                  HttpResponse]:
         """Fetch from the edge, cache the result, publish completion."""
@@ -249,7 +280,8 @@ class ApRuntime(ForwardingDnsService):
         gate = self.sim.event()
         self._inflight[base] = gate
         try:
-            response = yield from self._fetch_from_edge(request)
+            response = yield from self._fetch_from_edge(request,
+                                                        parent=parent)
             if not response.ok or response.body is None:
                 return response
             data_object = response.body
@@ -258,7 +290,8 @@ class ApRuntime(ForwardingDnsService):
                 self.blocked_objects += 1
                 return response
             yield from self._admit(data_object, app_id, priority, ttl_s,
-                                   fetch_latency_s=self._last_edge_latency)
+                                   fetch_latency_s=self._last_edge_latency,
+                                   parent=parent)
             return response
         finally:
             if self._inflight.get(base) is gate:
@@ -299,18 +332,22 @@ class ApRuntime(ForwardingDnsService):
             pass
 
     def _fetch_from_edge(self, request: HttpRequest,
+                         parent: ParentLike = None,
                          ) -> _t.Generator[object, object, HttpResponse]:
         """Resolve the object's domain and fetch it from the edge tier."""
         self.edge_fetches += 1
         domain = request.url.domain
-        address = yield from self._resolve_for_delegation(domain)
-        started = self.sim.now
-        outbound = HttpRequest(request.url, headers={
-            key: value for key, value in request.headers.items()
-            if not key.startswith("x-ape-")})
-        response = yield self.sim.process(self.transport.tcp_exchange(
-            self.node.name, address, TCP_HTTP_PORT, outbound))
-        self._last_edge_latency = self.sim.now - started
+        with self.telemetry.span("ap.edge_fetch", parent=parent,
+                                 url=request.url.base):
+            address = yield from self._resolve_for_delegation(domain)
+            started = self.sim.now
+            outbound = HttpRequest(request.url, headers={
+                key: value for key, value in request.headers.items()
+                if not key.startswith("x-ape-")})
+            response = yield self.sim.process(self.transport.tcp_exchange(
+                self.node.name, address, TCP_HTTP_PORT, outbound))
+            self._last_edge_latency = self.sim.now - started
+        self._h_edge_fetch.observe(self._last_edge_latency * 1e3)
         return _t.cast(HttpResponse, response)
 
     _last_edge_latency: float = 0.0
@@ -335,6 +372,7 @@ class ApRuntime(ForwardingDnsService):
 
     def _admit(self, data_object: DataObject, app_id: str, priority: int,
                ttl_s: float, fetch_latency_s: float,
+               parent: ParentLike = None,
                ) -> _t.Generator[object, object, None]:
         now = self.sim.now
         entry = CacheEntry(
@@ -342,11 +380,15 @@ class ApRuntime(ForwardingDnsService):
             app_id=app_id, priority=priority, stored_at=now,
             expires_at=now + ttl_s,
             fetch_latency_s=max(fetch_latency_s, 0.0))
-        if entry.size_bytes > self.store.free_bytes:
-            # Victim selection is the expensive PACM step.
-            self.pacm_runs += 1
-            yield self.node.occupy_cpu(self.config.pacm_cpu_s)
-        admission = self.store.admit(entry, self.policy, now)
+        with self.telemetry.span("ap.pacm_admit", parent=parent,
+                                 app=app_id) as span:
+            if entry.size_bytes > self.store.free_bytes:
+                # Victim selection is the expensive PACM step.
+                self.pacm_runs += 1
+                yield self.node.occupy_cpu(self.config.pacm_cpu_s)
+            admission = self.store.admit(entry, self.policy, now)
+            span.set_attr("admitted", admission.admitted)
+            span.set_attr("evicted", len(admission.evicted))
         self._url_by_hash[hash_url(entry.url)] = entry.url
         if self.tracer is not None:
             self.tracer.log("admission", "object cached",

@@ -26,6 +26,7 @@ from repro.core.ap_runtime import (
     APE_APP_HEADER,
     APE_MODE_HEADER,
     APE_PRIORITY_HEADER,
+    APE_TRACE_HEADER,
     APE_TTL_HEADER,
     SERVED_FROM_HEADER,
 )
@@ -42,6 +43,11 @@ from repro.net.address import DUMMY_IP, IPv4Address
 from repro.net.node import Node
 from repro.net.transport import Transport
 from repro.sim.monitor import MetricSet
+from repro.telemetry.registry import NULL
+from repro.telemetry.spans import Span, format_trace_parent
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["ClientRuntime", "FetchResult", "ApeCacheInterceptor"]
 
@@ -84,7 +90,8 @@ class ClientRuntime:
     def __init__(self, node: Node, transport: Transport,
                  ap_address: "IPv4Address | str",
                  app_id: str = "app",
-                 device_cache_bytes: int = 0) -> None:
+                 device_cache_bytes: int = 0,
+                 telemetry: "Telemetry | None" = None) -> None:
         """``device_cache_bytes`` > 0 adds an on-device L1 cache in
         front of the AP (the PALOMA/Marauder-style client-side layer
         the paper's related work discusses); 0 — the paper's default —
@@ -94,19 +101,33 @@ class ClientRuntime:
         self.transport = transport
         self.ap_address = IPv4Address(ap_address)
         self.app_id = app_id
-        self.resolver = StubResolver(node, transport, self.ap_address)
-        self.http = HttpClient(node, transport, self.resolver)
+        self.telemetry: "Telemetry" = (telemetry if telemetry is not None
+                                       else NULL)
+        self.resolver = StubResolver(node, transport, self.ap_address,
+                                     telemetry=telemetry)
+        self.http = HttpClient(node, transport, self.resolver,
+                               telemetry=telemetry)
         self._specs: dict[str, CacheableSpec] = {}
         self._domain_flags: dict[str, _DomainFlags] = {}
         self._dependents: dict[str, list[PrefetchHint]] = {}
         self.device_cache: CacheStore | None = (
-            CacheStore(device_cache_bytes) if device_cache_bytes > 0
+            CacheStore(device_cache_bytes, telemetry=telemetry,
+                       tier="device") if device_cache_bytes > 0
             else None)
         self._device_policy = LruPolicy()
         self.device_hits = 0
         self.metrics = MetricSet()
         self.dns_cache_queries = 0
         self.flag_table_hits = 0
+        self._h_lookup = self.telemetry.histogram(
+            "client.lookup_ms", help="cache-lookup stage latency (ms)")
+        self._h_retrieval = self.telemetry.histogram(
+            "client.retrieval_ms",
+            help="cache-retrieval stage latency (ms), by source")
+        self._h_total = self.telemetry.histogram(
+            "client.total_ms", help="end-to-end fetch latency (ms)")
+        self._t_fetches = self.telemetry.counter(
+            "client.fetches", help="fetches by app, source, and hit")
 
     # ------------------------------------------------------------------
     # Programming-model integration
@@ -202,52 +223,64 @@ class ClientRuntime:
             raise ConfigError(
                 f"{parsed.base} is not a registered cacheable object")
 
-        if self.device_cache is not None:
-            local = self.device_cache.get(parsed.base, self.sim.now)
-            if local is not None:
-                self.device_hits += 1
-                result = FetchResult(
-                    data_object=local.data_object, source="device-hit",
-                    flag=CacheFlag.CACHE_HIT, lookup_latency_s=0.0,
-                    retrieval_latency_s=0.0, used_cached_flags=True,
-                    cache_hit=True)
-                self._record(result)
-                return result
+        with self.telemetry.span("request", app=self.app_id,
+                                 url=parsed.base) as req:
+            if self.device_cache is not None:
+                local = self.device_cache.get(parsed.base, self.sim.now)
+                if local is not None:
+                    self.device_hits += 1
+                    req.set_attr("source", "device-hit")
+                    result = FetchResult(
+                        data_object=local.data_object, source="device-hit",
+                        flag=CacheFlag.CACHE_HIT, lookup_latency_s=0.0,
+                        retrieval_latency_s=0.0, used_cached_flags=True,
+                        cache_hit=True)
+                    self._record(result)
+                    return result
 
-        lookup_started = self.sim.now
-        had_fresh_flags = (domain_state := self._domain_flags.get(
-            parsed.host)) is not None and domain_state.fresh(self.sim.now)
-        state = yield from self.lookup(parsed.host)
-        lookup_latency = self.sim.now - lookup_started
+            lookup_started = self.sim.now
+            had_fresh_flags = (domain_state := self._domain_flags.get(
+                parsed.host)) is not None and \
+                domain_state.fresh(self.sim.now)
+            with self.telemetry.span("dns_piggyback", parent=req,
+                                     domain=parsed.host) as dns_span:
+                state = yield from self.lookup(parsed.host)
+                dns_span.set_attr("cached_flags", had_fresh_flags)
+            lookup_latency = self.sim.now - lookup_started
 
-        flag = state.flags.get(hash_url(parsed.base),
-                               CacheFlag.DELEGATION)
-        retrieval_started = self.sim.now
-        if flag == CacheFlag.CACHE_HIT:
-            response = yield from self._fetch_from_ap(parsed, mode="fetch",
-                                                      spec=spec)
-            source = "ap-hit"
-        elif flag == CacheFlag.CACHE_MISS:
-            response = yield from self._fetch_from_edge(parsed, state)
-            source = "edge"
-        else:
-            response = yield from self._fetch_from_ap(parsed,
-                                                      mode="delegate",
-                                                      spec=spec)
-            source = "ap-delegated"
-            # The AP now holds the object; upgrade the local flag so
-            # later requests inside the flag TTL go down the hit path.
-            if response.ok and response.body is not None:
-                state.flags[hash_url(parsed.base)] = CacheFlag.CACHE_HIT
-        retrieval_latency = self.sim.now - retrieval_started
+            flag = state.flags.get(hash_url(parsed.base),
+                                   CacheFlag.DELEGATION)
+            retrieval_started = self.sim.now
+            if flag == CacheFlag.CACHE_HIT:
+                with self.telemetry.span("ap_hit", parent=req) as stage:
+                    response = yield from self._fetch_from_ap(
+                        parsed, mode="fetch", spec=spec, parent=stage)
+                source = "ap-hit"
+            elif flag == CacheFlag.CACHE_MISS:
+                with self.telemetry.span("edge_fetch", parent=req):
+                    response = yield from self._fetch_from_edge(parsed,
+                                                                state)
+                source = "edge"
+            else:
+                with self.telemetry.span("ap_delegated",
+                                         parent=req) as stage:
+                    response = yield from self._fetch_from_ap(
+                        parsed, mode="delegate", spec=spec, parent=stage)
+                source = "ap-delegated"
+                # The AP now holds the object; upgrade the local flag so
+                # later requests inside the flag TTL go down the hit path.
+                if response.ok and response.body is not None:
+                    state.flags[hash_url(parsed.base)] = CacheFlag.CACHE_HIT
+            retrieval_latency = self.sim.now - retrieval_started
+            req.set_attr("source", source)
 
-        result = FetchResult(
-            data_object=response.body if response.ok else None,
-            source=source, flag=flag,
-            lookup_latency_s=lookup_latency,
-            retrieval_latency_s=retrieval_latency,
-            used_cached_flags=had_fresh_flags,
-            cache_hit=response.header(SERVED_FROM_HEADER) == "cache")
+            result = FetchResult(
+                data_object=response.body if response.ok else None,
+                source=source, flag=flag,
+                lookup_latency_s=lookup_latency,
+                retrieval_latency_s=retrieval_latency,
+                used_cached_flags=had_fresh_flags,
+                cache_hit=response.header(SERVED_FROM_HEADER) == "cache")
         if self.device_cache is not None and result.data_object is not \
                 None and result.data_object.size_bytes <= \
                 self.device_cache.capacity_bytes:
@@ -261,14 +294,20 @@ class ClientRuntime:
         return result
 
     def _fetch_from_ap(self, url: Url, mode: str, spec: CacheableSpec,
+                       parent: "Span | None" = None,
                        ) -> _t.Generator[object, object, HttpResponse]:
-        request = HttpRequest(url, headers={
+        headers = {
             APE_MODE_HEADER: mode,
             APE_APP_HEADER: self.app_id,
             APE_TTL_HEADER: str(spec.ttl_s),
             APE_PRIORITY_HEADER: str(spec.priority),
             TARGET_IP_HEADER: str(self.ap_address),
-        })
+        }
+        if parent is not None and self.telemetry.enabled:
+            # Links the AP's spans under this stage (zero wire cost; see
+            # ZERO_COST_HEADERS in httplib.messages).
+            headers[APE_TRACE_HEADER] = format_trace_parent(parent)
+        request = HttpRequest(url, headers=headers)
         if mode == "delegate":
             hints = self._dependents.get(url.base)
             if hints:
@@ -294,6 +333,14 @@ class ClientRuntime:
         self.metrics.record("retrieval_s", now, result.retrieval_latency_s)
         self.metrics.record("total_s", now, result.total_latency_s)
         self.metrics.record(f"source:{result.source}", now, 1.0)
+        self._h_lookup.observe(result.lookup_latency_s * 1e3,
+                               app=self.app_id)
+        self._h_retrieval.observe(result.retrieval_latency_s * 1e3,
+                                  app=self.app_id, source=result.source)
+        self._h_total.observe(result.total_latency_s * 1e3,
+                              app=self.app_id, source=result.source)
+        self._t_fetches.inc(app=self.app_id, source=result.source,
+                            hit="yes" if result.cache_hit else "no")
 
     # ------------------------------------------------------------------
     # Introspection

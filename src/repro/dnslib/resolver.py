@@ -20,6 +20,10 @@ from repro.dnslib.server import DnsCacheEntry
 from repro.net.address import IPv4Address
 from repro.net.node import Node, UDP_DNS_PORT
 from repro.net.transport import Transport
+from repro.telemetry.registry import NULL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["StubResolver", "ResolutionResult"]
 
@@ -45,7 +49,8 @@ class StubResolver:
     """A caching stub resolver bound to one client node."""
 
     def __init__(self, node: Node, transport: Transport,
-                 server: "IPv4Address | str") -> None:
+                 server: "IPv4Address | str",
+                 telemetry: "Telemetry | None" = None) -> None:
         self.node = node
         self.sim = node.sim
         self.transport = transport
@@ -54,6 +59,9 @@ class StubResolver:
         self._ids = itertools.count(1)
         self.network_queries = 0
         self.cache_hits = 0
+        self._t_lookups = (telemetry if telemetry is not None
+                           else NULL).counter(
+            "dns.stub_lookups", help="stub resolutions, by answer origin")
 
     def next_message_id(self) -> int:
         return next(self._ids) & 0xFFFF
@@ -109,6 +117,7 @@ class StubResolver:
         cached = self.cached_address(name)
         if cached is not None:
             self.cache_hits += 1
+            self._t_lookups.inc(origin="cache")
             return ResolutionResult(cached, 0.0, from_cache=True)
         query = Message.query(name, RRType.A,
                               message_id=self.next_message_id())
@@ -120,6 +129,7 @@ class StubResolver:
                 f"{name}: rcode {response.header.rcode.name}")
         address = self._terminal_address(response.answers, name)
         self.cache_response(name, response)
+        self._t_lookups.inc(origin="network")
         return ResolutionResult(address, self.sim.now - started,
                                 from_cache=False, response=response)
 

@@ -19,6 +19,10 @@ from repro.net.address import IPv4Address
 from repro.net.node import Node, UDP_DNS_PORT
 from repro.net.transport import Transport
 from repro.sim.kernel import MS
+from repro.telemetry.registry import NULL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = [
     "DnsService",
@@ -52,12 +56,29 @@ class DnsCacheEntry:
 class DnsService:
     """Base class wiring a message handler onto a node's UDP port 53."""
 
+    #: Label identifying this service's place in the resolution chain.
+    role = "dns"
+
     def __init__(self, node: Node, service_time_s: float =
                  DEFAULT_SERVICE_TIME) -> None:
         self.node = node
         self.sim = node.sim
         self.service_time_s = service_time_s
         self.queries_handled = 0
+        self.telemetry: "Telemetry" = NULL
+        self._t_queries = NULL.counter("dns.queries")
+
+    def bind_telemetry(self, telemetry: "Telemetry") -> "DnsService":
+        """Route this service's instruments into ``telemetry``.
+
+        A post-construction hook (rather than a constructor argument) so
+        the half-dozen subclass signatures stay untouched; returns self
+        for chaining at construction sites.
+        """
+        self.telemetry = telemetry
+        self._t_queries = telemetry.counter(
+            "dns.queries", help="DNS queries handled, by server role")
+        return self
 
     def install(self, port: int = UDP_DNS_PORT) -> None:
         """Bind this service to ``port`` on its node."""
@@ -67,6 +88,7 @@ class DnsService:
                 ) -> _t.Generator[object, object, bytes]:
         query = Message.decode(payload)
         self.queries_handled += 1
+        self._t_queries.inc(role=self.role)
         yield self.node.occupy_cpu(self.service_time_s)
         try:
             response = yield from self.respond(query, source)
@@ -85,6 +107,8 @@ class DnsService:
 
 class AuthoritativeService(DnsService):
     """Serves one or more zones it owns (the paper's ADNS)."""
+
+    role = "authoritative"
 
     def __init__(self, node: Node, zones: _t.Sequence[Zone] | None = None,
                  service_time_s: float = DEFAULT_SERVICE_TIME) -> None:
@@ -140,6 +164,8 @@ class CdnDnsService(DnsService):
     it answers with the origin server's address instead.
     """
 
+    role = "cdn"
+
     def __init__(self, node: Node, cdn_domain: "DomainName | str",
                  pop_selector: _t.Callable[[DomainName, IPv4Address],
                                            IPv4Address | None],
@@ -174,6 +200,7 @@ class RecursiveResolverService(DnsService):
     answers by their minimum TTL, and negative-caches NXDOMAIN.
     """
 
+    role = "ldns"
     MAX_CHAIN = 8
 
     def __init__(self, node: Node, transport: Transport,
@@ -275,6 +302,8 @@ class ForwardingDnsService(DnsService):
     exactly as the reference implementation extends dnsmasq.
     """
 
+    role = "forwarder"
+
     def __init__(self, node: Node, transport: Transport,
                  upstream: "IPv4Address | str",
                  service_time_s: float = 0.2 * MS) -> None:
@@ -315,10 +344,16 @@ class ForwardingDnsService(DnsService):
         cached = self.cached_answers(name, rtype)
         if cached is not None:
             self.cache_hits += 1
+            self.telemetry.counter(
+                "dns.forwarder_cache",
+                help="forwarder answer cache, by outcome").inc(outcome="hit")
             response = query.make_response()
             response.answers.extend(cached)
             return response
         self.cache_misses += 1
+        self.telemetry.counter(
+            "dns.forwarder_cache",
+            help="forwarder answer cache, by outcome").inc(outcome="miss")
         upstream_response = yield from self.forward(query)
         response = query.make_response(upstream_response.header.rcode)
         response.answers.extend(upstream_response.answers)

@@ -83,3 +83,7 @@ class CapacityError(CacheError):
 
 class ConfigError(ReproError):
     """An experiment or runtime was configured with inconsistent values."""
+
+
+class TelemetryError(ReproError):
+    """Misuse of the telemetry layer (instrument type clash, bad span)."""

@@ -18,6 +18,10 @@ from repro.httplib.url import Url
 from repro.net.address import IPv4Address
 from repro.net.node import Node, TCP_HTTP_PORT
 from repro.net.transport import Transport
+from repro.telemetry.registry import NULL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["HttpClient", "Interceptor", "Chain", "TLS_CLIENT_HELLO_BYTES",
            "TLS_SERVER_HELLO_BYTES"]
@@ -67,13 +71,17 @@ class HttpClient:
     """A client bound to one node, resolving names via a stub resolver."""
 
     def __init__(self, node: Node, transport: Transport,
-                 resolver: StubResolver | None = None) -> None:
+                 resolver: StubResolver | None = None,
+                 telemetry: "Telemetry | None" = None) -> None:
         self.node = node
         self.sim = node.sim
         self.transport = transport
         self.resolver = resolver
         self.interceptors: list[Interceptor] = []
         self.requests_sent = 0
+        self._t_requests = (telemetry if telemetry is not None
+                            else NULL).counter(
+            "http.requests", help="requests entering the interceptor chain")
 
     def add_interceptor(self, interceptor: Interceptor) -> None:
         self.interceptors.append(interceptor)
@@ -94,6 +102,7 @@ class HttpClient:
                 ) -> _t.Generator[object, object, HttpResponse]:
         """Run ``request`` through interceptors and the network."""
         self.requests_sent += 1
+        self._t_requests.inc(scheme=request.url.scheme)
         response = yield from Chain(self, 0).proceed(request)
         return response
 

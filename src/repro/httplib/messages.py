@@ -22,7 +22,18 @@ REQUEST_HEADER_BYTES = 220
 #: Typical response header overhead.
 RESPONSE_HEADER_BYTES = 180
 
+#: Sim-internal annotation headers (telemetry trace propagation) that
+#: ride on the message object but are excluded from wire accounting:
+#: enabling observability must not perturb simulated timings.
+ZERO_COST_HEADERS = frozenset({"x-ape-trace"})
+
 _METHODS = ("GET", "POST", "PUT", "DELETE", "HEAD")
+
+
+def _header_wire_bytes(headers: dict[str, str]) -> int:
+    return sum(len(key) + len(value) + 4
+               for key, value in headers.items()
+               if key not in ZERO_COST_HEADERS)
 
 
 @dataclasses.dataclass
@@ -45,8 +56,7 @@ class HttpRequest:
     @property
     def wire_size(self) -> int:
         return (REQUEST_HEADER_BYTES + len(self.url.full) +
-                sum(len(k) + len(v) + 4 for k, v in self.headers.items()) +
-                self.body_bytes)
+                _header_wire_bytes(self.headers) + self.body_bytes)
 
     def header(self, name: str, default: str | None = None) -> str | None:
         return self.headers.get(name.lower(), default)
@@ -83,8 +93,7 @@ class HttpResponse:
     @property
     def wire_size(self) -> int:
         return (RESPONSE_HEADER_BYTES +
-                sum(len(k) + len(v) + 4 for k, v in self.headers.items()) +
-                self.body_bytes)
+                _header_wire_bytes(self.headers) + self.body_bytes)
 
     def header(self, name: str, default: str | None = None) -> str | None:
         return self.headers.get(name.lower(), default)

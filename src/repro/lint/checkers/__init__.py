@@ -7,6 +7,11 @@ one of these modules (or a new one), decorate it with
 
 from __future__ import annotations
 
-from repro.lint.checkers import cachespec, determinism, simsafety
+from repro.lint.checkers import (
+    cachespec,
+    determinism,
+    simsafety,
+    telemetry,
+)
 
-__all__ = ["determinism", "simsafety", "cachespec"]
+__all__ = ["determinism", "simsafety", "cachespec", "telemetry"]

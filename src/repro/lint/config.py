@@ -35,6 +35,17 @@ _DEFAULT_EXCLUDE = (
     "dist",
 )
 
+#: The telemetry layer measures *simulated* time, so it gets its own,
+#: stricter host-clock rule (DET004) on top of DET002.
+_DEFAULT_TELEMETRY_PATHS = (
+    "src/repro/telemetry/",
+)
+
+#: The single blessed host-profiling hook inside the telemetry layer.
+_DEFAULT_TELEMETRY_PROFILING_ALLOW = (
+    "src/repro/telemetry/profiling.py",
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class LintConfig:
@@ -56,6 +67,11 @@ class LintConfig:
     #: "values of 1 or 2, which stand for low and high priority".
     cacheable_priority_min: int = 1
     cacheable_priority_max: int = 2
+    #: Paths the telemetry-specific host-clock rule (DET004) covers.
+    telemetry_paths: tuple[str, ...] = _DEFAULT_TELEMETRY_PATHS
+    #: Files inside those paths allowed to touch the host clock.
+    telemetry_profiling_allow: tuple[str, ...] = (
+        _DEFAULT_TELEMETRY_PROFILING_ALLOW)
 
     def baseline_path(self) -> pathlib.Path:
         return self.root / self.baseline
@@ -63,6 +79,14 @@ class LintConfig:
     def allows_wallclock(self, relpath: str) -> bool:
         """True if ``relpath`` may read the wall clock (DET002)."""
         return path_matches(relpath, self.wallclock_allow)
+
+    def in_telemetry(self, relpath: str) -> bool:
+        """True if ``relpath`` belongs to the telemetry layer (DET004)."""
+        return path_matches(relpath, self.telemetry_paths)
+
+    def allows_telemetry_profiling(self, relpath: str) -> bool:
+        """True if ``relpath`` is the sanctioned profiling hook."""
+        return path_matches(relpath, self.telemetry_profiling_allow)
 
 
 def path_matches(relpath: str, patterns: _t.Iterable[str]) -> bool:
@@ -103,7 +127,8 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
             table = tomllib.load(handle).get("tool", {}).get("repro-lint", {})
 
     known = {"baseline", "paths", "wallclock-allow", "ignore", "exclude",
-             "cacheable-priority-range"}
+             "cacheable-priority-range", "telemetry-paths",
+             "telemetry-profiling-allow"}
     unknown = set(table) - known
     if unknown:
         raise ConfigError(
@@ -134,4 +159,9 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
         exclude=_strings("exclude", _DEFAULT_EXCLUDE),
         cacheable_priority_min=int(priority_range[0]),
         cacheable_priority_max=int(priority_range[1]),
+        telemetry_paths=_strings("telemetry-paths",
+                                 _DEFAULT_TELEMETRY_PATHS),
+        telemetry_profiling_allow=_strings(
+            "telemetry-profiling-allow",
+            _DEFAULT_TELEMETRY_PROFILING_ALLOW),
     )

@@ -8,9 +8,14 @@ paper's testbed (WiFi hop, wired LAN hop, WAN hop).
 from __future__ import annotations
 
 import dataclasses
+import typing as _t
 
 from repro.errors import NetworkError
 from repro.sim.kernel import MS
+from repro.telemetry.registry import NULL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["Link", "LinkKind", "WIFI", "ETHERNET", "WAN"]
 
@@ -37,7 +42,9 @@ class Link:
     """A bidirectional edge between two node names."""
 
     def __init__(self, a: str, b: str, latency_s: float,
-                 bandwidth_bps: float, name: str = "") -> None:
+                 bandwidth_bps: float, name: str = "",
+                 kind: str = "link",
+                 telemetry: "Telemetry | None" = None) -> None:
         if latency_s < 0:
             raise NetworkError(f"negative latency {latency_s!r}")
         if bandwidth_bps <= 0:
@@ -47,16 +54,22 @@ class Link:
         self.latency_s = latency_s
         self.bandwidth_bps = bandwidth_bps
         self.name = name or f"{a}<->{b}"
+        self.kind = kind
         self.bytes_carried = 0
+        self._bytes_counter = (telemetry if telemetry is not None
+                               else NULL).counter(
+            "net.link_bytes", help="payload bytes carried, by link kind")
 
     @classmethod
     def of_kind(cls, a: str, b: str, kind: LinkKind,
-                latency_s: float | None = None) -> "Link":
+                latency_s: float | None = None,
+                telemetry: "Telemetry | None" = None) -> "Link":
         """Build a link from a :class:`LinkKind`, optionally overriding latency."""
         return cls(a, b,
                    kind.latency_s if latency_s is None else latency_s,
                    kind.bandwidth_bps,
-                   name=f"{a}<->{b}:{kind.name}")
+                   name=f"{a}<->{b}:{kind.name}",
+                   kind=kind.name, telemetry=telemetry)
 
     def endpoints(self) -> tuple[str, str]:
         """Both endpoint node names."""
@@ -83,6 +96,7 @@ class Link:
     def account(self, size_bytes: int) -> None:
         """Record carried traffic (for utilization reporting)."""
         self.bytes_carried += size_bytes
+        self._bytes_counter.inc(size_bytes, kind=self.kind)
 
     def __repr__(self) -> str:
         return (f"<Link {self.name} {self.latency_s * 1e3:.2f}ms "

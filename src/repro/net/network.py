@@ -17,6 +17,10 @@ from repro.net.address import AddressAllocator, IPv4Address
 from repro.net.link import Link, LinkKind
 from repro.net.node import Node
 from repro.sim.kernel import Simulator
+from repro.telemetry.registry import NULL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["Network", "PathInfo"]
 
@@ -64,9 +68,11 @@ class Network:
     """A static topology of named nodes joined by links."""
 
     def __init__(self, sim: Simulator,
-                 allocator: AddressAllocator | None = None) -> None:
+                 allocator: AddressAllocator | None = None,
+                 telemetry: "Telemetry | None" = None) -> None:
         self.sim = sim
         self.allocator = allocator or AddressAllocator()
+        self.telemetry = telemetry if telemetry is not None else NULL
         self._graph = nx.Graph()
         self._nodes: dict[str, Node] = {}
         self._by_address: dict[IPv4Address, Node] = {}
@@ -100,7 +106,8 @@ class Network:
                 raise NetworkError(f"unknown node {endpoint!r}")
         if self._graph.has_edge(a, b):
             raise NetworkError(f"duplicate link {a!r}<->{b!r}")
-        link = Link.of_kind(a, b, kind, latency_s=latency_s)
+        link = Link.of_kind(a, b, kind, latency_s=latency_s,
+                            telemetry=self.telemetry)
         self._graph.add_edge(a, b, link=link, weight=link.latency_s)
         self._path_cache.clear()
         return link

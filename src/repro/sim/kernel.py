@@ -39,6 +39,9 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._active_process: Process | None = None
+        #: Events executed so far — the denominator for the telemetry
+        #: layer's host-profiling hook (events/sec, wall-ms per sim-s).
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -98,6 +101,7 @@ class Simulator:
         if when < self._now:  # pragma: no cover - guarded by heap ordering
             raise SimulationError("event heap produced a time in the past")
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:

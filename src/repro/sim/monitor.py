@@ -11,6 +11,11 @@ from __future__ import annotations
 import math
 import typing as _t
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    # Imported lazily: repro.telemetry reuses percentile() from this
+    # module, so a runtime import here would be circular.
+    from repro.telemetry import Telemetry
+
 __all__ = ["Series", "MetricSet", "percentile"]
 
 
@@ -103,13 +108,30 @@ class Series:
 
 
 class MetricSet:
-    """A named collection of :class:`Series`, created lazily on record."""
+    """A named collection of :class:`Series`, created lazily on record.
+
+    Optionally mirrors every recorded sample into a
+    :class:`~repro.telemetry.Telemetry` registry (:meth:`mirror_to`), so
+    legacy MetricSet call sites surface in the unified exports without a
+    rewrite.
+    """
 
     def __init__(self) -> None:
         self._series: dict[str, Series] = {}
+        self._mirror: "tuple[Telemetry, str] | None" = None
+
+    def mirror_to(self, telemetry: "Telemetry",
+                  prefix: str = "metricset") -> "MetricSet":
+        """Also observe future samples into ``telemetry`` histograms
+        named ``{prefix}.{series}``; returns self for chaining."""
+        self._mirror = (telemetry, prefix)
+        return self
 
     def record(self, name: str, time: float, value: float) -> None:
         self.series(name).record(time, value)
+        if self._mirror is not None:
+            telemetry, prefix = self._mirror
+            telemetry.histogram(f"{prefix}.{name}").observe(value)
 
     def series(self, name: str) -> Series:
         if name not in self._series:

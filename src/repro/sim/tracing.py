@@ -5,15 +5,25 @@ A lightweight, bounded, in-memory event log: components call
 tests/operators inspect or render the sequence.  Tracing is opt-in —
 components accept an optional tracer and emit nothing when it is absent,
 so hot paths stay allocation-free by default.
+
+An :class:`EventTrace` can additionally mirror per-category counts into a
+:class:`~repro.telemetry.registry.Telemetry` registry (see
+:meth:`EventTrace.bind_telemetry`), so legacy tracer call sites show up
+in the unified metric exports without being rewritten.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import typing as _t
 
 from repro.errors import SimulationError
 from repro.sim.kernel import Simulator
+from repro.telemetry.registry import NULL
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 __all__ = ["TraceEvent", "EventTrace"]
 
@@ -42,24 +52,37 @@ class TraceEvent:
 class EventTrace:
     """A bounded ring of :class:`TraceEvent` records."""
 
-    def __init__(self, sim: Simulator, capacity: int = 10_000) -> None:
+    def __init__(self, sim: Simulator, capacity: int = 10_000,
+                 telemetry: "Telemetry | None" = None) -> None:
         if capacity < 1:
             raise SimulationError(
                 f"trace capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
-        self._events: list[TraceEvent] = []
+        # A deque ring: evicting the oldest event is O(1), where a list's
+        # pop(0) made every overflowing log() O(capacity).
+        self._events: collections.deque[TraceEvent] = collections.deque(
+            maxlen=capacity)
         self.dropped = 0
+        self._t_events = NULL.counter("trace.events")
+        if telemetry is not None:
+            self.bind_telemetry(telemetry)
+
+    def bind_telemetry(self, telemetry: "Telemetry") -> "EventTrace":
+        """Mirror per-category event counts into ``telemetry``."""
+        self._t_events = telemetry.counter(
+            "trace.events", help="EventTrace records, by category")
+        return self
 
     def log(self, category: str, message: str, **fields: object) -> None:
         """Record an event at the current simulated time."""
-        if len(self._events) >= self.capacity:
-            # Ring behaviour: drop the oldest.
-            self._events.pop(0)
+        if len(self._events) == self.capacity:
+            # Ring behaviour: the deque drops the oldest on append.
             self.dropped += 1
         self._events.append(TraceEvent(
             self.sim.now, category, message,
             tuple(sorted(fields.items()))))
+        self._t_events.inc(category=category)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -75,7 +98,9 @@ class EventTrace:
                 if event.category == category]
 
     def tail(self, count: int = 20) -> list[TraceEvent]:
-        return self._events[-count:]
+        if count <= 0:
+            return []
+        return list(self._events)[-count:]
 
     def categories(self) -> dict[str, int]:
         """Event counts per category."""

@@ -1,0 +1,69 @@
+"""Unified observability for the DNS→AP→edge request path.
+
+One :class:`Telemetry` registry per testbed collects three signal kinds:
+
+* **metrics** — named :class:`Counter`/:class:`Gauge`/:class:`Histogram`
+  instruments with ``app``/``tier``/``outcome``-style labels;
+* **spans** — sim-time trace trees (``request → dns_piggyback →
+  {ap_hit | edge_fetch → pacm_admit}``) clocked on ``Simulator.now``;
+* **host profiling** — the opt-in wall-clock view in :mod:`.profiling`.
+
+Components take an optional ``telemetry`` argument defaulting to
+:data:`NULL`, the no-op backend, so un-instrumented runs record nothing.
+Exports (:mod:`.export`) are deterministic: same seed → byte-identical
+JSONL.  See ``docs/telemetry.md`` for the instrument catalogue and span
+taxonomy.
+"""
+
+from repro.telemetry.export import (
+    metric_records,
+    metrics_to_jsonl,
+    snapshot_table,
+    span_records,
+    spans_to_jsonl,
+    write_spans_jsonl,
+)
+from repro.telemetry.instruments import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    LabelSet,
+    labelset,
+)
+from repro.telemetry.profiling import HostProfile, HostProfileReport
+from repro.telemetry.registry import NULL, NullTelemetry, Telemetry
+from repro.telemetry.spans import (
+    Span,
+    SpanLog,
+    SpanScope,
+    format_trace_parent,
+    parse_trace_parent,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "HostProfile",
+    "HostProfileReport",
+    "Instrument",
+    "LabelSet",
+    "NULL",
+    "NullTelemetry",
+    "Span",
+    "SpanLog",
+    "SpanScope",
+    "Telemetry",
+    "format_trace_parent",
+    "labelset",
+    "parse_trace_parent",
+    "metric_records",
+    "metrics_to_jsonl",
+    "snapshot_table",
+    "span_records",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,226 @@
+"""Metric instruments: counters, gauges, and fixed-bucket histograms.
+
+Every instrument supports **labels** — `counter.inc(app="maps",
+outcome="hit")` keeps one value per distinct label set — so the paper's
+per-app/per-tier/per-outcome breakdowns fall out of one instrument
+instead of a bag of ad-hoc name-mangled series.  Label sets are stored
+as sorted tuples, which makes aggregation and export order
+deterministic regardless of call order.
+
+Histograms record latency-style samples against fixed bucket upper
+bounds (sim-milliseconds by default) *and* retain the raw samples, so
+percentiles are exact (computed through
+:func:`repro.sim.monitor.percentile` — the repository's one percentile
+implementation) rather than bucket-interpolated.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.errors import TelemetryError
+from repro.sim.monitor import percentile
+
+__all__ = ["Counter", "Gauge", "Histogram", "Instrument", "LabelSet",
+           "DEFAULT_LATENCY_BUCKETS_MS", "labelset"]
+
+#: One label set: ``(("app", "maps"), ("outcome", "hit"))``.
+LabelSet = tuple[tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds, in simulated milliseconds.
+#: Spans the paper's operating range: ~1 ms WiFi hops, ~7 ms AP hits,
+#: ~30 ms edge retrievals, and multi-hundred-ms origin misses.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0, 20.0, 30.0, 50.0,
+    75.0, 100.0, 150.0, 250.0, 500.0, 1000.0)
+
+
+def labelset(labels: _t.Mapping[str, object]) -> LabelSet:
+    """Normalize keyword labels into the canonical sorted-tuple form."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Instrument:
+    """Common base: a named, labelled measurement device."""
+
+    kind: str = "abstract"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name:
+            raise TelemetryError("instrument name must be non-empty")
+        self.name = name
+        self.help = help
+
+    def labelsets(self) -> list[LabelSet]:
+        """Every label set this instrument has recorded, sorted."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Counter(Instrument):
+    """A monotonically increasing count, one value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelSet, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name}: negative increment {amount!r}")
+        key = labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """The count recorded under exactly these labels."""
+        return self._values.get(labelset(labels), 0.0)
+
+    def total(self, **labels: object) -> float:
+        """Sum across every label set matching the given subset."""
+        match = labelset(labels)
+        return math.fsum(value for key, value in self._values.items()
+                         if set(match) <= set(key))
+
+    def labelsets(self) -> list[LabelSet]:
+        return sorted(self._values)
+
+
+class Gauge(Instrument):
+    """A point-in-time value (bytes used, entries cached, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelSet, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[labelset(labels)] = float(value)
+
+    def add(self, delta: float, **labels: object) -> None:
+        key = labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + delta
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(labelset(labels), 0.0)
+
+    def labelsets(self) -> list[LabelSet]:
+        return sorted(self._values)
+
+
+class _HistogramState:
+    """Per-label-set histogram storage."""
+
+    __slots__ = ("bucket_counts", "samples", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        #: One count per configured bucket, plus a final +inf bucket.
+        self.bucket_counts = [0] * (n_buckets + 1)
+        self.samples: list[float] = []
+        self.sum = 0.0
+
+
+class Histogram(Instrument):
+    """Fixed-bucket distribution with exact sample-based percentiles.
+
+    ``buckets`` are inclusive upper bounds in ascending order; one
+    implicit ``+inf`` bucket catches overflows.  The raw samples are
+    retained, so :meth:`percentile` is exact (linear interpolation over
+    the sorted samples), matching the paper's reported p50/p95/p99.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: _t.Sequence[float] | None = None) -> None:
+        super().__init__(name, help)
+        bounds = tuple(buckets if buckets is not None
+                       else DEFAULT_LATENCY_BUCKETS_MS)
+        if not bounds:
+            raise TelemetryError(f"histogram {name}: no buckets")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise TelemetryError(
+                f"histogram {name}: buckets must be strictly increasing, "
+                f"got {bounds}")
+        self.buckets = bounds
+        self._states: dict[LabelSet, _HistogramState] = {}
+
+    # -- recording ------------------------------------------------------
+    def observe(self, value: float, **labels: object) -> None:
+        key = labelset(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        state.bucket_counts[self._bucket_index(value)] += 1
+        state.samples.append(value)
+        state.sum += value
+
+    def _bucket_index(self, value: float) -> int:
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                return index
+        return len(self.buckets)
+
+    # -- aggregation ----------------------------------------------------
+    def _matching(self, labels: _t.Mapping[str, object],
+                  ) -> list[_HistogramState]:
+        """States whose label set contains ``labels`` as a subset."""
+        match = set(labelset(labels))
+        return [state for key, state in sorted(self._states.items())
+                if match <= set(key)]
+
+    def samples(self, **labels: object) -> list[float]:
+        """Raw samples across every label set matching the subset."""
+        collected: list[float] = []
+        for state in self._matching(labels):
+            collected.extend(state.samples)
+        return collected
+
+    def count(self, **labels: object) -> int:
+        return sum(len(state.samples) for state in self._matching(labels))
+
+    def sum(self, **labels: object) -> float:
+        return math.fsum(state.sum for state in self._matching(labels))
+
+    def mean(self, **labels: object) -> float:
+        count = self.count(**labels)
+        if not count:
+            raise TelemetryError(f"histogram {self.name} is empty")
+        return self.sum(**labels) / count
+
+    def percentile(self, q: float, **labels: object) -> float:
+        """Exact percentile over the matching raw samples."""
+        values = self.samples(**labels)
+        if not values:
+            raise TelemetryError(f"histogram {self.name} is empty")
+        return percentile(values, q)
+
+    def bucket_counts(self, **labels: object) -> list[int]:
+        """Per-bucket counts (last entry is the +inf overflow bucket)."""
+        totals = [0] * (len(self.buckets) + 1)
+        for state in self._matching(labels):
+            for index, count in enumerate(state.bucket_counts):
+                totals[index] += count
+        return totals
+
+    def labelsets(self) -> list[LabelSet]:
+        return sorted(self._states)
+
+    def summary(self, **labels: object) -> dict[str, float]:
+        """count/mean/p50/p95/p99/max over the matching samples."""
+        values = self.samples(**labels)
+        if not values:
+            return {"count": 0.0}
+        return {
+            "count": float(len(values)),
+            "mean": math.fsum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+            "max": max(values),
+        }

@@ -1,0 +1,148 @@
+"""The ``repro obs`` panel: one instrumented run, summarized.
+
+Runs the paper's workload on APE-CACHE with telemetry enabled and
+renders what the unified registry saw: the request path's per-stage
+latency breakdown (``dns_piggyback`` → AP retrieval → edge fetch) and
+per-app hit ratios with a Gini fairness index.  ``--spans FILE`` dumps
+the span log as deterministic JSONL; ``--profile`` adds the host-side
+events/sec view from :mod:`repro.telemetry.profiling`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.apps.workload import Workload, WorkloadConfig
+from repro.baselines.ape import ApeCacheSystem
+from repro.cache.fairness import gini
+from repro.experiments.common import ExperimentTable, effective_duration
+from repro.sim.kernel import MINUTE
+from repro.telemetry.export import write_spans_jsonl
+from repro.telemetry.instruments import Counter, Histogram
+from repro.telemetry.profiling import HostProfile
+from repro.telemetry.registry import Telemetry
+from repro.testbed import TestbedConfig
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.baselines.base import CachingSystem
+    from repro.testbed import Testbed
+
+__all__ = ["run_obs", "stage_table", "hit_ratio_table"]
+
+#: Retrieval sources in request-path order (device first, origin last).
+_SOURCES = ("device-hit", "ap-hit", "ap-delegated", "edge")
+
+
+def _histogram(telemetry: Telemetry, name: str) -> Histogram | None:
+    instrument = telemetry.get(name)
+    return instrument if isinstance(instrument, Histogram) else None
+
+
+def _stage_row(table: ExperimentTable, stage: str,
+               histogram: Histogram | None, **labels: object) -> None:
+    if histogram is None:
+        return
+    summary = histogram.summary(**labels)
+    if not summary.get("count"):
+        return
+    table.add_row(stage=stage, count=int(summary["count"]),
+                  mean_ms=summary["mean"], p50_ms=summary["p50"],
+                  p95_ms=summary["p95"], p99_ms=summary["p99"])
+
+
+def stage_table(telemetry: Telemetry) -> ExperimentTable:
+    """Per-stage latency breakdown (dns / ap / edge), in sim-ms."""
+    table = ExperimentTable(
+        title="obs: per-stage latency breakdown (APE-CACHE)",
+        columns=["stage", "count", "mean_ms", "p50_ms", "p95_ms",
+                 "p99_ms"])
+    lookup = _histogram(telemetry, "client.lookup_ms")
+    retrieval = _histogram(telemetry, "client.retrieval_ms")
+    _stage_row(table, "dns lookup (piggybacked)", lookup)
+    for source in _SOURCES:
+        _stage_row(table, f"retrieval [{source}]", retrieval,
+                   source=source)
+    _stage_row(table, "ap->edge fetch",
+               _histogram(telemetry, "ap.edge_fetch_ms"))
+    _stage_row(table, "end-to-end", _histogram(telemetry,
+                                               "client.total_ms"))
+    table.notes.append(
+        "stages from client.lookup_ms / client.retrieval_ms / "
+        "ap.edge_fetch_ms / client.total_ms histograms")
+    return table
+
+
+def hit_ratio_table(telemetry: Telemetry) -> ExperimentTable:
+    """Per-app AP-hit ratios plus a Gini fairness index across apps."""
+    table = ExperimentTable(
+        title="obs: per-app hit ratio",
+        columns=["app", "fetches", "hits", "hit_ratio"])
+    counter = telemetry.get("client.fetches")
+    if not isinstance(counter, Counter):
+        table.notes.append("no client.fetches counter recorded")
+        return table
+    apps = sorted({dict(labels).get("app", "")
+                   for labels in counter.labelsets()})
+    ratios = []
+    rows = []
+    for app in apps:
+        total = counter.total(app=app)
+        hits = counter.total(app=app, hit="yes")
+        ratio = hits / total if total else 0.0
+        ratios.append(ratio)
+        rows.append({"app": app, "fetches": int(total),
+                     "hits": int(hits), "hit_ratio": ratio})
+    for row in sorted(rows, key=lambda row: (-_t.cast(int, row["fetches"]),
+                                             row["app"])):
+        table.add_row(**row)
+    grand_total = counter.total()
+    grand_hits = counter.total(hit="yes")
+    if grand_total:
+        table.notes.append(
+            f"overall hit ratio {grand_hits / grand_total:.3f} over "
+            f"{grand_total:.0f} fetches")
+    table.notes.append(
+        f"Gini over per-app hit ratios: {gini(ratios):.3f} "
+        f"(0 = perfectly even)")
+    return table
+
+
+def run_obs(quick: bool = True, seed: int = 0,
+            spans_path: str | None = None,
+            profile: bool = False) -> list[ExperimentTable]:
+    """One telemetry-enabled APE-CACHE run, rendered as panels."""
+    duration = effective_duration(quick, quick_s=2 * MINUTE)
+    config = WorkloadConfig(
+        n_apps=30, duration_s=duration, seed=seed,
+        testbed=TestbedConfig(seed=seed, enable_telemetry=True))
+    workload = Workload(config)
+
+    profiles: list[HostProfile] = []
+
+    def _profiler(bed: "Testbed", _system: "CachingSystem",
+                  ) -> _t.Generator[object, object, None]:
+        profiles.append(HostProfile(bed.sim).start())
+        yield bed.sim.timeout(0.0)
+
+    extra = [_profiler] if profile else []
+    workload.run(ApeCacheSystem(), extra_processes=extra)
+    bed: "Testbed" = workload._last_bed
+    telemetry = bed.telemetry
+
+    tables = [stage_table(telemetry), hit_ratio_table(telemetry)]
+    tables[0].notes.append(
+        f"{len(telemetry.spans)} spans, "
+        f"{len(telemetry.instruments())} instruments recorded over "
+        f"{duration:.0f} sim-s (seed {seed})")
+    if spans_path is not None:
+        count = write_spans_jsonl(telemetry, spans_path)
+        tables[0].notes.append(f"wrote {count} spans to {spans_path}")
+    if profiles:
+        tables[0].notes.append(profiles[0].stop().render())
+    return tables
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in run_obs():
+        print(table)
+        print()

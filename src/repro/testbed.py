@@ -40,6 +40,7 @@ from repro.net.node import Node
 from repro.net.transport import Transport
 from repro.sim.kernel import MS, Simulator
 from repro.sim.randomness import RandomStreams
+from repro.telemetry.registry import NULL, Telemetry
 
 __all__ = ["TestbedConfig", "Testbed", "CDN_DOMAIN"]
 
@@ -82,6 +83,9 @@ class TestbedConfig:
     jitter_fraction: float = 0.05
     #: Master seed for all randomness.
     seed: int = 0
+    #: Collect metrics and spans (see :mod:`repro.telemetry`).  Off by
+    #: default: un-instrumented runs keep the no-op null backend.
+    enable_telemetry: bool = False
 
     def __post_init__(self) -> None:
         for name in ("edge_hops", "controller_hops", "ldns_hops",
@@ -99,7 +103,12 @@ class Testbed:
         self.config = config or TestbedConfig()
         self.sim = Simulator()
         self.streams = RandomStreams(self.config.seed)
-        self.network = Network(self.sim)
+        #: One registry for every tier, clocked on this testbed's
+        #: simulator, so cross-tier traces share one id space.
+        self.telemetry: Telemetry = (Telemetry(self.sim)
+                                     if self.config.enable_telemetry
+                                     else NULL)
+        self.network = Network(self.sim, telemetry=self.telemetry)
         self.transport = Transport(
             self.network,
             rng=self.streams.stream("transport-jitter"),
@@ -148,6 +157,7 @@ class Testbed:
     def _build_dns(self) -> None:
         self.registry = DnsRegistry()
         self.adns_service = AuthoritativeService(self.adns)
+        self.adns_service.bind_telemetry(self.telemetry)
         self.adns_service.install()
         # Real CDN mapping systems keep A-record TTLs very short so they
         # can re-steer clients; 5 s means an app executing every ~20 s
@@ -157,10 +167,12 @@ class Testbed:
             pop_selector=self._select_pop,
             origin_for=lambda _name: self.origin.address,
             answer_ttl=5)
+        self.cdn_service.bind_telemetry(self.telemetry)
         self.cdn_service.install()
         self.registry.delegate(CDN_DOMAIN, self.cdndns.address)
         self.ldns_service = RecursiveResolverService(
             self.ldns, self.transport, self.registry)
+        self.ldns_service.bind_telemetry(self.telemetry)
         self.ldns_service.install()
         self._domains: set[str] = set()
 

@@ -1,0 +1,12 @@
+"""DET004 fixture — host clocks *outside* the telemetry layer.
+
+DET004 is scoped to ``telemetry-paths``; this file sits outside them,
+so the telemetry rule must stay silent here (DET002 governs instead,
+and the DET004 tests allowlist it away to isolate the rule under test).
+"""
+
+import time
+
+
+def somewhere_else():
+    return time.monotonic()

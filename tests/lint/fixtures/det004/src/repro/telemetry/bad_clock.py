@@ -1,0 +1,40 @@
+"""DET004 fixture — a telemetry module sneaking host-clock reads.
+
+Never imported, only linted.  The DET004 tests lint it with
+``wallclock-allow`` covering this subtree, proving the telemetry rule
+stays in force even where the general DET002 rule has been relaxed.
+"""
+
+import datetime
+import time
+from time import perf_counter
+import time as clock
+
+
+def span_start():
+    return time.monotonic()                        # expect: DET004
+
+
+def span_start_ns():
+    return time.monotonic_ns()                     # expect: DET004
+
+
+def histogram_stamp():
+    return perf_counter()                          # expect: DET004
+
+
+def aliased_module():
+    return clock.perf_counter_ns()                 # expect: DET004
+
+
+def export_timestamp():
+    return datetime.datetime.now()                 # expect: DET004
+
+
+def cpu_budget():
+    return time.process_time()                     # expect: DET004
+
+
+def sim_clocked(sim):
+    # The sanctioned clock: every span and sample reads Simulator.now.
+    return sim.now

@@ -1,0 +1,11 @@
+"""DET004 fixture — the allowlisted profiling hook look-alike.
+
+Matches ``telemetry-profiling-allow``, so its host-clock use is
+sanctioned and must produce no DET004 findings.
+"""
+
+import time
+
+
+def wall_elapsed(start: float) -> float:
+    return time.perf_counter() - start

@@ -1,0 +1,105 @@
+"""Legacy collectors riding the unified registry.
+
+``EventTrace`` (the bounded event ring) and ``MetricSet`` (the
+experiments' series bag) predate ``repro.telemetry``; these tests pin
+their adapter seams — deque ring semantics, ``bind_telemetry`` count
+mirroring, and ``mirror_to`` histogram mirroring.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import MetricSet
+from repro.sim.tracing import EventTrace
+from repro.telemetry import Telemetry
+
+
+# ----------------------------------------------------------------------
+# EventTrace ring (deque-backed)
+# ----------------------------------------------------------------------
+def test_trace_ring_drops_oldest_and_counts_dropped():
+    trace = EventTrace(Simulator(), capacity=3)
+    for index in range(5):
+        trace.log("tick", f"event {index}")
+    assert len(trace) == 3
+    assert trace.dropped == 2
+    assert [event.message for event in trace] == \
+        ["event 2", "event 3", "event 4"]
+
+
+def test_trace_tail_and_clear():
+    trace = EventTrace(Simulator(), capacity=4)
+    for index in range(4):
+        trace.log("tick", f"event {index}")
+    assert [event.message for event in trace.tail(2)] == \
+        ["event 2", "event 3"]
+    assert trace.tail(0) == []
+    assert trace.tail(99) == trace.events()
+    trace.clear()
+    assert len(trace) == 0 and trace.dropped == 0
+
+
+def test_trace_rejects_zero_capacity():
+    with pytest.raises(SimulationError):
+        EventTrace(Simulator(), capacity=0)
+
+
+def test_trace_overflow_is_cheap_even_when_full():
+    # The regression this guards: a list-backed ring popped index 0 on
+    # every overflowing log(), turning sustained tracing O(capacity).
+    import collections
+    trace = EventTrace(Simulator(), capacity=2)
+    assert isinstance(trace._events, collections.deque)
+    assert trace._events.maxlen == 2
+
+
+# ----------------------------------------------------------------------
+# EventTrace -> Telemetry mirroring
+# ----------------------------------------------------------------------
+def test_trace_mirrors_category_counts_into_telemetry():
+    sim = Simulator()
+    telemetry = Telemetry(sim)
+    trace = EventTrace(sim, telemetry=telemetry)
+    trace.log("delegation", "fetched", url="http://a")
+    trace.log("delegation", "fetched", url="http://b")
+    trace.log("eviction", "dropped")
+    counter = telemetry.counter("trace.events")
+    assert counter.value(category="delegation") == 2.0
+    assert counter.value(category="eviction") == 1.0
+    assert trace.categories() == {"delegation": 2, "eviction": 1}
+
+
+def test_trace_bind_telemetry_after_construction():
+    sim = Simulator()
+    telemetry = Telemetry(sim)
+    trace = EventTrace(sim)
+    trace.log("early", "unmirrored")
+    assert trace.bind_telemetry(telemetry) is trace
+    trace.log("late", "mirrored")
+    counter = telemetry.counter("trace.events")
+    assert counter.value(category="early") == 0.0
+    assert counter.value(category="late") == 1.0
+
+
+# ----------------------------------------------------------------------
+# MetricSet -> Telemetry mirroring
+# ----------------------------------------------------------------------
+def test_metricset_mirrors_samples_into_histograms():
+    telemetry = Telemetry()
+    metrics = MetricSet()
+    assert metrics.mirror_to(telemetry, prefix="client") is metrics
+    metrics.record("lookup_s", 0.0, 0.004)
+    metrics.record("lookup_s", 1.0, 0.006)
+    hist = telemetry.histogram("client.lookup_s")
+    assert hist.samples() == [0.004, 0.006]
+    # The legacy series keeps recording too.
+    assert metrics.series("lookup_s").count == 2
+
+
+def test_metricset_without_mirror_touches_no_registry():
+    telemetry = Telemetry()
+    metrics = MetricSet()
+    metrics.record("lookup_s", 0.0, 0.004)
+    assert "metricset.lookup_s" not in telemetry
+    assert telemetry.instruments() == []

@@ -64,3 +64,5 @@ def test_changelog_and_contributing_exist():
     assert (REPO / "docs" / "protocol.md").exists()
     assert (REPO / "docs" / "architecture.md").exists()
     assert (REPO / "docs" / "pacm.md").exists()
+    assert (REPO / "docs" / "linting.md").exists()
+    assert (REPO / "docs" / "telemetry.md").exists()

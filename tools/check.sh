@@ -18,5 +18,15 @@ export PYTHONPATH
 echo "==> repro.lint"
 python -m repro.lint
 
+echo "==> repro.cli obs (telemetry determinism smoke)"
+spans_a=$(mktemp) spans_b=$(mktemp)
+trap 'rm -f "$spans_a" "$spans_b"' EXIT
+python -m repro.cli obs --spans "$spans_a" >/dev/null
+python -m repro.cli obs --spans "$spans_b" >/dev/null
+if ! cmp -s "$spans_a" "$spans_b"; then
+    echo "FAIL: span JSONL export differs across two same-seed runs" >&2
+    exit 1
+fi
+
 echo "==> pytest"
 python -m pytest -x -q "$@"
