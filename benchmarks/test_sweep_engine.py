@@ -1,0 +1,70 @@
+"""Sweep-engine scaling: wall-clock per cell and speedup across jobs.
+
+Runs the same 4-system x 2-seed scenario at ``jobs`` 1, 2, and 4 and
+emits ``BENCH_sweep.json`` at the repo root with the wall-clock per
+cell and the speedup relative to the serial run.  Results must be
+byte-identical at every worker count; the >= 1.5x speedup assertion at
+``--jobs 4`` applies only on hosts with at least 4 CPU cores (a
+single-core container still records its numbers).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.apps.workload import WorkloadConfig
+from repro.runner import ScenarioSpec, SweepEngine
+
+REPO = Path(__file__).resolve().parent.parent
+JOBS = (1, 2, 4)
+
+
+def _spec() -> ScenarioSpec:
+    quick = os.environ.get("REPRO_FULL") != "1"
+    return ScenarioSpec(
+        name="bench-sweep",
+        systems=("APE-CACHE", "APE-CACHE-LRU", "Wi-Cache", "Edge Cache"),
+        seeds=(0, 1),
+        workload=WorkloadConfig(n_apps=10,
+                                duration_s=60.0 if quick else 600.0))
+
+
+def test_sweep_engine_scaling():
+    spec = _spec()
+    n_cells = len(spec.expand())
+    record = {
+        "scenario": spec.name,
+        "cells": n_cells,
+        "cpu_count": os.cpu_count(),
+        "jobs": {},
+    }
+    timings: dict[int, float] = {}
+    baseline = None
+    for jobs in JOBS:
+        started = time.perf_counter()
+        result = SweepEngine(jobs=jobs).run(spec)
+        elapsed = time.perf_counter() - started
+        document = result.to_json()
+        if baseline is None:
+            baseline = document
+        assert document == baseline, \
+            f"jobs={jobs} produced different results than jobs=1"
+        timings[jobs] = elapsed
+        record["jobs"][str(jobs)] = {
+            "wall_s": round(elapsed, 3),
+            "wall_per_cell_s": round(elapsed / n_cells, 4),
+            "speedup_vs_serial": round(timings[1] / elapsed, 2),
+        }
+
+    out = REPO / "BENCH_sweep.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup = timings[1] / timings[4]
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x speedup at jobs=4 on a {cores}-core "
+            f"host, got {speedup:.2f}x")

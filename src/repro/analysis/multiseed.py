@@ -3,6 +3,12 @@
 Runs the same workload configuration across several seeds per caching
 system and reduces each metric to a mean with a confidence interval —
 the replication discipline a single simulation run lacks.
+
+Since the scenario engine landed (:mod:`repro.runner`), these are thin
+wrappers over :class:`~repro.runner.engine.SweepEngine`: the seed loop
+becomes a one-axis-free :class:`~repro.runner.spec.ScenarioSpec`, which
+also unlocks ``jobs=N`` fan-out across cores with byte-identical
+results.
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.apps.workload import Workload, WorkloadConfig
+from repro.apps.workload import WorkloadConfig
 from repro.baselines.base import CachingSystem
 from repro.analysis.stats import (
     PairedComparison,
@@ -42,21 +48,27 @@ class MultiSeedResult:
 def replicate(system_factory: _t.Callable[[], CachingSystem],
               config: WorkloadConfig,
               seeds: _t.Sequence[int] = (0, 1, 2, 3, 4),
+              jobs: int = 1,
               ) -> MultiSeedResult:
-    """Run ``config`` once per seed against fresh system instances."""
+    """Run ``config`` once per seed against fresh system instances.
+
+    ``system_factory`` may be a registered system name or any picklable
+    zero-argument factory (a top-level class like ``ApeCacheSystem``).
+    ``jobs > 1`` fans the seeds out over a spawn pool; the fold is
+    seed-ordered either way, so results are identical.
+    """
+    from repro.runner.engine import SweepEngine
+    from repro.runner.reduce import fold_multiseed
+    from repro.runner.spec import ScenarioSpec
+
     if not seeds:
         raise ValueError("need at least one seed")
-    samples: dict[str, list[float]] = {}
-    name = ""
-    for seed in seeds:
-        seeded = dataclasses.replace(config, seed=seed)
-        system = system_factory()
-        name = system.name
-        result = Workload(seeded).run(system)
-        for metric, value in result.summary().items():
-            samples.setdefault(metric, []).append(value)
-    return MultiSeedResult(system_name=name, seeds=list(seeds),
-                           samples=samples)
+    spec = ScenarioSpec(name="replicate", systems=(system_factory,),
+                        seeds=tuple(seeds), workload=config)
+    result = SweepEngine(jobs=jobs).run(spec)
+    folded = fold_multiseed(result)
+    (replicated,) = folded.values()
+    return replicated
 
 
 def compare_systems(first_factory: _t.Callable[[], CachingSystem],
@@ -64,13 +76,14 @@ def compare_systems(first_factory: _t.Callable[[], CachingSystem],
                     config: WorkloadConfig,
                     metric: str = "mean_app_latency_ms",
                     seeds: _t.Sequence[int] = (0, 1, 2, 3, 4),
-                    confidence: float = 0.95) -> PairedComparison:
+                    confidence: float = 0.95,
+                    jobs: int = 1) -> PairedComparison:
     """Paired per-seed comparison of two systems on one metric.
 
     A negative ``mean_difference`` means the *first* system scores lower
     (better, for latency metrics).
     """
-    first = replicate(first_factory, config, seeds)
-    second = replicate(second_factory, config, seeds)
+    first = replicate(first_factory, config, seeds, jobs=jobs)
+    second = replicate(second_factory, config, seeds, jobs=jobs)
     return paired_comparison(first.samples[metric],
                              second.samples[metric], confidence)

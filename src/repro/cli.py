@@ -4,13 +4,20 @@ Lists and runs the paper's experiments from a terminal::
 
     python -m repro list
     python -m repro table1
-    python -m repro fig13 --full --seed 3
+    python -m repro fig13 --full --seed 3 --jobs 4
     python -m repro all
+    python -m repro sweep --systems APE-CACHE,Wi-Cache --seeds 0,1 \\
+        --duration-s 60 --jobs 2 --json
+
+``sweep`` runs an ad-hoc declarative scenario through the sweep engine;
+its output is deterministic, so ``--jobs 2`` and ``--jobs 1`` produce
+byte-identical results (``tools/check.sh`` enforces this).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import os
 import sys
 import typing as _t
@@ -22,12 +29,12 @@ __all__ = ["main", "build_parser", "EXPERIMENTS"]
 
 
 def _lazy(module_name: str, attr: str = "run"):
-    def runner(quick: bool, seed: int):
+    def runner(quick: bool, seed: int, jobs: int = 1):
         import importlib
 
         module = importlib.import_module(
             f"repro.experiments.{module_name}")
-        return getattr(module, attr)(quick=quick, seed=seed)
+        return getattr(module, attr)(quick=quick, seed=seed, jobs=jobs)
 
     return runner
 
@@ -80,11 +87,48 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text", help="output format")
     common.add_argument("--output", type=str, default=None,
                         help="write results to this file instead of stdout")
+    common.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run sweep cells across N worker processes "
+                             "(default 1 = in-process)")
 
     for name, (description, _runner) in EXPERIMENTS.items():
         subparsers.add_parser(name, help=description, parents=[common])
     subparsers.add_parser("all", help="run every experiment in order",
                           parents=[common])
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run an ad-hoc declarative scenario through the sweep "
+             "engine (deterministic across --jobs)")
+    sweep.add_argument("--name", type=str, default="cli-sweep",
+                       help="scenario name (labels the output)")
+    sweep.add_argument("--systems", type=str, default="APE-CACHE",
+                       help="comma-separated system names (see "
+                            "repro.runner.system_names)")
+    sweep.add_argument("--seeds", type=str, default="0",
+                       help="comma-separated seed list (default 0)")
+    sweep.add_argument("--n-apps", type=int, default=None,
+                       help="workload app count override")
+    sweep.add_argument("--duration-s", type=float, default=None,
+                       help="simulated duration per cell (seconds)")
+    sweep.add_argument("--axis", action="append", default=[],
+                       metavar="FIELD=V1,V2,...",
+                       help="sweep a workload field over values "
+                            "(repeatable; dotted keys reach "
+                            "dummy_params.*/testbed.*)")
+    sweep.add_argument("--set", action="append", default=[],
+                       metavar="FIELD=VALUE", dest="overrides",
+                       help="fixed workload override applied to every "
+                            "cell (repeatable)")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="attach a telemetry snapshot to every cell")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker process count (default 1)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the full per-cell JSON document "
+                            "instead of a table")
+    sweep.add_argument("--output", type=str, default=None,
+                       help="write results to this file instead of stdout")
 
     obs = subparsers.add_parser(
         "obs", parents=[common],
@@ -108,6 +152,65 @@ def _render_tables(result: object, fmt: str) -> str:
     return "\n\n".join(table.render() for table in tables)
 
 
+def _parse_scalar(text: str) -> object:
+    """``--axis``/``--set`` values: Python literals, else bare strings."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _split_kv(item: str, flag: str) -> tuple[str, str]:
+    field, sep, value = item.partition("=")
+    if not sep or not field:
+        from repro.errors import ConfigError
+
+        raise ConfigError(f"{flag} expects FIELD=VALUE, got {item!r}")
+    return field, value
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    """Build the ad-hoc spec from flags, run it, render the result."""
+    from repro.apps.workload import WorkloadConfig
+    from repro.runner import ScenarioSpec, SweepEngine, cells_table
+
+    systems = tuple(name.strip() for name in args.systems.split(",")
+                    if name.strip())
+    seeds = tuple(int(seed) for seed in args.seeds.split(",")
+                  if seed.strip())
+    workload_kwargs: dict[str, _t.Any] = {}
+    if args.n_apps is not None:
+        workload_kwargs["n_apps"] = args.n_apps
+    axes: dict[str, tuple[object, ...]] = {}
+    for item in args.axis:
+        field, values = _split_kv(item, "--axis")
+        axes[field] = tuple(_parse_scalar(value)
+                            for value in values.split(","))
+    overrides: dict[str, object] = {}
+    for item in args.overrides:
+        field, value = _split_kv(item, "--set")
+        overrides[field] = _parse_scalar(value)
+
+    spec = ScenarioSpec(
+        name=args.name, systems=systems, seeds=seeds,
+        workload=WorkloadConfig(**workload_kwargs), axes=axes,
+        overrides=overrides, duration_s=args.duration_s,
+        telemetry=args.telemetry)
+    result = SweepEngine(jobs=args.jobs).run(spec)
+    if args.json:
+        return result.to_json()
+    return cells_table(result).render()
+
+
+def _emit(rendered: str, output: str | None) -> None:
+    if output:
+        with open(output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+    else:
+        print(rendered)
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -121,6 +224,21 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         print(f"  {'all'.ljust(width)}  run everything")
         print(f"  {'obs'.ljust(width)}  telemetry panel: per-stage "
               f"latency, per-app hit ratios, span export")
+        print(f"  {'sweep'.ljust(width)}  ad-hoc declarative scenario "
+              f"through the sweep engine")
+        return 0
+
+    if args.command == "sweep":
+        from repro.errors import ConfigError
+
+        elapsed = perf_timer()
+        try:
+            rendered = _run_sweep(args)
+        except ConfigError as error:
+            print(f"sweep: {error}", file=sys.stderr)
+            return 2
+        _emit(rendered, args.output)
+        print(f"done in {elapsed():.0f}s", file=sys.stderr)
         return 0
 
     if args.full:
@@ -144,15 +262,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             description, runner = EXPERIMENTS[name]
             print(f"--- {name}: {description} ---", file=sys.stderr,
                   flush=True)
-            chunks.append(_render_tables(runner(quick, args.seed),
-                                         args.format))
+            chunks.append(_render_tables(
+                runner(quick, args.seed, jobs=args.jobs), args.format))
         rendered = "\n\n".join(chunks)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(rendered + "\n")
-        print(f"wrote {args.output}", file=sys.stderr)
-    else:
-        print(rendered)
+    _emit(rendered, args.output)
     print(f"done in {elapsed():.0f}s", file=sys.stderr)
     return 0
 

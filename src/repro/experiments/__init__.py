@@ -1,9 +1,15 @@
 """Experiment harness: one module per paper table/figure, plus ablations.
 
-Every module exposes ``run(quick=True, seed=0)`` returning
+Every module exposes ``run(quick=True, seed=0, jobs=1)`` returning
 :class:`~repro.experiments.common.ExperimentTable` objects; ``quick``
 shortens simulated durations for CI, and ``REPRO_FULL=1`` in the
 environment forces paper-length (one-hour) runs regardless.
+
+Experiments do not orchestrate workloads directly: each declares one or
+more :class:`~repro.runner.spec.ScenarioSpec` objects and hands them to
+the :class:`~repro.runner.engine.SweepEngine` (``jobs > 1`` fans cells
+out over a process pool with identical results — see
+``docs/experiments.md``), then folds the per-cell metrics into tables.
 
 | Paper artifact | Module |
 |---|---|
@@ -23,7 +29,8 @@ from repro.experiments.common import ExperimentTable, effective_duration
 __all__ = ["ExperimentTable", "effective_duration", "run_all"]
 
 
-def run_all(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
+def run_all(quick: bool = True, seed: int = 0,
+            jobs: int = 1) -> list[ExperimentTable]:
     """Run every experiment; returns all tables in paper order."""
     from repro.experiments import (
         ablations,
@@ -38,14 +45,14 @@ def run_all(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
     )
 
     tables: list[ExperimentTable] = []
-    tables.append(table1.run(quick, seed))
-    tables.append(fig2.run(quick, seed))
-    tables.extend(fig11.run(quick, seed))
-    tables.append(fig11.run_lookup_overhead(quick, seed))
-    tables.extend(pacm_tables.run(quick, seed))
-    tables.extend(fig12.run(quick, seed))
-    tables.extend(fig13.run(quick, seed))
-    tables.append(fig14.run(quick, seed))
-    tables.append(table7.run(quick, seed))
-    tables.extend(ablations.run(quick, seed))
+    tables.append(table1.run(quick, seed, jobs))
+    tables.append(fig2.run(quick, seed, jobs))
+    tables.extend(fig11.run(quick, seed, jobs))
+    tables.append(fig11.run_lookup_overhead(quick, seed, jobs))
+    tables.extend(pacm_tables.run(quick, seed, jobs))
+    tables.extend(fig12.run(quick, seed, jobs))
+    tables.extend(fig13.run(quick, seed, jobs))
+    tables.append(fig14.run(quick, seed, jobs))
+    tables.append(table7.run(quick, seed, jobs))
+    tables.extend(ablations.run(quick, seed, jobs))
     return tables

@@ -1,28 +1,41 @@
 """Ablations of APE-CACHE's design choices (DESIGN.md Section 5).
 
-Four studies beyond the paper's own evaluation:
+Studies beyond the paper's own evaluation:
 
 * **dummy-IP short circuit** on/off — its contribution to lookup latency;
 * **fairness threshold theta** sweep — utility/fairness trade-off;
 * **EWMA alpha** sweep — sensitivity of the frequency estimator;
-* **block-list threshold** sweep — large objects vs cache churn.
+* **block-list threshold** sweep — large objects vs cache churn;
+* **dependency-aware prefetching** on/off;
+* **on-device (L1) cache** size sweep.
+
+Every sweep is one :class:`~repro.runner.spec.ScenarioSpec`.  The swept
+knobs configure the *system*, not the workload, so the axes route their
+values through ``params.*`` overrides into each cell's runner.
 """
 
 from __future__ import annotations
 
+import typing as _t
+
 from repro.apps.generator import DummyAppParams
-from repro.apps.workload import Workload, WorkloadConfig
+from repro.apps.workload import WorkloadConfig
 from repro.baselines.ape import ApeCacheSystem
 from repro.core.annotations import CacheableSpec
 from repro.core.ap_runtime import ApRuntime
 from repro.core.client_runtime import ClientRuntime
 from repro.core.config import ApeCacheConfig
+from repro.errors import ConfigError
 from repro.experiments.common import ExperimentTable, effective_duration
+from repro.runner import ScenarioSpec, SweepEngine, SweepPoint
+from repro.runner.cells import execute_workload
+from repro.runner.spec import Cell
 from repro.sim.kernel import HOUR, MINUTE
 from repro.testbed import Testbed, TestbedConfig
 
 __all__ = ["run", "run_short_circuit", "run_fairness_sweep",
-           "run_alpha_sweep", "run_blocklist_sweep"]
+           "run_alpha_sweep", "run_blocklist_sweep", "run_prefetch",
+           "run_device_cache"]
 
 KB = 1024
 MB = 1024 * 1024
@@ -37,44 +50,77 @@ def _workload_config(duration_s: float, seed: int,
     return WorkloadConfig(**defaults)
 
 
+def _param_axis(name: str, values: _t.Sequence[object],
+                labels: _t.Sequence[object] | None = None,
+                ) -> list[SweepPoint]:
+    """An axis whose points set a runner parameter, not a workload field."""
+    labels = values if labels is None else labels
+    return [SweepPoint(label=label,
+                       overrides={f"params.{name}": value})
+            for label, value in zip(labels, values)]
+
+
+def _require_workload(cell: Cell) -> WorkloadConfig:
+    if cell.workload is None:
+        raise ConfigError(f"{cell.scenario}: cells need a workload config")
+    return cell.workload
+
+
 # ----------------------------------------------------------------------
 # Dummy-IP short circuit
 # ----------------------------------------------------------------------
-def run_short_circuit(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def short_circuit_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: timed all-hit lookups, short circuit on or off."""
+    enabled = bool(cell.params["short_circuit"])
+    runs = int(_t.cast(int, cell.params["runs"]))
+    bed = Testbed(TestbedConfig(seed=cell.seed))
+    config = ApeCacheConfig(enable_dummy_ip_short_circuit=enabled)
+    ApRuntime(bed.ap, bed.transport, bed.ldns.address,
+              config=config).install()
+    node = bed.add_client("phone")
+    runtime = ClientRuntime(node, bed.transport, bed.ap.address,
+                            app_id="ablation")
+    url = "http://ablationapp.example/object"
+    bed.host_object(url, 10 * KB)
+    runtime.register_spec(CacheableSpec(url, 1, 1 * HOUR))
+    bed.sim.run(until=bed.sim.process(runtime.fetch(url)))  # cache it
+
+    total = 0.0
+    for _ in range(runs):
+        runtime.flush()
+
+        def probe():
+            started = bed.sim.now
+            yield from runtime.lookup("ablationapp.example")
+            return bed.sim.now - started
+
+        total += bed.sim.run(until=bed.sim.process(probe()))
+        # Let the AP's upstream DNS cache expire between probes so
+        # the no-short-circuit variant pays real resolutions.
+        bed.sim.run(until=bed.sim.now + 30.0)
+    return {"all_hit_lookup_ms": (total / runs) * 1e3}
+
+
+def run_short_circuit(quick: bool = True, seed: int = 0,
+                      jobs: int = 1) -> ExperimentTable:
     """All-hit lookup latency with and without the short circuit."""
-    runs = 40 if quick else 200
+    spec = ScenarioSpec(
+        name="ablation-short-circuit", systems=(None,), seeds=(seed,),
+        workload=None,
+        axes={"short_circuit": _param_axis(
+            "short_circuit", (True, False), labels=("on", "off"))},
+        params={"runs": 40 if quick else 200},
+        runner="repro.experiments.ablations:short_circuit_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+
     table = ExperimentTable(
         title="Ablation: dummy-IP short circuit",
         columns=["short_circuit", "all_hit_lookup_ms"])
-    for enabled in (True, False):
-        bed = Testbed(TestbedConfig(seed=seed))
-        config = ApeCacheConfig(enable_dummy_ip_short_circuit=enabled)
-        ApRuntime(bed.ap, bed.transport, bed.ldns.address,
-                  config=config).install()
-        node = bed.add_client("phone")
-        runtime = ClientRuntime(node, bed.transport, bed.ap.address,
-                                app_id="ablation")
-        url = "http://ablationapp.example/object"
-        bed.host_object(url, 10 * KB)
-        runtime.register_spec(CacheableSpec(url, 1, 1 * HOUR))
-        bed.sim.run(until=bed.sim.process(runtime.fetch(url)))  # cache it
-
-        total = 0.0
-        for index in range(runs):
-            runtime.flush()
-
-            def probe():
-                started = bed.sim.now
-                yield from runtime.lookup("ablationapp.example")
-                return bed.sim.now - started
-
-            total += bed.sim.run(until=bed.sim.process(probe()))
-            # Let the AP's upstream DNS cache expire between probes so
-            # the no-short-circuit variant pays real resolutions.
-            bed.sim.run(until=bed.sim.now + 30.0)
-        table.add_row(short_circuit="on" if enabled else "off",
-                      all_hit_lookup_ms=(total / runs) * 1e3)
-    on_ms, off_ms = (float(row["all_hit_lookup_ms"])
+    for cell_result in result.cells:
+        table.add_row(
+            short_circuit=cell_result.cell.coords["short_circuit"],
+            all_hit_lookup_ms=cell_result.metrics["all_hit_lookup_ms"])
+    on_ms, off_ms = (float(_t.cast(float, row["all_hit_lookup_ms"]))
                      for row in table.rows)
     table.notes.append(
         f"short-circuiting upstream resolution saves "
@@ -85,24 +131,41 @@ def run_short_circuit(quick: bool = True, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # Fairness threshold theta
 # ----------------------------------------------------------------------
-def run_fairness_sweep(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def fairness_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: one workload run at a given fairness threshold."""
+    theta = float(_t.cast(float, cell.params["theta"]))
+    system = ApeCacheSystem(ApeCacheConfig(fairness_threshold=theta))
+    result, _workload = execute_workload(_require_workload(cell), system)
+    runtime = system.ap_runtime
+    assert runtime is not None
+    fairness = runtime.policy.fairness(runtime.store) \
+        if hasattr(runtime.policy, "fairness") else float("nan")
+    return {"hit_ratio": result.hit_ratio(),
+            "hit_ratio_high": result.hit_ratio(only_high_priority=True),
+            "achieved_fairness": fairness}
+
+
+def run_fairness_sweep(quick: bool = True, seed: int = 0,
+                       jobs: int = 1) -> ExperimentTable:
     """Hit ratios and achieved fairness across theta."""
     duration = effective_duration(quick, quick_s=3 * MINUTE)
+    spec = ScenarioSpec(
+        name="ablation-fairness", systems=(None,), seeds=(seed,),
+        workload=_workload_config(duration, seed),
+        axes={"theta": _param_axis("theta", (0.1, 0.2, 0.4, 0.7, 1.0))},
+        runner="repro.experiments.ablations:fairness_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+
     table = ExperimentTable(
         title="Ablation: PACM fairness threshold theta",
         columns=["theta", "hit_ratio", "hit_ratio_high",
                  "achieved_fairness"])
-    for theta in (0.1, 0.2, 0.4, 0.7, 1.0):
-        system = ApeCacheSystem(ApeCacheConfig(fairness_threshold=theta))
-        result = Workload(_workload_config(duration, seed)).run(system)
-        runtime = system.ap_runtime
-        assert runtime is not None
-        fairness = runtime.policy.fairness(runtime.store) \
-            if hasattr(runtime.policy, "fairness") else float("nan")
-        table.add_row(theta=theta, hit_ratio=result.hit_ratio(),
-                      hit_ratio_high=result.hit_ratio(
-                          only_high_priority=True),
-                      achieved_fairness=fairness)
+    for cell_result in result.cells:
+        metrics = cell_result.metrics
+        table.add_row(theta=cell_result.cell.coords["theta"],
+                      hit_ratio=metrics["hit_ratio"],
+                      hit_ratio_high=metrics["hit_ratio_high"],
+                      achieved_fairness=metrics["achieved_fairness"])
     table.notes.append(
         "paper default theta=0.4; tighter theta trades utility (hit "
         "ratio) for evenly spread cache space")
@@ -112,18 +175,34 @@ def run_fairness_sweep(quick: bool = True, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # EWMA alpha
 # ----------------------------------------------------------------------
-def run_alpha_sweep(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def alpha_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: one workload run at a given EWMA alpha."""
+    alpha = float(_t.cast(float, cell.params["alpha"]))
+    system = ApeCacheSystem(ApeCacheConfig(frequency_alpha=alpha))
+    result, _workload = execute_workload(_require_workload(cell), system)
+    return {"hit_ratio": result.hit_ratio(),
+            "hit_ratio_high": result.hit_ratio(only_high_priority=True)}
+
+
+def run_alpha_sweep(quick: bool = True, seed: int = 0,
+                    jobs: int = 1) -> ExperimentTable:
     """Frequency-estimator smoothing vs hit ratios."""
     duration = effective_duration(quick, quick_s=3 * MINUTE)
+    spec = ScenarioSpec(
+        name="ablation-alpha", systems=(None,), seeds=(seed,),
+        workload=_workload_config(duration, seed),
+        axes={"alpha": _param_axis("alpha", (0.1, 0.3, 0.5, 0.7, 0.9))},
+        runner="repro.experiments.ablations:alpha_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+
     table = ExperimentTable(
         title="Ablation: request-frequency EWMA alpha",
         columns=["alpha", "hit_ratio", "hit_ratio_high"])
-    for alpha in (0.1, 0.3, 0.5, 0.7, 0.9):
-        system = ApeCacheSystem(ApeCacheConfig(frequency_alpha=alpha))
-        result = Workload(_workload_config(duration, seed)).run(system)
-        table.add_row(alpha=alpha, hit_ratio=result.hit_ratio(),
-                      hit_ratio_high=result.hit_ratio(
-                          only_high_priority=True))
+    for cell_result in result.cells:
+        table.add_row(alpha=cell_result.cell.coords["alpha"],
+                      hit_ratio=cell_result.metrics["hit_ratio"],
+                      hit_ratio_high=cell_result.metrics[
+                          "hit_ratio_high"])
     table.notes.append("paper default alpha=0.7")
     return table
 
@@ -131,28 +210,43 @@ def run_alpha_sweep(quick: bool = True, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # Block-list threshold
 # ----------------------------------------------------------------------
-def run_blocklist_sweep(quick: bool = True,
-                        seed: int = 0) -> ExperimentTable:
+def blocklist_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: large-object workload at one block-list threshold."""
+    threshold_kb = int(_t.cast(int, cell.params["threshold_kb"]))
+    system = ApeCacheSystem(ApeCacheConfig(
+        blocklist_threshold_bytes=threshold_kb * KB))
+    result, _workload = execute_workload(_require_workload(cell), system)
+    return {"hit_ratio": result.hit_ratio(),
+            "blocked_objects": int(result.ap_stats["blocked_objects"]),
+            "mean_app_latency_ms": result.mean_app_latency_s() * 1e3}
+
+
+def run_blocklist_sweep(quick: bool = True, seed: int = 0,
+                        jobs: int = 1) -> ExperimentTable:
     """Large-object workload across block-list thresholds."""
     duration = effective_duration(quick, quick_s=3 * MINUTE)
+    large_params = DummyAppParams(min_size_bytes=50 * KB,
+                                  max_size_bytes=700 * KB)
+    spec = ScenarioSpec(
+        name="ablation-blocklist", systems=(None,), seeds=(seed,),
+        workload=_workload_config(duration, seed,
+                                  dummy_params=large_params),
+        axes={"threshold_kb": _param_axis("threshold_kb",
+                                          (100, 250, 500, 1000))},
+        runner="repro.experiments.ablations:blocklist_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+
     table = ExperimentTable(
         title="Ablation: block-list size threshold",
         columns=["threshold_kb", "hit_ratio", "blocked_objects",
                  "mean_app_latency_ms"])
-    large_params = DummyAppParams(min_size_bytes=50 * KB,
-                                  max_size_bytes=700 * KB)
-    for threshold_kb in (100, 250, 500, 1000):
-        system = ApeCacheSystem(ApeCacheConfig(
-            blocklist_threshold_bytes=threshold_kb * KB))
-        config = _workload_config(duration, seed,
-                                  dummy_params=large_params)
-        result = Workload(config).run(system)
-        table.add_row(threshold_kb=threshold_kb,
-                      hit_ratio=result.hit_ratio(),
-                      blocked_objects=int(
-                          result.ap_stats["blocked_objects"]),
-                      mean_app_latency_ms=result.mean_app_latency_s()
-                      * 1e3)
+    for cell_result in result.cells:
+        metrics = cell_result.metrics
+        table.add_row(threshold_kb=cell_result.cell.coords[
+                          "threshold_kb"],
+                      hit_ratio=metrics["hit_ratio"],
+                      blocked_objects=metrics["blocked_objects"],
+                      mean_app_latency_ms=metrics["mean_app_latency_ms"])
     table.notes.append(
         "paper default 500 KB; lower thresholds block more objects "
         "(fewer AP hits), higher ones let big objects churn the cache")
@@ -162,7 +256,19 @@ def run_blocklist_sweep(quick: bool = True,
 # ----------------------------------------------------------------------
 # Dependency-aware prefetching (the APPx-synergy extension)
 # ----------------------------------------------------------------------
-def run_prefetch(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def prefetch_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: short-TTL workload with prefetching on or off."""
+    enabled = bool(cell.params["prefetch"])
+    system = ApeCacheSystem(ApeCacheConfig(enable_prefetch=enabled))
+    result, _workload = execute_workload(_require_workload(cell), system)
+    return {"mean_app_latency_ms": result.mean_app_latency_s() * 1e3,
+            "hit_ratio": result.hit_ratio(),
+            "prefetches": int(result.ap_stats.get("prefetches", 0)),
+            "edge_fetches": int(result.ap_stats["edge_fetches"])}
+
+
+def run_prefetch(quick: bool = True, seed: int = 0,
+                 jobs: int = 1) -> ExperimentTable:
     """Workload latency with and without AP prefetching.
 
     Short TTLs make delegations recur, which is where warming the rest
@@ -170,22 +276,25 @@ def run_prefetch(quick: bool = True, seed: int = 0) -> ExperimentTable:
     """
     duration = effective_duration(quick, quick_s=3 * MINUTE)
     short_ttl = DummyAppParams(min_ttl_s=2 * MINUTE, max_ttl_s=5 * MINUTE)
+    spec = ScenarioSpec(
+        name="ablation-prefetch", systems=(None,), seeds=(seed,),
+        workload=_workload_config(duration, seed, dummy_params=short_ttl),
+        axes={"prefetch": _param_axis(
+            "prefetch", (False, True), labels=("off", "on"))},
+        runner="repro.experiments.ablations:prefetch_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+
     table = ExperimentTable(
         title="Ablation: dependency-aware prefetching on the AP",
         columns=["prefetch", "mean_app_latency_ms", "hit_ratio",
                  "prefetches", "edge_fetches"])
-    for enabled in (False, True):
-        system = ApeCacheSystem(ApeCacheConfig(enable_prefetch=enabled))
-        config = _workload_config(duration, seed,
-                                  dummy_params=short_ttl)
-        result = Workload(config).run(system)
-        table.add_row(prefetch="on" if enabled else "off",
-                      mean_app_latency_ms=result.mean_app_latency_s()
-                      * 1e3,
-                      hit_ratio=result.hit_ratio(),
-                      prefetches=int(result.ap_stats.get(
-                          "prefetches", 0)),
-                      edge_fetches=int(result.ap_stats["edge_fetches"]))
+    for cell_result in result.cells:
+        metrics = cell_result.metrics
+        table.add_row(prefetch=cell_result.cell.coords["prefetch"],
+                      mean_app_latency_ms=metrics["mean_app_latency_ms"],
+                      hit_ratio=metrics["hit_ratio"],
+                      prefetches=metrics["prefetches"],
+                      edge_fetches=metrics["edge_fetches"])
     table.notes.append(
         "the paper's related-work synergy: shipping request-dependency "
         "info to the AP prefetches dependents, cutting cold/expired "
@@ -196,37 +305,56 @@ def run_prefetch(quick: bool = True, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # Device-local (L1) cache in front of the AP
 # ----------------------------------------------------------------------
-def run_device_cache(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def device_cache_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: workload with an L1 device cache of a given size."""
+    device_kb = int(_t.cast(int, cell.params["device_cache_kb"]))
+    system = ApeCacheSystem(device_cache_bytes=device_kb * KB)
+    result, _workload = execute_workload(_require_workload(cell), system)
+    return {"mean_app_latency_ms": result.mean_app_latency_s() * 1e3,
+            "ap_hit_ratio_incl_device": result.hit_ratio()}
+
+
+def run_device_cache(quick: bool = True, seed: int = 0,
+                     jobs: int = 1) -> ExperimentTable:
     """APE-CACHE with a PALOMA-style on-device cache layered in front.
 
     The paper's related work positions client-side caching systems as
     complementary; this sweep quantifies the combination.
     """
     duration = effective_duration(quick, quick_s=3 * MINUTE)
+    spec = ScenarioSpec(
+        name="ablation-device-cache", systems=(None,), seeds=(seed,),
+        workload=_workload_config(duration, seed),
+        axes={"device_cache_kb": _param_axis("device_cache_kb",
+                                             (0, 64, 256, 1024))},
+        runner="repro.experiments.ablations:device_cache_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+
     table = ExperimentTable(
         title="Ablation: on-device (L1) cache in front of the AP",
         columns=["device_cache_kb", "mean_app_latency_ms",
                  "ap_hit_ratio_incl_device"])
-    for device_kb in (0, 64, 256, 1024):
-        system = ApeCacheSystem(device_cache_bytes=device_kb * KB)
-        result = Workload(_workload_config(duration, seed)).run(system)
-        table.add_row(device_cache_kb=device_kb,
-                      mean_app_latency_ms=result.mean_app_latency_s()
-                      * 1e3,
-                      ap_hit_ratio_incl_device=result.hit_ratio())
+    for cell_result in result.cells:
+        metrics = cell_result.metrics
+        table.add_row(device_cache_kb=cell_result.cell.coords[
+                          "device_cache_kb"],
+                      mean_app_latency_ms=metrics["mean_app_latency_ms"],
+                      ap_hit_ratio_incl_device=metrics[
+                          "ap_hit_ratio_incl_device"])
     table.notes.append(
         "0 KB is the paper's configuration; device hits serve in ~0 ms "
         "and relieve the AP, stacking with (not replacing) AP caching")
     return table
 
 
-def run(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
-    return [run_short_circuit(quick, seed),
-            run_fairness_sweep(quick, seed),
-            run_alpha_sweep(quick, seed),
-            run_blocklist_sweep(quick, seed),
-            run_prefetch(quick, seed),
-            run_device_cache(quick, seed)]
+def run(quick: bool = True, seed: int = 0,
+        jobs: int = 1) -> list[ExperimentTable]:
+    return [run_short_circuit(quick, seed, jobs),
+            run_fairness_sweep(quick, seed, jobs),
+            run_alpha_sweep(quick, seed, jobs),
+            run_blocklist_sweep(quick, seed, jobs),
+            run_prefetch(quick, seed, jobs),
+            run_device_cache(quick, seed, jobs)]
 
 
 if __name__ == "__main__":  # pragma: no cover

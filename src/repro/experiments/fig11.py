@@ -11,6 +11,10 @@ Fig. 11b isolates the DNS-Cache design: a plain DNS query answered from
 the AP cache, a DNS-Cache query (piggybacked lookup), the same lookup
 done as two standalone queries, and a plain DNS query that misses on the
 AP and recurses upstream.
+
+Both figures run through the scenario engine: Fig. 11a/c is a
+(frequency x system) sweep whose cells attach the probe as an extra
+process; Fig. 11b is a single system-less measurement cell.
 """
 
 from __future__ import annotations
@@ -18,8 +22,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.apps.generator import DummyAppParams
-from repro.apps.workload import Workload, WorkloadConfig
-from repro.baselines import all_systems
+from repro.apps.workload import WorkloadConfig
 from repro.baselines.base import CachingSystem
 from repro.core.annotations import CacheableSpec
 from repro.core.ap_runtime import ApRuntime
@@ -28,7 +31,11 @@ from repro.dnslib.cache_rr import CacheFlag, CacheLookupRdata
 from repro.dnslib.message import Message
 from repro.dnslib.resolver import StubResolver
 from repro.dnslib.rr import RRClass, RRType
+from repro.errors import ConfigError
 from repro.experiments.common import ExperimentTable, effective_duration
+from repro.runner import ScenarioSpec, SweepEngine, resolve_system, sweep_table
+from repro.runner.cells import execute_workload
+from repro.runner.spec import Cell
 from repro.sim.kernel import HOUR, MINUTE
 from repro.testbed import Testbed, TestbedConfig
 
@@ -40,6 +47,7 @@ PROBE_SIZE = 40 * 1024
 #: retrieval), so it carries no simulated remote-backend delay.
 PROBE_ORIGIN_DELAY = 0.0
 FREQUENCIES = (1.0, 1.5, 2.0, 2.5, 3.0)
+SYSTEM_NAMES = ("APE-CACHE", "APE-CACHE-LRU", "Wi-Cache", "Edge Cache")
 
 
 def _probe_factory(samples: dict[str, list[float]],
@@ -74,35 +82,44 @@ def _fetch_once(fetcher):
     return result
 
 
-def run(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
+def probe_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: one workload run with the latency probe attached."""
+    if cell.workload is None or cell.system is None:
+        raise ConfigError("fig11 probe cells need a workload and system")
+    system = resolve_system(cell.system)
+    assert system is not None
+    samples: dict[str, list[float]] = {"lookup_ms": [],
+                                       "retrieval_ms": []}
+    execute_workload(cell.workload, system,
+                     extra_processes=[_probe_factory(samples)])
+    return {"system_name": system.name,
+            "metrics": {"lookup_ms": _mean(samples["lookup_ms"]),
+                        "retrieval_ms": _mean(samples["retrieval_ms"])}}
+
+
+def run(quick: bool = True, seed: int = 0,
+        jobs: int = 1) -> list[ExperimentTable]:
     """Fig. 11a (lookup) and Fig. 11c (retrieval) across frequencies."""
     duration = effective_duration(quick, quick_s=3 * MINUTE)
-    lookup_table = ExperimentTable(
-        title="Fig. 11a: Cache lookup latency (ms) vs usage frequency",
-        columns=["frequency_per_min", "APE-CACHE", "APE-CACHE-LRU",
-                 "Wi-Cache", "Edge Cache"])
-    retrieval_table = ExperimentTable(
-        title="Fig. 11c: Cache retrieval latency (ms) vs usage frequency",
-        columns=list(lookup_table.columns))
+    spec = ScenarioSpec(
+        name="fig11-object-latency", systems=SYSTEM_NAMES, seeds=(seed,),
+        workload=WorkloadConfig(n_apps=30, duration_s=duration,
+                                seed=seed, dummy_params=DummyAppParams(),
+                                testbed=TestbedConfig(seed=seed)),
+        axes={"avg_frequency_per_min": FREQUENCIES},
+        runner="repro.experiments.fig11:probe_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
 
-    for frequency in FREQUENCIES:
-        lookup_row: dict[str, object] = {"frequency_per_min": frequency}
-        retrieval_row: dict[str, object] = {
-            "frequency_per_min": frequency}
-        for system in all_systems():
-            samples: dict[str, list[float]] = {"lookup_ms": [],
-                                               "retrieval_ms": []}
-            config = WorkloadConfig(
-                n_apps=30, avg_frequency_per_min=frequency,
-                duration_s=duration, seed=seed,
-                dummy_params=DummyAppParams(),
-                testbed=TestbedConfig(seed=seed))
-            Workload(config).run(system,
-                                 extra_processes=[_probe_factory(samples)])
-            lookup_row[system.name] = _mean(samples["lookup_ms"])
-            retrieval_row[system.name] = _mean(samples["retrieval_ms"])
-        lookup_table.rows.append(lookup_row)
-        retrieval_table.rows.append(retrieval_row)
+    lookup_table = sweep_table(
+        result,
+        title="Fig. 11a: Cache lookup latency (ms) vs usage frequency",
+        axis="avg_frequency_per_min", metric="lookup_ms",
+        axis_column="frequency_per_min")
+    retrieval_table = sweep_table(
+        result,
+        title="Fig. 11c: Cache retrieval latency (ms) vs usage frequency",
+        axis="avg_frequency_per_min", metric="retrieval_ms",
+        axis_column="frequency_per_min")
 
     lookup_table.notes.append(
         "paper: APE-CACHE ~7.5 ms, Wi-Cache and Edge Cache exceed 22 ms")
@@ -141,11 +158,10 @@ def _summary_note(lookup: ExperimentTable,
 # ----------------------------------------------------------------------
 # Fig. 11b: the DNS-Cache query's latency overhead
 # ----------------------------------------------------------------------
-def run_lookup_overhead(quick: bool = True,
-                        seed: int = 0) -> ExperimentTable:
-    """Fig. 11b: piggybacked lookups vs alternatives."""
-    runs = 40 if quick else 200
-    bed = Testbed(TestbedConfig(seed=seed))
+def lookup_overhead_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: the four Fig. 11b query variants, timed."""
+    runs = int(_t.cast(int, cell.params.get("runs", 40)))
+    bed = Testbed(TestbedConfig(seed=cell.seed))
     ap_runtime = ApRuntime(bed.ap, bed.transport, bed.ldns.address)
     ap_runtime.install()
     node = bed.add_client("phone")
@@ -196,13 +212,29 @@ def run_lookup_overhead(quick: bool = True,
         ap_runtime._cache.clear()
         yield from stub.resolve("colddomain.example")
 
+    return {"plain_hit_ms": timed(plain_dns_hit),
+            "dns_cache_ms": timed(dns_cache_query),
+            "standalone_ms": timed(standalone_pair),
+            "miss_ms": timed(plain_dns_miss)}
+
+
+def run_lookup_overhead(quick: bool = True, seed: int = 0,
+                        jobs: int = 1) -> ExperimentTable:
+    """Fig. 11b: piggybacked lookups vs alternatives."""
+    spec = ScenarioSpec(
+        name="fig11b-lookup-overhead", systems=(None,), seeds=(seed,),
+        workload=None, params={"runs": 40 if quick else 200},
+        runner="repro.experiments.fig11:lookup_overhead_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+    metrics = result.cells[0].metrics
+
     table = ExperimentTable(
         title="Fig. 11b: Lookup latency overhead of DNS-Cache queries",
         columns=["query_kind", "latency_ms"])
-    plain_hit_ms = timed(plain_dns_hit)
-    dns_cache_ms = timed(dns_cache_query)
-    standalone_ms = timed(standalone_pair)
-    miss_ms = timed(plain_dns_miss)
+    plain_hit_ms = float(_t.cast(float, metrics["plain_hit_ms"]))
+    dns_cache_ms = float(_t.cast(float, metrics["dns_cache_ms"]))
+    standalone_ms = float(_t.cast(float, metrics["standalone_ms"]))
+    miss_ms = float(_t.cast(float, metrics["miss_ms"]))
     table.add_row(query_kind="regular DNS (hit on AP)",
                   latency_ms=plain_hit_ms)
     table.add_row(query_kind="DNS-Cache (piggybacked)",

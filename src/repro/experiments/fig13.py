@@ -4,21 +4,24 @@ Three sweeps (object size, usage frequency, app quantity), each run for
 all four systems — the paper's Fig. 13a/b/c.  At the default setting the
 paper reads 30 / 42 / 54 / 122 ms for APE-CACHE / APE-CACHE-LRU /
 Wi-Cache / Edge Cache.
+
+Each sweep is one declarative :class:`~repro.runner.spec.ScenarioSpec`
+executed by the scenario engine — pass ``jobs > 1`` to fan the cells
+out across cores (see ``docs/experiments.md``).
 """
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.apps.generator import DummyAppParams
-from repro.apps.workload import Workload, WorkloadConfig
-from repro.baselines import all_systems
+from repro.apps.workload import WorkloadConfig
 from repro.experiments.common import ExperimentTable, effective_duration
 from repro.experiments.pacm_tables import (
     APP_QUANTITIES,
     FREQUENCIES,
     SIZE_RANGES,
+    size_range_axis,
 )
+from repro.runner import ScenarioSpec, SweepEngine, sweep_table
 from repro.sim.kernel import MINUTE
 from repro.testbed import TestbedConfig
 
@@ -27,81 +30,74 @@ __all__ = ["run", "run_size_sweep", "run_frequency_sweep",
 
 KB = 1024
 SYSTEM_NAMES = ("APE-CACHE", "APE-CACHE-LRU", "Wi-Cache", "Edge Cache")
+METRIC = "mean_app_latency_ms"
 
 
-def _base_config(duration_s: float, seed: int) -> WorkloadConfig:
-    return WorkloadConfig(n_apps=30, avg_frequency_per_min=3.0,
-                          duration_s=duration_s, seed=seed,
-                          dummy_params=DummyAppParams(),
-                          testbed=TestbedConfig(seed=seed))
-
-
-def _latency_row(config: WorkloadConfig) -> dict[str, float]:
-    row = {}
-    for system in all_systems():
-        result = Workload(config).run(system)
-        row[system.name] = result.mean_app_latency_s() * 1e3
-    return row
-
-
-def run_size_sweep(quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Fig. 13a: latency vs data object size."""
+def _base_spec(name: str, quick: bool, seed: int,
+               axes: dict) -> ScenarioSpec:
     duration = effective_duration(quick, quick_s=3 * MINUTE)
-    table = ExperimentTable(
-        title="Fig. 13a: Avg app-level latency (ms) vs object size",
-        columns=["size_range_kb", *SYSTEM_NAMES])
-    for low_kb, high_kb in SIZE_RANGES:
-        config = dataclasses.replace(
-            _base_config(duration, seed),
-            dummy_params=DummyAppParams(min_size_bytes=low_kb * KB,
-                                        max_size_bytes=high_kb * KB))
-        row = _latency_row(config)
-        table.rows.append({"size_range_kb": f"{low_kb}~{high_kb}", **row})
+    return ScenarioSpec(
+        name=name, systems=SYSTEM_NAMES, seeds=(seed,),
+        workload=WorkloadConfig(n_apps=30, avg_frequency_per_min=3.0,
+                                duration_s=duration, seed=seed,
+                                dummy_params=DummyAppParams(),
+                                testbed=TestbedConfig(seed=seed)),
+        axes=axes)
+
+
+def run_size_sweep(quick: bool = True, seed: int = 0,
+                   jobs: int = 1) -> ExperimentTable:
+    """Fig. 13a: latency vs data object size."""
+    spec = _base_spec("fig13a-size", quick, seed,
+                      axes={"size_range_kb": size_range_axis(SIZE_RANGES)})
+    result = SweepEngine(jobs=jobs).run(spec)
+    table = sweep_table(
+        result, title="Fig. 13a: Avg app-level latency (ms) vs object size",
+        axis="size_range_kb", metric=METRIC)
     table.notes.append(
         "paper trend: latency grows with object size for the AP-cached "
         "systems (lower hit ratio); APE-CACHE lowest across the board")
     return table
 
 
-def run_frequency_sweep(quick: bool = True,
-                        seed: int = 0) -> ExperimentTable:
+def run_frequency_sweep(quick: bool = True, seed: int = 0,
+                        jobs: int = 1) -> ExperimentTable:
     """Fig. 13b: latency vs app usage frequency."""
-    duration = effective_duration(quick, quick_s=3 * MINUTE)
-    table = ExperimentTable(
+    spec = _base_spec("fig13b-frequency", quick, seed,
+                      axes={"avg_frequency_per_min": FREQUENCIES})
+    result = SweepEngine(jobs=jobs).run(spec)
+    table = sweep_table(
+        result,
         title="Fig. 13b: Avg app-level latency (ms) vs usage frequency",
-        columns=["frequency_per_min", *SYSTEM_NAMES])
-    for frequency in FREQUENCIES:
-        config = dataclasses.replace(_base_config(duration, seed),
-                                     avg_frequency_per_min=frequency)
-        row = _latency_row(config)
-        table.rows.append({"frequency_per_min": frequency, **row})
+        axis="avg_frequency_per_min", metric=METRIC,
+        axis_column="frequency_per_min")
     table.notes.append(
         "paper trend: higher frequency -> higher hit ratio -> slightly "
         "lower latency for AP-cached systems; Edge Cache flat")
     return table
 
 
-def run_quantity_sweep(quick: bool = True,
-                       seed: int = 0) -> ExperimentTable:
+def run_quantity_sweep(quick: bool = True, seed: int = 0,
+                       jobs: int = 1) -> ExperimentTable:
     """Fig. 13c: latency vs app quantity."""
-    duration = effective_duration(quick, quick_s=3 * MINUTE)
-    table = ExperimentTable(
+    spec = _base_spec("fig13c-quantity", quick, seed,
+                      axes={"n_apps": APP_QUANTITIES})
+    result = SweepEngine(jobs=jobs).run(spec)
+    table = sweep_table(
+        result,
         title="Fig. 13c: Avg app-level latency (ms) vs app quantity",
-        columns=["n_apps", *SYSTEM_NAMES])
-    for quantity in APP_QUANTITIES:
-        config = dataclasses.replace(_base_config(duration, seed),
-                                     n_apps=quantity)
-        row = _latency_row(config)
-        table.rows.append({"n_apps": quantity, **row})
+        axis="n_apps", metric=METRIC)
     table.notes.append(
         "paper at defaults: APE 30 < APE-LRU 42 < Wi-Cache 54 << "
         "Edge 122 ms (-29% / -44% / -76%)")
     return table
 
 
-def run(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
-    return [run_size_sweep(quick, seed), run_frequency_sweep(quick, seed),
-            run_quantity_sweep(quick, seed)]
+def run(quick: bool = True, seed: int = 0,
+        jobs: int = 1) -> list[ExperimentTable]:
+    return [run_size_sweep(quick, seed, jobs),
+            run_frequency_sweep(quick, seed, jobs),
+            run_quantity_sweep(quick, seed, jobs)]
 
 
 if __name__ == "__main__":  # pragma: no cover

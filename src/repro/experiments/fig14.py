@@ -3,26 +3,44 @@
 Runs 30 APE-CACHE-enabled apps and their regular (direct-to-edge)
 versions, sampling the AP's service CPU and APE-CACHE's memory footprint.
 The paper reports at most ~6% extra CPU and ~13 MB of memory with a 5 MB
-cache allocation.
+cache allocation.  The study executes as one system-less scenario cell.
 """
 
 from __future__ import annotations
 
+import typing as _t
+
 from repro.apps.workload import WorkloadConfig
+from repro.errors import ConfigError
 from repro.experiments.common import ExperimentTable, effective_duration
 from repro.measurement.overhead import ApOverheadStudy
+from repro.runner import ScenarioSpec, SweepEngine
+from repro.runner.spec import Cell
 from repro.sim.kernel import MINUTE
 from repro.testbed import TestbedConfig
 
-__all__ = ["run"]
+__all__ = ["run", "overhead_cell"]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def overhead_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: the paired APE/regular overhead study."""
+    if cell.workload is None:
+        raise ConfigError("fig14 cells need a workload config")
+    report = ApOverheadStudy(cell.workload).run()
+    return dict(report.summary())
+
+
+def run(quick: bool = True, seed: int = 0, jobs: int = 1,
+        ) -> ExperimentTable:
     duration = effective_duration(quick, quick_s=5 * MINUTE)
-    config = WorkloadConfig(n_apps=30, duration_s=duration, seed=seed,
-                            testbed=TestbedConfig(seed=seed))
-    report = ApOverheadStudy(config).run()
-    summary = report.summary()
+    spec = ScenarioSpec(
+        name="fig14-ap-overhead", systems=(None,), seeds=(seed,),
+        workload=WorkloadConfig(n_apps=30, duration_s=duration,
+                                seed=seed,
+                                testbed=TestbedConfig(seed=seed)),
+        runner="repro.experiments.fig14:overhead_cell")
+    summary = _t.cast(dict, SweepEngine(jobs=jobs).run(spec)
+                      .cells[0].metrics)
 
     table = ExperimentTable(
         title="Fig. 14: CPU/Memory overhead of APE-CACHE on the AP",

@@ -6,6 +6,8 @@ distributed form and measures how aggregate cache capacity scales:
 clients spread round-robin over 1/2/4 APs, apps execute at a fixed
 rate, and the controller redirects hits to whichever AP holds each
 object.
+
+One scenario cell per AP count, run through the scenario engine.
 """
 
 from __future__ import annotations
@@ -17,10 +19,14 @@ from repro.apps.generator import DummyAppParams, generate_apps
 from repro.apps.workload import zipf_rates
 from repro.baselines.multi_ap import WiCacheDistributedSystem
 from repro.experiments.common import ExperimentTable, effective_duration
+from repro.runner import ScenarioSpec, SweepEngine
+from repro.runner.spec import Cell
 from repro.sim.kernel import MINUTE
 from repro.testbed import Testbed, TestbedConfig
 
-__all__ = ["run"]
+__all__ = ["run", "multi_ap_cell", "AP_COUNTS"]
+
+AP_COUNTS = (1, 2, 4)
 
 MB = 1024 * 1024
 N_APPS = 24
@@ -72,15 +78,31 @@ def _run_point(n_aps: int, duration_s: float, seed: int,
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def multi_ap_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: one distributed-Wi-Cache run at a given AP count."""
+    n_aps = int(_t.cast(int, cell.coords["n_aps"]))
+    duration_s = float(_t.cast(float, cell.params["duration_s"]))
+    return dict(_run_point(n_aps, duration_s, cell.seed))
+
+
+def run(quick: bool = True, seed: int = 0,
+        jobs: int = 1) -> ExperimentTable:
     duration = effective_duration(quick, quick_s=4 * MINUTE)
+    spec = ScenarioSpec(
+        name="multi-ap", systems=(None,), seeds=(seed,),
+        workload=None, axes={"n_aps": AP_COUNTS},
+        params={"duration_s": duration},
+        runner="repro.experiments.multi_ap:multi_ap_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
+
     table = ExperimentTable(
         title="Extension: distributed Wi-Cache, hit ratio vs AP count",
         columns=["n_aps", "hit_ratio", "mean_app_latency_ms",
                  "aggregate_cache_mb"])
-    for n_aps in (1, 2, 4):
-        point = _run_point(n_aps, duration, seed)
-        table.add_row(n_aps=n_aps, hit_ratio=point["hit_ratio"],
+    for cell_result in result.cells:
+        point = cell_result.metrics
+        table.add_row(n_aps=cell_result.cell.coords["n_aps"],
+                      hit_ratio=point["hit_ratio"],
                       mean_app_latency_ms=point["mean_app_latency_ms"],
                       aggregate_cache_mb=point["aggregate_cache_mb"])
     table.notes.append(

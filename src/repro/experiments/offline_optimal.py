@@ -4,66 +4,107 @@ Replays the evaluation workload's request trace through every cache
 management policy offline, answering "how much of the achievable hit
 ratio does PACM capture?" — an upper-bound analysis the paper does not
 include but that its knapsack formulation invites.
+
+One scenario cell per policy; each cell regenerates the (seeded, hence
+identical) trace and replays it, so the sweep parallelizes cleanly.
 """
 
 from __future__ import annotations
 
+import typing as _t
+
 from repro.apps.generator import DummyAppParams, generate_apps
 from repro.apps.movietrailer import movietrailer_app
+from repro.apps.trace import generate_request_trace
 from repro.apps.virtualhome import virtualhome_app
 from repro.cache.frequency import RequestFrequencyTracker
-from repro.apps.trace import generate_request_trace
 from repro.cache.offline import BeladyPolicy, OfflineCacheSimulator
 from repro.cache.pacm import PacmPolicy
 from repro.cache.policies import FifoPolicy, LfuPolicy, LruPolicy
+from repro.errors import ConfigError
 from repro.experiments.common import ExperimentTable
+from repro.runner import ScenarioSpec, SweepEngine
+from repro.runner.spec import Cell
 from repro.sim.kernel import HOUR, MINUTE
 
-__all__ = ["run"]
+__all__ = ["run", "policy_cell", "POLICY_NAMES"]
 
 MB = 1024 * 1024
+POLICY_NAMES = ("PACM", "LRU", "LFU", "FIFO", "Belady (clairvoyant)")
+
+
+def _build_trace(duration_s: float, seed: int):
+    apps = [movietrailer_app(), virtualhome_app()]
+    apps.extend(generate_apps(28, seed=seed, params=DummyAppParams()))
+    return generate_request_trace(apps, duration_s=duration_s, seed=seed)
+
+
+def policy_cell(cell: Cell) -> dict[str, object]:
+    """Cell runner: replay the seeded trace under one policy."""
+    policy_name = str(cell.coords["policy"])
+    duration_s = float(_t.cast(float, cell.params["duration_s"]))
+    capacity_bytes = int(_t.cast(int, cell.params["capacity_bytes"]))
+    trace = _build_trace(duration_s, cell.seed)
+
+    observe = None
+    if policy_name == "PACM":
+        tracker = RequestFrequencyTracker()
+        policy = PacmPolicy(tracker)
+        observe = lambda request: tracker.observe(  # noqa: E731
+            request.app_id, request.time_s)
+    elif policy_name == "LRU":
+        policy = LruPolicy()
+    elif policy_name == "LFU":
+        policy = LfuPolicy()
+    elif policy_name == "FIFO":
+        policy = FifoPolicy()
+    elif policy_name == "Belady (clairvoyant)":
+        policy = BeladyPolicy(trace)
+    else:
+        raise ConfigError(f"unknown policy {policy_name!r}; "
+                          f"known: {list(POLICY_NAMES)}")
+
+    simulator = OfflineCacheSimulator(capacity_bytes)
+    result = simulator.replay(trace, policy, policy_name=policy_name,
+                              observe=observe)
+    summary = dict(result.summary())
+    summary["trace_requests"] = len(trace)
+    return summary
 
 
 def run(quick: bool = True, seed: int = 0,
-        capacity_bytes: int = 5 * MB) -> ExperimentTable:
+        capacity_bytes: int = 5 * MB, jobs: int = 1) -> ExperimentTable:
     duration = (20 * MINUTE) if quick else (1 * HOUR)
-    apps = [movietrailer_app(), virtualhome_app()]
-    apps.extend(generate_apps(28, seed=seed, params=DummyAppParams()))
-    trace = generate_request_trace(apps, duration_s=duration, seed=seed)
-    simulator = OfflineCacheSimulator(capacity_bytes)
+    spec = ScenarioSpec(
+        name="offline-optimal", systems=(None,), seeds=(seed,),
+        workload=None, axes={"policy": POLICY_NAMES},
+        params={"duration_s": duration, "capacity_bytes": capacity_bytes},
+        runner="repro.experiments.offline_optimal:policy_cell")
+    result = SweepEngine(jobs=jobs).run(spec)
 
     table = ExperimentTable(
         title="Offline replay: PACM vs classic policies vs Belady bound",
         columns=["policy", "hit_ratio", "high_priority_hit_ratio",
                  "bytes_fetched_mb", "evictions"])
-
-    def add(policy, name, observe=None):
-        result = simulator.replay(trace, policy, policy_name=name,
-                                  observe=observe)
-        summary = result.summary()
-        table.add_row(policy=name, hit_ratio=summary["hit_ratio"],
+    trace_requests = 0
+    for cell_result in result.cells:
+        summary = cell_result.metrics
+        trace_requests = int(_t.cast(int, summary["trace_requests"]))
+        table.add_row(policy=cell_result.cell.coords["policy"],
+                      hit_ratio=summary["hit_ratio"],
                       high_priority_hit_ratio=summary[
                           "high_priority_hit_ratio"],
                       bytes_fetched_mb=summary["bytes_fetched_mb"],
-                      evictions=int(summary["evictions"]))
-        return result
+                      evictions=int(_t.cast(int, summary["evictions"])))
 
-    tracker = RequestFrequencyTracker()
-    add(PacmPolicy(tracker), "PACM",
-        observe=lambda request: tracker.observe(request.app_id,
-                                                request.time_s))
-    add(LruPolicy(), "LRU")
-    add(LfuPolicy(), "LFU")
-    add(FifoPolicy(), "FIFO")
-    add(BeladyPolicy(trace), "Belady (clairvoyant)")
-
-    belady = float(table.rows[-1]["hit_ratio"])
-    pacm = float(table.rows[0]["hit_ratio"])
+    belady = float(_t.cast(float, table.rows[-1]["hit_ratio"]))
+    pacm = float(_t.cast(float, table.rows[0]["hit_ratio"]))
     if belady > 0:
         table.notes.append(
             f"PACM captures {100 * pacm / belady:.0f}% of the "
             "clairvoyant hit ratio on this trace "
-            f"({len(trace)} requests, {capacity_bytes // MB} MB cache)")
+            f"({trace_requests} requests, {capacity_bytes // MB} MB "
+            "cache)")
     return table
 
 

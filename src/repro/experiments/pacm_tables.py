@@ -4,22 +4,25 @@ Each table varies one workload dimension — object size range (IV), app
 usage frequency (V), app quantity (VI) — and reports the average hit
 ratio, the high-priority hit ratio under PACM, and LRU's hit ratio (the
 management used by Wi-Cache and APE-CACHE-LRU).
+
+Each sweep declares one :class:`~repro.runner.spec.ScenarioSpec` over
+the two APE systems and runs it through the scenario engine; the paper
+columns fold out of the per-cell hit-ratio metrics.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.apps.generator import DummyAppParams
-from repro.apps.workload import Workload, WorkloadConfig
-from repro.baselines.ape import ApeCacheLruSystem, ApeCacheSystem
+from repro.apps.workload import WorkloadConfig
 from repro.experiments.common import ExperimentTable, effective_duration
+from repro.runner import ScenarioSpec, SweepEngine, SweepPoint
+from repro.runner.engine import SweepResult
 from repro.sim.kernel import MINUTE
 from repro.testbed import TestbedConfig
 
 __all__ = ["run", "run_size_sweep", "run_frequency_sweep",
-           "run_quantity_sweep", "PAPER_TABLE4", "PAPER_TABLE5",
-           "PAPER_TABLE6"]
+           "run_quantity_sweep", "size_range_axis", "PAPER_TABLE4",
+           "PAPER_TABLE5", "PAPER_TABLE6"]
 
 KB = 1024
 
@@ -39,88 +42,105 @@ PAPER_TABLE6 = {5: (0.965, 0.965, 0.965), 10: (0.966, 0.966, 0.966),
                 25: (0.691, 0.841, 0.668), 30: (0.632, 0.832, 0.631)}
 
 
-def _base_config(duration_s: float, seed: int) -> WorkloadConfig:
+def size_range_axis(ranges=SIZE_RANGES) -> list[SweepPoint]:
+    """A size-range sweep axis: each point pairs min and max bytes."""
+    return [SweepPoint(
+        label=f"{low_kb}~{high_kb}",
+        overrides={"dummy_params.min_size_bytes": low_kb * KB,
+                   "dummy_params.max_size_bytes": high_kb * KB})
+        for low_kb, high_kb in ranges]
+
+
+def _pacm_spec(name: str, quick: bool, seed: int, axes: dict,
+               ) -> ScenarioSpec:
     """Paper defaults: 30 apps, 1-100 KB objects, 3 executions/min."""
-    return WorkloadConfig(
-        n_apps=30, avg_frequency_per_min=3.0, duration_s=duration_s,
-        seed=seed, dummy_params=DummyAppParams(),
-        testbed=TestbedConfig(seed=seed))
-
-
-def _measure(config: WorkloadConfig) -> tuple[float, float, float]:
-    """(PACM avg, PACM high-priority, LRU avg) hit ratios."""
-    pacm_result = Workload(config).run(ApeCacheSystem())
-    lru_result = Workload(config).run(ApeCacheLruSystem())
-    return (pacm_result.hit_ratio(),
-            pacm_result.hit_ratio(only_high_priority=True),
-            lru_result.hit_ratio())
-
-
-def run_size_sweep(quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Table IV: hit ratio vs data object size."""
     duration = effective_duration(quick, quick_s=4 * MINUTE)
+    return ScenarioSpec(
+        name=name, systems=("APE-CACHE", "APE-CACHE-LRU"), seeds=(seed,),
+        workload=WorkloadConfig(
+            n_apps=30, avg_frequency_per_min=3.0, duration_s=duration,
+            seed=seed, dummy_params=DummyAppParams(),
+            testbed=TestbedConfig(seed=seed)),
+        axes=axes)
+
+
+def _fold_rows(result: SweepResult, axis: str, axis_column: str,
+               table: ExperimentTable, paper: dict,
+               paper_key=lambda label: label) -> None:
+    """One table row per axis point: PACM cell + LRU cell metrics."""
+    by_point: dict[object, dict[str, dict[str, object]]] = {}
+    labels: list[object] = []
+    for cell_result in result.cells:
+        label = cell_result.cell.coords[axis]
+        if label not in by_point:
+            by_point[label] = {}
+            labels.append(label)
+        by_point[label][cell_result.system_name] = cell_result.metrics
+    for label in labels:
+        pacm = by_point[label]["APE-CACHE"]
+        lru = by_point[label]["APE-CACHE-LRU"]
+        expected = paper[paper_key(label)]
+        table.add_row(**{
+            axis_column: label,
+            "pacm_avg": pacm["hit_ratio"],
+            "pacm_high_priority": pacm["hit_ratio_high_priority"],
+            "lru": lru["hit_ratio"],
+            "paper_pacm_avg": expected[0],
+            "paper_pacm_high": expected[1],
+            "paper_lru": expected[2],
+        })
+
+
+def run_size_sweep(quick: bool = True, seed: int = 0,
+                   jobs: int = 1) -> ExperimentTable:
+    """Table IV: hit ratio vs data object size."""
+    spec = _pacm_spec("table4-size", quick, seed,
+                      axes={"size_range_kb": size_range_axis()})
+    result = SweepEngine(jobs=jobs).run(spec)
     table = ExperimentTable(
         title="Table IV: Cache hit ratio vs data object size",
         columns=["size_range_kb", "pacm_avg", "pacm_high_priority",
                  "lru", "paper_pacm_avg", "paper_pacm_high",
                  "paper_lru"])
-    for low_kb, high_kb in SIZE_RANGES:
-        config = _base_config(duration, seed)
-        config = dataclasses.replace(config, dummy_params=DummyAppParams(
-            min_size_bytes=low_kb * KB, max_size_bytes=high_kb * KB))
-        pacm_avg, pacm_high, lru = _measure(config)
-        paper = PAPER_TABLE4[high_kb]
-        table.add_row(size_range_kb=f"{low_kb}~{high_kb}",
-                      pacm_avg=pacm_avg, pacm_high_priority=pacm_high,
-                      lru=lru, paper_pacm_avg=paper[0],
-                      paper_pacm_high=paper[1], paper_lru=paper[2])
+    _fold_rows(result, "size_range_kb", "size_range_kb", table,
+               PAPER_TABLE4,
+               paper_key=lambda label: int(str(label).split("~")[1]))
     table.notes.append(
         "paper trend: hit ratios fall as objects grow; PACM keeps a "
         "consistently higher high-priority hit ratio than LRU")
     return table
 
 
-def run_frequency_sweep(quick: bool = True,
-                        seed: int = 0) -> ExperimentTable:
+def run_frequency_sweep(quick: bool = True, seed: int = 0,
+                        jobs: int = 1) -> ExperimentTable:
     """Table V: hit ratio vs average app usage frequency."""
-    duration = effective_duration(quick, quick_s=4 * MINUTE)
+    spec = _pacm_spec("table5-frequency", quick, seed,
+                      axes={"avg_frequency_per_min": FREQUENCIES})
+    result = SweepEngine(jobs=jobs).run(spec)
     table = ExperimentTable(
         title="Table V: Cache hit ratio vs avg app usage frequency",
         columns=["frequency_per_min", "pacm_avg", "pacm_high_priority",
                  "lru", "paper_pacm_avg", "paper_pacm_high",
                  "paper_lru"])
-    for frequency in FREQUENCIES:
-        config = dataclasses.replace(_base_config(duration, seed),
-                                     avg_frequency_per_min=frequency)
-        pacm_avg, pacm_high, lru = _measure(config)
-        paper = PAPER_TABLE5[frequency]
-        table.add_row(frequency_per_min=frequency, pacm_avg=pacm_avg,
-                      pacm_high_priority=pacm_high, lru=lru,
-                      paper_pacm_avg=paper[0], paper_pacm_high=paper[1],
-                      paper_lru=paper[2])
+    _fold_rows(result, "avg_frequency_per_min", "frequency_per_min",
+               table, PAPER_TABLE5)
     table.notes.append(
         "paper trend: lower frequency -> more TTL expiries before reuse "
         "-> slightly lower hit ratio; PACM-High stays above LRU")
     return table
 
 
-def run_quantity_sweep(quick: bool = True,
-                       seed: int = 0) -> ExperimentTable:
+def run_quantity_sweep(quick: bool = True, seed: int = 0,
+                       jobs: int = 1) -> ExperimentTable:
     """Table VI: hit ratio vs number of apps."""
-    duration = effective_duration(quick, quick_s=4 * MINUTE)
+    spec = _pacm_spec("table6-quantity", quick, seed,
+                      axes={"n_apps": APP_QUANTITIES})
+    result = SweepEngine(jobs=jobs).run(spec)
     table = ExperimentTable(
         title="Table VI: Cache hit ratio vs app quantity",
         columns=["n_apps", "pacm_avg", "pacm_high_priority", "lru",
                  "paper_pacm_avg", "paper_pacm_high", "paper_lru"])
-    for quantity in APP_QUANTITIES:
-        config = dataclasses.replace(_base_config(duration, seed),
-                                     n_apps=quantity)
-        pacm_avg, pacm_high, lru = _measure(config)
-        paper = PAPER_TABLE6[quantity]
-        table.add_row(n_apps=quantity, pacm_avg=pacm_avg,
-                      pacm_high_priority=pacm_high, lru=lru,
-                      paper_pacm_avg=paper[0], paper_pacm_high=paper[1],
-                      paper_lru=paper[2])
+    _fold_rows(result, "n_apps", "n_apps", table, PAPER_TABLE6)
     table.notes.append(
         "paper trend: few apps fit entirely (~0.96); past ~15 apps the "
         "5 MB cache saturates and ratios fall, PACM protecting "
@@ -128,10 +148,12 @@ def run_quantity_sweep(quick: bool = True,
     return table
 
 
-def run(quick: bool = True, seed: int = 0) -> list[ExperimentTable]:
+def run(quick: bool = True, seed: int = 0,
+        jobs: int = 1) -> list[ExperimentTable]:
     """All three PACM tables."""
-    return [run_size_sweep(quick, seed), run_frequency_sweep(quick, seed),
-            run_quantity_sweep(quick, seed)]
+    return [run_size_sweep(quick, seed, jobs),
+            run_frequency_sweep(quick, seed, jobs),
+            run_quantity_sweep(quick, seed, jobs)]
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,7 +27,8 @@ __all__ = ["run"]
 METRIC = "mean_app_latency_ms"
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentTable:
+def run(quick: bool = True, seed: int = 0,
+        jobs: int = 1) -> ExperimentTable:
     duration = effective_duration(quick, quick_s=3 * MINUTE)
     seeds = tuple(range(seed, seed + (3 if quick else 5)))
     config = WorkloadConfig(n_apps=28, duration_s=duration,
@@ -37,7 +38,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentTable:
     results = {}
     for factory in (ApeCacheSystem, ApeCacheLruSystem, WiCacheSystem,
                     EdgeCacheSystem):
-        replicated = replicate(factory, config, seeds=seeds)
+        replicated = replicate(factory, config, seeds=seeds, jobs=jobs)
         results[replicated.system_name] = replicated
 
     table = ExperimentTable(

@@ -46,6 +46,12 @@ _DEFAULT_TELEMETRY_PROFILING_ALLOW = (
     "src/repro/telemetry/profiling.py",
 )
 
+#: Experiment modules must drive workloads through the scenario engine
+#: (SIM003) instead of constructing ``Workload`` objects directly.
+_DEFAULT_EXPERIMENTS_PATHS = (
+    "src/repro/experiments/",
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class LintConfig:
@@ -72,6 +78,8 @@ class LintConfig:
     #: Files inside those paths allowed to touch the host clock.
     telemetry_profiling_allow: tuple[str, ...] = (
         _DEFAULT_TELEMETRY_PROFILING_ALLOW)
+    #: Paths where direct Workload orchestration is banned (SIM003).
+    experiments_paths: tuple[str, ...] = _DEFAULT_EXPERIMENTS_PATHS
 
     def baseline_path(self) -> pathlib.Path:
         return self.root / self.baseline
@@ -87,6 +95,10 @@ class LintConfig:
     def allows_telemetry_profiling(self, relpath: str) -> bool:
         """True if ``relpath`` is the sanctioned profiling hook."""
         return path_matches(relpath, self.telemetry_profiling_allow)
+
+    def in_experiments(self, relpath: str) -> bool:
+        """True if ``relpath`` is an experiment module (SIM003)."""
+        return path_matches(relpath, self.experiments_paths)
 
 
 def path_matches(relpath: str, patterns: _t.Iterable[str]) -> bool:
@@ -128,7 +140,7 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
 
     known = {"baseline", "paths", "wallclock-allow", "ignore", "exclude",
              "cacheable-priority-range", "telemetry-paths",
-             "telemetry-profiling-allow"}
+             "telemetry-profiling-allow", "experiments-paths"}
     unknown = set(table) - known
     if unknown:
         raise ConfigError(
@@ -164,4 +176,6 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
         telemetry_profiling_allow=_strings(
             "telemetry-profiling-allow",
             _DEFAULT_TELEMETRY_PROFILING_ALLOW),
+        experiments_paths=_strings("experiments-paths",
+                                   _DEFAULT_EXPERIMENTS_PATHS),
     )

@@ -1,0 +1,98 @@
+"""Built-in cell runners and the one sanctioned ``Workload`` call site.
+
+A *cell runner* is a plain function ``(Cell) -> dict`` executing one
+unit of sweep work and returning JSON-able metrics.  Experiment modules
+with bespoke measurement loops (probes, resource samplers, offline
+replays) define their own runners next to the experiment and reference
+them by ``"module:function"`` path; everything workload-shaped goes
+through :func:`workload_cell` here.
+
+Direct ``Workload(...).run(...)`` orchestration inside
+``src/repro/experiments/`` is flagged by lint rule SIM003 — experiment
+runners call :func:`execute_workload` instead, which keeps the engine
+the single place workloads are driven from (and the single place
+per-cell telemetry is threaded through).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.apps.workload import Workload, WorkloadConfig, WorkloadResult
+from repro.errors import ConfigError
+from repro.runner.registry import register_runner, resolve_system
+from repro.runner.spec import Cell
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.baselines.base import CachingSystem
+
+__all__ = ["execute_workload", "workload_cell", "telemetry_snapshot"]
+
+ProcessFactory = _t.Callable[..., _t.Generator[object, object, object]]
+
+
+def execute_workload(config: WorkloadConfig,
+                     system: "CachingSystem",
+                     extra_processes: _t.Sequence[ProcessFactory] = (),
+                     ) -> tuple[WorkloadResult, Workload]:
+    """Run one workload cell; returns the result and its driver.
+
+    The returned :class:`~repro.apps.workload.Workload` still holds the
+    finished testbed (``_last_bed``), which is how runners reach the
+    telemetry registry or system runtimes for cell-local post-analysis.
+    """
+    workload = Workload(config)
+    result = workload.run(system, extra_processes=extra_processes)
+    return result, workload
+
+
+def telemetry_snapshot(workload: Workload) -> list[dict[str, object]]:
+    """The finished run's metric records (deterministic ordering)."""
+    from repro.telemetry.export import metric_records
+
+    bed = getattr(workload, "_last_bed", None)
+    if bed is None:
+        return []
+    return metric_records(bed.telemetry)
+
+
+@register_runner("workload")
+def workload_cell(cell: Cell) -> dict[str, object]:
+    """The default runner: one seeded workload run against one system.
+
+    Metrics are the run's :meth:`~repro.apps.workload.WorkloadResult.
+    summary` plus ``ap:``-prefixed AP cache statistics.  Params:
+
+    * ``app_metrics`` — app ids whose per-app mean/p95 latency to add
+      as ``app:<id>:mean_ms`` / ``app:<id>:p95_ms`` (Fig. 12 shape).
+    """
+    if cell.workload is None:
+        raise ConfigError(f"cell {cell.index} of {cell.scenario!r} has "
+                          "no workload config")
+    if cell.system is None:
+        raise ConfigError(f"cell {cell.index} of {cell.scenario!r} "
+                          "names no system to evaluate")
+    config = cell.workload
+    if cell.telemetry and not config.testbed.enable_telemetry:
+        config = dataclasses.replace(
+            config, testbed=dataclasses.replace(config.testbed,
+                                                enable_telemetry=True))
+    system = resolve_system(cell.system)
+    assert system is not None
+    result, workload = execute_workload(config, system)
+
+    metrics: dict[str, object] = dict(result.summary())
+    for key, value in sorted(result.ap_stats.items()):
+        metrics[f"ap:{key}"] = value
+    for app_id in _t.cast(_t.Sequence[str],
+                          cell.params.get("app_metrics", ())):
+        metrics[f"app:{app_id}:mean_ms"] = \
+            result.mean_app_latency_s(app_id) * 1e3
+        metrics[f"app:{app_id}:p95_ms"] = \
+            result.tail_app_latency_s(app_id) * 1e3
+    payload: dict[str, object] = {"system_name": system.name,
+                                  "metrics": metrics}
+    if cell.telemetry:
+        payload["telemetry"] = telemetry_snapshot(workload)
+    return payload

@@ -1,0 +1,126 @@
+"""Reducers: fold per-cell metrics back into tables and seed samples.
+
+The engine hands back one metrics dict per cell; experiments want the
+paper's shapes — an :class:`~repro.experiments.common.ExperimentTable`
+with one row per axis point and one column per system, or a
+:class:`~repro.analysis.multiseed.MultiSeedResult` with one sample per
+seed.  These folds are pure functions of the (deterministically
+ordered) sweep result, so serial and parallel runs reduce identically.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.experiments.common import ExperimentTable
+from repro.runner.engine import CellResult, SweepResult
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.multiseed import MultiSeedResult
+
+__all__ = ["fold_multiseed", "sweep_table", "cells_table"]
+
+
+def fold_multiseed(result: SweepResult,
+                   ) -> dict[str, "MultiSeedResult"]:
+    """Per-system seed samples: system name -> MultiSeedResult.
+
+    Every numeric metric becomes one sample list in seed order.  The
+    sweep must be axis-free (one cell per system x seed); sweeping an
+    axis and folding over seeds at once would silently mix populations.
+    """
+    from repro.analysis.multiseed import MultiSeedResult
+
+    folded: dict[str, MultiSeedResult] = {}
+    for system_name, cell_results in result.by_system().items():
+        if any(cr.cell.coords for cr in cell_results):
+            raise ConfigError(
+                "fold_multiseed needs an axis-free sweep; got axis "
+                f"coordinates on cells of {system_name!r}")
+        seeds = [cr.cell.seed for cr in cell_results]
+        samples: dict[str, list[float]] = {}
+        for cr in cell_results:
+            for metric, value in cr.metrics.items():
+                if isinstance(value, (int, float)):
+                    samples.setdefault(metric, []).append(float(value))
+        folded[system_name] = MultiSeedResult(
+            system_name=system_name, seeds=seeds, samples=samples)
+    return folded
+
+
+def sweep_table(result: SweepResult, title: str, axis: str,
+                metric: str,
+                axis_column: str | None = None,
+                reducer: _t.Callable[[list[float]], float] | None = None,
+                ) -> ExperimentTable:
+    """The paper's sweep shape: axis points as rows, systems as columns.
+
+    ``metric`` is read from every cell; multiple seeds per (point,
+    system) reduce via ``reducer`` (default: mean).
+    """
+    axis_column = axis_column or axis
+    systems = _output_systems(result)
+    table = ExperimentTable(title=title,
+                            columns=[axis_column, *systems])
+    grouped: dict[object, dict[str, list[float]]] = {}
+    labels: list[object] = []
+    for cr in result.cells:
+        label = cr.cell.coords.get(axis)
+        if label not in grouped:
+            grouped[label] = {}
+            labels.append(label)
+        grouped[label].setdefault(cr.system_name, []).append(
+            _numeric(cr, metric))
+    fold = reducer or (lambda values: sum(values) / len(values))
+    for label in labels:
+        row: dict[str, object] = {axis_column: label}
+        for system in systems:
+            values = grouped[label].get(system)
+            if values:
+                row[system] = fold(values)
+        table.rows.append(row)
+    return table
+
+
+def cells_table(result: SweepResult, title: str | None = None,
+                metrics: _t.Sequence[str] | None = None,
+                ) -> ExperimentTable:
+    """The generic flat shape: one row per cell (CLI `sweep` output)."""
+    axis_columns = list(result.spec.axes)
+    if metrics is None:
+        seen: dict[str, None] = {}
+        for cr in result.cells:
+            for name, value in cr.metrics.items():
+                if isinstance(value, (int, float)):
+                    seen.setdefault(name)
+        metrics = list(seen)
+    table = ExperimentTable(
+        title=title or f"Sweep: {result.spec.name}",
+        columns=["system", "seed", *axis_columns, *metrics])
+    for cr in result.cells:
+        row: dict[str, object] = {"system": cr.system_name,
+                                  "seed": cr.cell.seed}
+        for axis in axis_columns:
+            row[axis] = cr.cell.coords.get(axis)
+        for name in metrics:
+            if name in cr.metrics:
+                row[name] = cr.metrics[name]
+        table.rows.append(row)
+    return table
+
+
+def _output_systems(result: SweepResult) -> list[str]:
+    ordered: dict[str, None] = {}
+    for cr in result.cells:
+        ordered.setdefault(cr.system_name)
+    return list(ordered)
+
+
+def _numeric(cr: CellResult, metric: str) -> float:
+    value = cr.metrics.get(metric)
+    if not isinstance(value, (int, float)):
+        raise ConfigError(
+            f"cell {cr.cell.index} ({cr.system_name}, seed "
+            f"{cr.cell.seed}) has no numeric metric {metric!r}")
+    return float(value)

@@ -1,0 +1,237 @@
+"""Scenario declaration and expansion into independent cells.
+
+A :class:`ScenarioSpec` is the declarative description of one sweep:
+the base workload, the systems under test, the seed fleet, and the swept
+axes.  :meth:`ScenarioSpec.expand` turns it into a flat list of
+:class:`Cell` objects — one per (axis point x system x seed) — with a
+stable, deterministic ordering that the engine preserves no matter how
+cells are scheduled across workers.
+
+Cells are plain picklable dataclasses: a worker process reconstructs
+everything it needs from the cell's config and the registry
+(:mod:`repro.runner.registry`); no live simulator, testbed, or system
+object ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.apps.workload import WorkloadConfig
+from repro.errors import ConfigError
+
+__all__ = ["ScenarioSpec", "SweepPoint", "Cell", "apply_overrides"]
+
+#: Override keys with this prefix target the cell runner's parameters
+#: instead of the workload config (e.g. ``params.theta`` for ablation
+#: runners whose knob is not a workload field).
+PARAMS_PREFIX = "params."
+
+#: Nested workload sections reachable through dotted override keys.
+_NESTED_FIELDS = ("dummy_params", "testbed")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep axis: a display label plus its overrides.
+
+    Plain axis values (floats, ints, strings) are promoted to
+    ``SweepPoint(value, {axis_name: value})`` automatically; explicit
+    points exist for paired knobs, e.g. a size *range* that sets both
+    ``dummy_params.min_size_bytes`` and ``dummy_params.max_size_bytes``.
+    """
+
+    label: object
+    overrides: _t.Mapping[str, object]
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One independent unit of sweep work, picklable end to end."""
+
+    #: Position in the spec's deterministic expansion order.
+    index: int
+    #: Owning scenario's name (for labelling and logs).
+    scenario: str
+    #: Cell runner: a registry name or a ``module:function`` path.
+    runner: str
+    #: Caching system under test: a registry name, a picklable
+    #: zero-argument factory (e.g. a top-level class), or ``None`` for
+    #: runners that do not install a system.
+    system: str | _t.Callable[[], object] | None
+    #: Master seed for this cell.
+    seed: int
+    #: Fully resolved workload configuration (overrides applied).
+    workload: WorkloadConfig | None
+    #: Runner-specific parameters (must stay picklable).
+    params: dict[str, object]
+    #: Axis name -> point label, identifying this cell's sweep position.
+    coords: dict[str, object]
+    #: Capture a telemetry snapshot alongside the metrics.
+    telemetry: bool = False
+
+    def system_label(self) -> str:
+        if self.system is None:
+            return "-"
+        if isinstance(self.system, str):
+            return self.system
+        return getattr(self.system, "__name__", repr(self.system))
+
+
+@dataclasses.dataclass
+class ScenarioSpec:
+    """Declarative description of one experiment sweep."""
+
+    #: Scenario name (labels tables, logs, and JSON exports).
+    name: str
+    #: Systems under test, in output order.  Names resolve through
+    #: :func:`repro.runner.registry.resolve_system`; ``(None,)`` runs
+    #: system-less cells (measurement studies, static analyses).
+    systems: _t.Sequence[str | _t.Callable[[], object] | None] = (
+        "APE-CACHE",)
+    #: Seed fleet; every (axis point x system) runs once per seed.
+    seeds: _t.Sequence[int] = (0,)
+    #: Base workload configuration each cell derives from.
+    workload: WorkloadConfig | None = dataclasses.field(
+        default_factory=WorkloadConfig)
+    #: Sweep axes, outermost first: axis name -> points.  Plain values
+    #: become single-key overrides; :class:`SweepPoint` carries several.
+    axes: _t.Mapping[str, _t.Sequence[object]] = dataclasses.field(
+        default_factory=dict)
+    #: Spec-wide overrides applied to every cell (dotted keys reach
+    #: ``dummy_params.*`` / ``testbed.*``; ``params.*`` reach the runner).
+    overrides: _t.Mapping[str, object] = dataclasses.field(
+        default_factory=dict)
+    #: Cell runner (see :mod:`repro.runner.registry`).
+    runner: str = "workload"
+    #: Base runner parameters, merged under ``params.*`` overrides.
+    params: _t.Mapping[str, object] = dataclasses.field(
+        default_factory=dict)
+    #: Simulated duration override; ``None`` keeps the workload's own.
+    duration_s: float | None = None
+    #: Thread a telemetry snapshot through every cell.
+    telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario needs a non-empty name")
+        if not self.seeds:
+            raise ConfigError(f"scenario {self.name!r}: empty seed list; "
+                              "declare at least one seed")
+        if len(set(self.seeds)) != len(list(self.seeds)):
+            raise ConfigError(f"scenario {self.name!r}: duplicate seeds")
+        if not self.systems:
+            raise ConfigError(f"scenario {self.name!r}: empty system list")
+        self._check_collisions()
+
+    def _check_collisions(self) -> None:
+        """Reject overrides that would silently fight a sweep axis."""
+        axis_keys: set[str] = set()
+        for axis, points in self.axes.items():
+            for point in points:
+                axis_keys.update(self._point(axis, point).overrides)
+        clashes = axis_keys & set(self.overrides)
+        if clashes:
+            raise ConfigError(
+                f"scenario {self.name!r}: overrides {sorted(clashes)} "
+                "collide with sweep axes; a per-cell override may not "
+                "also be swept")
+        if self.duration_s is not None and "duration_s" in axis_keys:
+            raise ConfigError(
+                f"scenario {self.name!r}: duration_s is both a spec "
+                "field and a sweep axis")
+
+    @staticmethod
+    def _point(axis: str, point: object) -> SweepPoint:
+        if isinstance(point, SweepPoint):
+            return point
+        return SweepPoint(label=point, overrides={axis: point})
+
+    def axis_points(self) -> list[dict[str, SweepPoint]]:
+        """The cross product of all axes, outermost axis slowest."""
+        combos: list[dict[str, SweepPoint]] = [{}]
+        for axis, points in self.axes.items():
+            if not points:
+                raise ConfigError(
+                    f"scenario {self.name!r}: axis {axis!r} has no points")
+            combos = [dict(combo, **{axis: self._point(axis, point)})
+                      for combo in combos for point in points]
+        return combos
+
+    def expand(self) -> list[Cell]:
+        """Enumerate cells: axes (outermost first) x systems x seeds."""
+        cells: list[Cell] = []
+        base_duration = self.duration_s
+        for combo in self.axis_points():
+            merged: dict[str, object] = dict(self.overrides)
+            for point in combo.values():
+                merged.update(point.overrides)
+            if base_duration is not None:
+                merged.setdefault("duration_s", base_duration)
+            workload_overrides = {key: value for key, value
+                                  in merged.items()
+                                  if not key.startswith(PARAMS_PREFIX)}
+            param_overrides = {key[len(PARAMS_PREFIX):]: value
+                               for key, value in merged.items()
+                               if key.startswith(PARAMS_PREFIX)}
+            coords = {axis: point.label for axis, point in combo.items()}
+            for system in self.systems:
+                for seed in self.seeds:
+                    workload = None
+                    if self.workload is not None:
+                        seeded = apply_overrides(self.workload,
+                                                 workload_overrides)
+                        workload = dataclasses.replace(
+                            seeded, seed=seed,
+                            testbed=dataclasses.replace(
+                                seeded.testbed, seed=seed))
+                    cells.append(Cell(
+                        index=len(cells), scenario=self.name,
+                        runner=self.runner, system=system, seed=seed,
+                        workload=workload,
+                        params={**dict(self.params), **param_overrides},
+                        coords=coords, telemetry=self.telemetry))
+        return cells
+
+
+def apply_overrides(config: WorkloadConfig,
+                    overrides: _t.Mapping[str, object]) -> WorkloadConfig:
+    """A copy of ``config`` with dotted/plain overrides applied.
+
+    Plain keys name :class:`WorkloadConfig` fields; dotted keys reach one
+    level into ``dummy_params`` or ``testbed``.  Unknown targets raise
+    :class:`~repro.errors.ConfigError` — a typo must not silently become
+    a no-op sweep.
+    """
+    plain: dict[str, object] = {}
+    nested: dict[str, dict[str, object]] = {}
+    field_names = {field.name for field in dataclasses.fields(config)}
+    for key, value in overrides.items():
+        if "." in key:
+            section, _, attr = key.partition(".")
+            if section not in _NESTED_FIELDS:
+                raise ConfigError(
+                    f"override {key!r}: unknown section {section!r} "
+                    f"(expected one of {_NESTED_FIELDS})")
+            section_value = getattr(config, section)
+            valid = {field.name
+                     for field in dataclasses.fields(section_value)}
+            if attr not in valid:
+                raise ConfigError(
+                    f"override {key!r}: {type(section_value).__name__} "
+                    f"has no field {attr!r}")
+            nested.setdefault(section, {})[attr] = value
+        else:
+            if key not in field_names:
+                raise ConfigError(
+                    f"override {key!r}: WorkloadConfig has no such field")
+            plain[key] = value
+    for section, attrs in nested.items():
+        if section in plain:
+            raise ConfigError(
+                f"override {section!r} replaces the whole section while "
+                f"{sorted(attrs)} patch inside it; use one or the other")
+        plain[section] = dataclasses.replace(getattr(config, section),
+                                             **attrs)
+    return dataclasses.replace(config, **plain) if plain else config

@@ -220,7 +220,11 @@ class Condition(Event):
     def __init__(self, sim: "Simulator", events: _t.Sequence[Event]) -> None:
         super().__init__(sim)
         self._events = list(events)
-        self._pending = 0
+        # Each component reports to _observe exactly once (immediately for
+        # already-processed events, else via callback), so a running count
+        # replaces recounting every component per trigger — which made a
+        # wide AllOf quadratic in its event count.
+        self._done = 0
         for event in self._events:
             if event.sim is not sim:
                 raise SimulationError(
@@ -232,7 +236,6 @@ class Condition(Event):
             if event.callbacks is None:
                 self._observe(event)
             else:
-                self._pending += 1
                 event.callbacks.append(self._observe)
 
     def _satisfied(self, done: int, total: int) -> bool:
@@ -244,8 +247,8 @@ class Condition(Event):
         if not event._ok:
             self.fail(_t.cast(BaseException, event._value))
             return
-        done = sum(1 for ev in self._events if ev.processed and ev._ok)
-        if self._satisfied(done, len(self._events)):
+        self._done += 1
+        if self._satisfied(self._done, len(self._events)):
             self.succeed({ev: ev._value for ev in self._events
                           if ev.processed and ev._ok})
 

@@ -1,0 +1,32 @@
+"""SIM003 fixture — an experiment module hand-rolling workload runs.
+
+Never imported, only linted.  Every ``Workload(...)`` construction in
+here must be flagged, whatever alias the import hides behind.
+"""
+
+from repro.apps.workload import Workload, WorkloadConfig
+from repro.apps.workload import Workload as Driver
+import repro.apps.workload as workload_module
+
+
+def run_plain(system):
+    config = WorkloadConfig(n_apps=4)
+    return Workload(config).run(system)            # expect: SIM003
+
+
+def run_aliased(system):
+    driver = Driver(WorkloadConfig(n_apps=4))      # expect: SIM003
+    return driver.run(system)
+
+
+def run_via_module(system):
+    return workload_module.Workload(               # expect: SIM003
+        WorkloadConfig(n_apps=4)).run(system)
+
+
+def sweep_loop(systems):
+    results = []
+    for system in systems:
+        results.append(Workload(                   # expect: SIM003
+            WorkloadConfig(n_apps=8)).run(system))
+    return results

@@ -1,0 +1,16 @@
+"""SIM003 fixture — the sanctioned shape: declare a spec, fold cells.
+
+Never imported, only linted.  Building configs and specs is fine; only
+constructing the ``Workload`` driver itself is the violation.
+"""
+
+from repro.apps.workload import WorkloadConfig
+from repro.runner import ScenarioSpec, SweepEngine
+
+
+def run(quick=True, seed=0, jobs=1):
+    spec = ScenarioSpec(
+        name="fixture", systems=("APE-CACHE",), seeds=(seed,),
+        workload=WorkloadConfig(n_apps=4, duration_s=30.0))
+    result = SweepEngine(jobs=jobs).run(spec)
+    return [cell.metrics for cell in result.cells]

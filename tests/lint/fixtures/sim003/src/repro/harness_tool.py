@@ -1,0 +1,12 @@
+"""SIM003 fixture — Workload use *outside* experiments/ is legitimate.
+
+Never imported, only linted.  The engine's own cell runners (and tests,
+tools, examples) construct the driver; the rule is scoped to the
+experiment modules.
+"""
+
+from repro.apps.workload import Workload, WorkloadConfig
+
+
+def drive(system):
+    return Workload(WorkloadConfig(n_apps=4)).run(system)

@@ -1,0 +1,59 @@
+"""SIM003: experiments must not orchestrate ``Workload`` directly.
+
+The fixtures under ``fixtures/sim003/`` mimic the real layout (a
+``src/repro/experiments/`` subtree plus a non-experiment module), and
+the tests lint them with the default ``experiments-paths`` scoping —
+the rule fires inside the subtree only, through every import alias.
+"""
+
+import pathlib
+import re
+
+from repro.lint import LintConfig, lint_file
+from repro.lint.config import load_config
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+SIM003_DIR = FIXTURES / "sim003"
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<code>[A-Z]+\d{3})")
+
+
+def sim003_config(**overrides) -> LintConfig:
+    return LintConfig(root=FIXTURES,
+                      experiments_paths=("sim003/src/repro/experiments/",),
+                      **overrides)
+
+
+def marked_lines(path: pathlib.Path) -> set[tuple[int, str]]:
+    marks = set()
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        match = _EXPECT.search(line)
+        if match:
+            marks.add((number, match.group("code")))
+    return marks
+
+
+def test_direct_workload_reports_exactly_the_marked_lines():
+    path = SIM003_DIR / "src/repro/experiments/bad_direct.py"
+    findings = [f for f in lint_file(path, sim003_config())
+                if f.code == "SIM003"]
+    assert {(f.line, f.code) for f in findings} == marked_lines(path)
+    assert all("ScenarioSpec" in f.message for f in findings)
+
+
+def test_engine_based_experiment_is_clean():
+    path = SIM003_DIR / "src/repro/experiments/engine_based.py"
+    codes = {f.code for f in lint_file(path, sim003_config())}
+    assert "SIM003" not in codes
+
+
+def test_rule_is_scoped_to_experiments_paths():
+    path = SIM003_DIR / "src/repro/harness_tool.py"
+    codes = {f.code for f in lint_file(path, sim003_config())}
+    assert "SIM003" not in codes
+
+
+def test_repo_config_scopes_sim003_to_experiments():
+    config = load_config(pathlib.Path(__file__))
+    assert config.in_experiments("src/repro/experiments/fig13.py")
+    assert not config.in_experiments("src/repro/runner/cells.py")
+    assert not config.in_experiments("src/repro/apps/workload.py")

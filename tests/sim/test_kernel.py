@@ -138,6 +138,36 @@ def test_all_of_empty_triggers_immediately():
     assert sim.run_process(proc()) == (0.0, {})
 
 
+def test_wide_all_of_observes_components_linearly():
+    # Regression: Condition._observe used to recount every component on
+    # every trigger, making a wide AllOf quadratic in its event count.
+    # The component list must now be scanned only to build the final
+    # payload, not once per component trigger.
+    sim = Simulator()
+    n = 1000
+    timeouts = [sim.timeout(float(i % 7) + 1.0, value=i)
+                for i in range(n)]
+    condition = sim.all_of(timeouts)
+
+    class CountingList(list):
+        iterations = 0
+
+        def __iter__(self):
+            type(self).iterations += 1
+            return super().__iter__()
+
+    condition._events = CountingList(condition._events)
+
+    def proc():
+        results = yield condition
+        return results
+
+    results = sim.run_process(proc())
+    assert len(results) == n
+    assert sorted(results.values()) == list(range(n))
+    assert CountingList.iterations <= 2
+
+
 def test_process_exception_propagates_to_waiter():
     sim = Simulator()
 

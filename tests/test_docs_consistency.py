@@ -66,3 +66,4 @@ def test_changelog_and_contributing_exist():
     assert (REPO / "docs" / "pacm.md").exists()
     assert (REPO / "docs" / "linting.md").exists()
     assert (REPO / "docs" / "telemetry.md").exists()
+    assert (REPO / "docs" / "experiments.md").exists()

@@ -20,11 +20,24 @@ python -m repro.lint
 
 echo "==> repro.cli obs (telemetry determinism smoke)"
 spans_a=$(mktemp) spans_b=$(mktemp)
-trap 'rm -f "$spans_a" "$spans_b"' EXIT
+sweep_serial=$(mktemp) sweep_parallel=$(mktemp)
+trap 'rm -f "$spans_a" "$spans_b" "$sweep_serial" "$sweep_parallel"' EXIT
 python -m repro.cli obs --spans "$spans_a" >/dev/null
 python -m repro.cli obs --spans "$spans_b" >/dev/null
 if ! cmp -s "$spans_a" "$spans_b"; then
     echo "FAIL: span JSONL export differs across two same-seed runs" >&2
+    exit 1
+fi
+
+echo "==> repro.cli sweep (parallel/serial determinism)"
+sweep_args="--systems APE-CACHE,APE-CACHE-LRU --seeds 0,1 \
+    --n-apps 4 --duration-s 30 --json"
+python -m repro.cli sweep $sweep_args --jobs 1 \
+    --output "$sweep_serial" >/dev/null
+python -m repro.cli sweep $sweep_args --jobs 2 \
+    --output "$sweep_parallel" >/dev/null
+if ! cmp -s "$sweep_serial" "$sweep_parallel"; then
+    echo "FAIL: sweep --jobs 2 JSON differs from --jobs 1" >&2
     exit 1
 fi
 
