@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing as _t
+from collections import deque
 
 from repro.errors import ConfigError
 from repro.core.annotations import CacheableSpec
@@ -93,10 +94,10 @@ class AppSpec:
         for obj in self.objects:
             for dep in obj.depends_on:
                 dependents[dep].append(obj.name)
-        ready = [name for name, degree in indegree.items() if degree == 0]
+        ready = deque([name for name, degree in indegree.items() if degree == 0])
         ordered: list[str] = []
         while ready:
-            name = ready.pop(0)
+            name = ready.popleft()
             ordered.append(name)
             for dependent in dependents[name]:
                 indegree[dependent] -= 1

@@ -88,7 +88,9 @@ def select_keep_set(entries: _t.Sequence[CacheEntry],
         if len(efficiencies) <= 1 or \
                 gini(list(efficiencies.values())) <= fairness_threshold:
             break
-        over_served = max(efficiencies, key=efficiencies.get)
+        # sorted() pins the tie-break to app_id order; without it, equal
+        # efficiencies would shed whichever app the dict iterates first.
+        over_served = max(sorted(efficiencies), key=efficiencies.get)
         over_entries = [entry for entry in kept
                         if entry.app_id == over_served]
         if not over_entries:  # pragma: no cover - app key implies entries

@@ -221,12 +221,22 @@ class ApRuntime(ForwardingDnsService):
                           response.header(SERVED_FROM_HEADER, "none"))
         return response
 
+    def _count_cache_hit(self) -> None:
+        """Single owner of the hit counter.
+
+        Both serving paths (fetch and delegation) count hits through
+        this synchronous helper; keeping the write out of the process
+        generators themselves means no scheduler interleaving can sit
+        between the read and the increment (SIM101).
+        """
+        self.hits_served += 1
+
     def _serve_fetch(self, request: HttpRequest, app_id: str,
                      parent: ParentLike = None,
                      ) -> _t.Generator[object, object, HttpResponse]:
         entry = self.store.get(request.url.base, self.sim.now)
         if entry is not None:
-            self.hits_served += 1
+            self._count_cache_hit()
             return HttpResponse(status=200, body=entry.data_object,
                                 headers={SERVED_FROM_HEADER: "cache"})
         # The client's flag table was stale; behave like a delegation so
@@ -244,7 +254,7 @@ class ApRuntime(ForwardingDnsService):
         entry = self.store.get(base, self.sim.now)
         if entry is not None:
             # Someone else delegated this URL first; serve the copy.
-            self.hits_served += 1
+            self._count_cache_hit()
             return HttpResponse(status=200, body=entry.data_object,
                                 headers={SERVED_FROM_HEADER: "cache"})
 

@@ -10,8 +10,9 @@ from __future__ import annotations
 from repro.lint.checkers import (
     cachespec,
     determinism,
+    perf,
     simsafety,
     telemetry,
 )
 
-__all__ = ["determinism", "simsafety", "cachespec", "telemetry"]
+__all__ = ["determinism", "simsafety", "cachespec", "perf", "telemetry"]

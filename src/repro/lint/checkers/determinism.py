@@ -10,10 +10,12 @@ numbers in the paper's tables between runs.
 from __future__ import annotations
 
 import ast
+import dataclasses
 import typing as _t
 
 from repro.lint.asthelpers import ImportMap
 from repro.lint.findings import Finding
+from repro.lint.fixes import Edit, Fix
 from repro.lint.registry import Checker, ModuleUnderLint, register
 
 __all__ = ["UnseededRandom", "WallClock", "UnorderedIteration"]
@@ -26,8 +28,9 @@ _NUMPY_CONSTRUCTORS = {
     "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
 }
 
-#: Canonical wall-clock entry points (DET002).
-_WALLCLOCK_CALLS = {
+#: Canonical wall-clock entry points (DET002); the whole-program taint
+#: pass (DET101) treats the same set as "clock" taint sources.
+WALLCLOCK_CALLS = {
     "time.time", "time.time_ns",
     "time.monotonic", "time.monotonic_ns",
     "time.perf_counter", "time.perf_counter_ns",
@@ -35,6 +38,33 @@ _WALLCLOCK_CALLS = {
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
 }
+
+
+def _seed_fix(node: ast.Call, what: str) -> Fix | None:
+    """Insert a placeholder seed into an empty constructor call.
+
+    Only offered when the call has no arguments at all — the insertion
+    point right before the closing paren is then unambiguous.
+    """
+    if node.args or node.keywords:  # pragma: no cover - callers filter
+        return None
+    line = node.end_lineno or node.lineno
+    col = (node.end_col_offset or 1) - 1
+    return Fix(description=f"seed {what} explicitly (placeholder seed "
+                           f"0; derive from RandomStreams if this RNG "
+                           f"feeds the simulation)",
+               edits=(Edit(line, col, line, col, "0"),))
+
+
+def _sorted_wrap_fix(node: ast.expr, what: str) -> Fix:
+    """Wrap ``node`` in ``sorted(...)``."""
+    end_line = node.end_lineno or node.lineno
+    end_col = node.end_col_offset or 0
+    return Fix(description=f"wrap the {what} in sorted() so iteration "
+                           f"order is part of the data",
+               edits=(Edit(node.lineno, node.col_offset,
+                           node.lineno, node.col_offset, "sorted("),
+                      Edit(end_line, end_col, end_line, end_col, ")")))
 
 
 @register
@@ -64,10 +94,13 @@ class UnseededRandom(Checker):
             seeded = bool(node.args or node.keywords)
             if path == "random.Random":
                 if not seeded:
-                    yield module.finding(
-                        self.code, node,
-                        "random.Random() without a seed; pass an explicit "
-                        "seed or derive one from RandomStreams")
+                    yield dataclasses.replace(
+                        module.finding(
+                            self.code, node,
+                            "random.Random() without a seed; pass an "
+                            "explicit seed or derive one from "
+                            "RandomStreams"),
+                        fix=_seed_fix(node, "random.Random()"))
             elif path.startswith("random.SystemRandom"):
                 yield module.finding(
                     self.code, node,
@@ -84,10 +117,14 @@ class UnseededRandom(Checker):
                 attribute = path.split(".")[2]
                 if attribute in _NUMPY_CONSTRUCTORS:
                     if not seeded:
-                        yield module.finding(
-                            self.code, node,
-                            f"numpy.random.{attribute}() without a seed "
-                            f"seeds from the OS; pass an explicit seed")
+                        yield dataclasses.replace(
+                            module.finding(
+                                self.code, node,
+                                f"numpy.random.{attribute}() without a "
+                                f"seed seeds from the OS; pass an "
+                                f"explicit seed"),
+                            fix=_seed_fix(
+                                node, f"numpy.random.{attribute}()"))
                 else:
                     yield module.finding(
                         self.code, node,
@@ -118,7 +155,7 @@ class WallClock(Checker):
             if not isinstance(node, ast.Call):
                 continue
             path = imports.resolve(node.func)
-            if path in _WALLCLOCK_CALLS:
+            if path in WALLCLOCK_CALLS:
                 yield module.finding(
                     self.code, node,
                     f"wall-clock call {path}(); simulated code must use "
@@ -194,10 +231,13 @@ class UnorderedIteration(Checker):
         for arg in node.args:
             reason = _unordered_reason(arg)
             if reason is not None and not _is_sorted_call(arg):
-                yield module.finding(
-                    self.code, node,
-                    f"{sink}() consumes a {reason} whose iteration order "
-                    f"is not part of the data; wrap it in sorted()")
+                yield dataclasses.replace(
+                    module.finding(
+                        self.code, node,
+                        f"{sink}() consumes a {reason} whose iteration "
+                        f"order is not part of the data; wrap it in "
+                        f"sorted()"),
+                    fix=_sorted_wrap_fix(arg, reason))
 
     def _check_loop(self, module: ModuleUnderLint, imports: ImportMap,
                     node: ast.For) -> _t.Iterator[Finding]:
@@ -211,9 +251,12 @@ class UnorderedIteration(Checker):
                 path = imports.resolve(inner.func)
                 if path in ("heapq.heappush", "heapq.heappushpop",
                             "heapq.heapify"):
-                    yield module.finding(
-                        self.code, node,
-                        f"loop over a {reason} pushes onto a heap; heap "
-                        f"tie-break order becomes dict/set iteration "
-                        f"order — iterate over sorted(...) instead")
+                    yield dataclasses.replace(
+                        module.finding(
+                            self.code, node,
+                            f"loop over a {reason} pushes onto a heap; "
+                            f"heap tie-break order becomes dict/set "
+                            f"iteration order — iterate over "
+                            f"sorted(...) instead"),
+                        fix=_sorted_wrap_fix(node.iter, reason))
                     return

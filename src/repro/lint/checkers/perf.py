@@ -1,0 +1,317 @@
+"""PERF001: a list used as a FIFO queue via ``pop(0)``.
+
+``list.pop(0)`` shifts every remaining element — O(n) per dequeue, so a
+busy wait queue (the AP's CPU, a store's getter list) degrades
+quadratically with queue depth.  ``collections.deque`` gives O(1)
+``popleft`` with the same API surface for everything these queues do.
+
+The checker only fires when the conversion is *provably safe* within
+the file: every use of the variable/attribute must be deque-compatible
+(``append``/``remove``/``pop``/membership/``len``/truthiness/
+iteration), the attribute must be private (a leading underscore — a
+public list attribute may be sliced by clients the checker cannot see),
+and a local must not escape its function.  Each finding carries a
+machine-applicable fix: rewrite the initializer to ``deque``, rewrite
+``pop(0)`` to ``popleft()``, and add the import if missing.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing as _t
+
+from repro.lint.findings import Finding
+from repro.lint.fixes import Edit, Fix
+from repro.lint.registry import Checker, ModuleUnderLint, register
+
+__all__ = ["ListAsFifo"]
+
+#: Receiver methods equally valid on list and deque.
+_COMPATIBLE_METHODS = {"append", "appendleft", "remove", "extend",
+                       "clear", "count", "reverse", "rotate"}
+
+
+def _own_nodes(body: _t.Sequence[ast.stmt],
+               ) -> tuple[list[ast.AST], dict[ast.AST, ast.AST]]:
+    """All nodes under ``body`` excluding nested def/class subtrees,
+    plus a child→parent map over that region."""
+    nodes: list[ast.AST] = []
+    parents: dict[ast.AST, ast.AST] = {}
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            parents[child] = node
+            stack.append(child)
+    return nodes, parents
+
+
+@dataclasses.dataclass
+class _Uses:
+    """Classified uses of one FIFO candidate."""
+
+    inits: list[ast.stmt] = dataclasses.field(default_factory=list)
+    pop_zero: list[ast.Call] = dataclasses.field(default_factory=list)
+    unsafe: bool = False
+
+
+class _ImportStyle:
+    """How this module should spell ``deque``, and the import to add."""
+
+    def __init__(self, module: ModuleUnderLint) -> None:
+        self.spelling = "deque"
+        self.import_edit: Edit | None = None
+        has_deque = False
+        has_collections = False
+        last_import_line = 0
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                last_import_line = max(last_import_line,
+                                       node.end_lineno or node.lineno)
+                for alias in node.names:
+                    if alias.name == "collections":
+                        has_collections = True
+            elif isinstance(node, ast.ImportFrom):
+                last_import_line = max(last_import_line,
+                                       node.end_lineno or node.lineno)
+                if node.module == "collections":
+                    for alias in node.names:
+                        if alias.name == "deque":
+                            has_deque = True
+        if has_deque:
+            return
+        if has_collections:
+            self.spelling = "collections.deque"
+            return
+        line = last_import_line + 1 if last_import_line else 1
+        self.import_edit = Edit(line, 0, line, 0,
+                                "from collections import deque\n")
+
+
+def _call_parent(parents: dict[ast.AST, ast.AST],
+                 node: ast.AST) -> ast.Call | None:
+    """The Call node invoking ``node`` as its func, if any."""
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and parent.func is node:
+        return parent
+    return None
+
+
+def _classify_use(node: ast.expr, parents: dict[ast.AST, ast.AST],
+                  uses: _Uses) -> None:
+    """Fold one Load-context occurrence of the candidate into ``uses``."""
+    parent = parents.get(node)
+    if isinstance(parent, ast.Attribute) and parent.value is node:
+        call = _call_parent(parents, parent)
+        if call is None:
+            uses.unsafe = True  # bound method escaping
+            return
+        if parent.attr == "pop":
+            if not call.args and not call.keywords:
+                return  # pop() from the right: deque.pop() too
+            if (len(call.args) == 1 and not call.keywords
+                    and isinstance(call.args[0], ast.Constant)
+                    and call.args[0].value == 0):
+                uses.pop_zero.append(call)
+                return
+            uses.unsafe = True  # pop(i) needs random access
+            return
+        if parent.attr in _COMPATIBLE_METHODS:
+            return
+        uses.unsafe = True
+        return
+    if isinstance(parent, ast.Call):
+        if isinstance(parent.func, ast.Name) \
+                and parent.func.id == "len" \
+                and node in parent.args:
+            return
+        uses.unsafe = True  # escapes as an argument
+        return
+    if isinstance(parent, ast.Compare):
+        if node in parent.comparators and all(
+                isinstance(op, (ast.In, ast.NotIn))
+                for op in parent.ops):
+            return
+        uses.unsafe = True
+        return
+    if isinstance(parent, (ast.If, ast.While)) and parent.test is node:
+        return
+    if isinstance(parent, ast.BoolOp):
+        return
+    if isinstance(parent, ast.UnaryOp) \
+            and isinstance(parent.op, ast.Not):
+        return
+    if isinstance(parent, (ast.For, ast.AsyncFor)) \
+            and parent.iter is node:
+        return
+    uses.unsafe = True
+
+
+def _is_list_literal(node: ast.expr | None) -> bool:
+    return isinstance(node, (ast.List, ast.ListComp))
+
+
+class _FixBuilder:
+    """Builds the edits converting one candidate to a deque."""
+
+    def __init__(self, module: ModuleUnderLint,
+                 style: _ImportStyle) -> None:
+        self.module = module
+        self.style = style
+        self.edits: list[Edit] = []
+        if style.import_edit is not None:
+            self.edits.append(style.import_edit)
+
+    def rewrite_init(self, statement: ast.stmt) -> None:
+        value: ast.expr | None = getattr(statement, "value", None)
+        if value is None:  # pragma: no cover - inits always have values
+            return
+        end_line = value.end_lineno or value.lineno
+        end_col = value.end_col_offset or 0
+        if isinstance(value, ast.List) and not value.elts:
+            self.edits.append(Edit(value.lineno, value.col_offset,
+                                   end_line, end_col,
+                                   f"{self.style.spelling}()"))
+        else:
+            self.edits.append(Edit(value.lineno, value.col_offset,
+                                   value.lineno, value.col_offset,
+                                   f"{self.style.spelling}("))
+            self.edits.append(Edit(end_line, end_col, end_line,
+                                   end_col, ")"))
+        if isinstance(statement, ast.AnnAssign):
+            self._rewrite_annotation(statement.annotation)
+
+    def _rewrite_annotation(self, annotation: ast.expr) -> None:
+        target = annotation.value \
+            if isinstance(annotation, ast.Subscript) else annotation
+        if isinstance(target, ast.Name) and target.id == "list":
+            end_col = target.end_col_offset or 0
+            self.edits.append(Edit(
+                target.lineno, target.col_offset,
+                target.end_lineno or target.lineno, end_col,
+                self.style.spelling))
+
+    def rewrite_pop(self, call: ast.Call) -> None:
+        func = _t.cast(ast.Attribute, call.func)
+        receiver = ast.get_source_segment(self.module.source,
+                                          func.value)
+        if receiver is None:  # pragma: no cover - real files have source
+            return
+        end_line = call.end_lineno or call.lineno
+        end_col = call.end_col_offset or 0
+        self.edits.append(Edit(call.lineno, call.col_offset,
+                               end_line, end_col,
+                               f"{receiver}.popleft()"))
+
+    def fix(self, what: str) -> Fix:
+        return Fix(description=f"convert {what} to collections.deque "
+                               f"(pop(0) → popleft())",
+                   edits=tuple(self.edits))
+
+
+@register
+class ListAsFifo(Checker):
+    """PERF001: FIFO drained with ``list.pop(0)``; use a deque."""
+
+    code = "PERF001"
+    description = ("list drained via pop(0) — O(n) per dequeue; "
+                   "collections.deque gives O(1) popleft")
+
+    def check(self, module: ModuleUnderLint) -> _t.Iterator[Finding]:
+        style = _ImportStyle(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, style, node)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                yield from self._check_locals(module, style, node)
+
+    # -- self attributes -------------------------------------------------
+    def _check_class(self, module: ModuleUnderLint, style: _ImportStyle,
+                     node: ast.ClassDef) -> _t.Iterator[Finding]:
+        by_attr: dict[str, _Uses] = {}
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            nodes, parents = _own_nodes(method.body)
+            for inner in nodes:
+                if not (isinstance(inner, ast.Attribute)
+                        and isinstance(inner.value, ast.Name)
+                        and inner.value.id == "self"):
+                    continue
+                uses = by_attr.setdefault(inner.attr, _Uses())
+                if isinstance(inner.ctx, ast.Store):
+                    parent = parents.get(inner)
+                    if isinstance(parent, (ast.Assign, ast.AnnAssign)) \
+                            and _is_list_literal(
+                                getattr(parent, "value", None)):
+                        uses.inits.append(_t.cast(ast.stmt, parent))
+                    else:
+                        uses.unsafe = True
+                elif isinstance(inner.ctx, ast.Load):
+                    _classify_use(inner, parents, uses)
+                else:
+                    uses.unsafe = True
+        for attr in sorted(by_attr):
+            uses = by_attr[attr]
+            if uses.unsafe or not uses.inits or not uses.pop_zero \
+                    or not attr.startswith("_"):
+                continue
+            builder = _FixBuilder(module, style)
+            for init in uses.inits:
+                builder.rewrite_init(init)
+            for call in uses.pop_zero:
+                builder.rewrite_pop(call)
+            finding = module.finding(
+                self.code, uses.inits[0],
+                f"self.{attr} is a FIFO drained with pop(0) — O(n) per "
+                f"dequeue; make it a collections.deque and use "
+                f"popleft()")
+            yield dataclasses.replace(
+                finding, fix=builder.fix(f"self.{attr}"))
+
+    # -- function locals -------------------------------------------------
+    def _check_locals(self, module: ModuleUnderLint,
+                      style: _ImportStyle,
+                      node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      ) -> _t.Iterator[Finding]:
+        nodes, parents = _own_nodes(node.body)
+        by_name: dict[str, _Uses] = {}
+        for inner in nodes:
+            if not isinstance(inner, ast.Name):
+                continue
+            uses = by_name.setdefault(inner.id, _Uses())
+            if isinstance(inner.ctx, ast.Store):
+                parent = parents.get(inner)
+                if isinstance(parent, (ast.Assign, ast.AnnAssign)) \
+                        and _is_list_literal(
+                            getattr(parent, "value", None)):
+                    uses.inits.append(_t.cast(ast.stmt, parent))
+                else:
+                    uses.unsafe = True
+            elif isinstance(inner.ctx, ast.Load):
+                _classify_use(inner, parents, uses)
+            else:
+                uses.unsafe = True
+        for name in sorted(by_name):
+            uses = by_name[name]
+            if uses.unsafe or not uses.inits or not uses.pop_zero:
+                continue
+            builder = _FixBuilder(module, style)
+            for init in uses.inits:
+                builder.rewrite_init(init)
+            for call in uses.pop_zero:
+                builder.rewrite_pop(call)
+            finding = module.finding(
+                self.code, uses.inits[0],
+                f"{name} is a FIFO drained with pop(0) — O(n) per "
+                f"dequeue; make it a collections.deque and use "
+                f"popleft()")
+            yield dataclasses.replace(finding,
+                                      fix=builder.fix(name))

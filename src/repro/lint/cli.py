@@ -2,6 +2,19 @@
 
 Exit codes: 0 — clean (baselined findings allowed); 1 — fresh findings;
 2 — usage or configuration error.
+
+Beyond plain linting the CLI exposes the whole-program layer:
+
+* ``--fix`` applies every machine-applicable repair carried by the
+  findings (seed injection, ``list.pop(0)`` → ``deque``, ``sorted()``
+  wrappers), then re-lints so the report reflects the repaired tree —
+  fixes are idempotent, so a second ``--fix`` run is a no-op;
+* ``--stats`` prints deterministic JSON describing the run: per-checker
+  finding counts, call-graph size, taint-fixpoint rounds, cache
+  hits/misses (add ``--timings`` for wall-clock seconds, which are by
+  nature not deterministic);
+* the incremental summary cache (``[tool.repro-lint] program-cache``)
+  is read and written by default; ``--no-cache`` forces a cold build.
 """
 
 from __future__ import annotations
@@ -15,10 +28,13 @@ import typing as _t
 from repro.errors import ConfigError
 from repro.lint.baseline import (load_baseline, split_by_baseline,
                                  write_baseline)
-from repro.lint.config import load_config
-from repro.lint.engine import lint_paths
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import (iter_python_files, lint_file,
+                               program_findings)
 from repro.lint.findings import Finding
-from repro.lint.registry import all_checkers
+from repro.lint.fixes import fix_source
+from repro.lint.registry import all_checkers, all_program_checkers
+from repro.perf import perf_timer
 
 __all__ = ["main", "build_parser"]
 
@@ -40,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="write current findings as the new baseline "
                              "and exit 0")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply machine-applicable fixes, then "
+                             "re-lint and report what remains")
+    parser.add_argument("--stats", action="store_true",
+                        help="print run statistics as JSON and exit 0")
+    parser.add_argument("--timings", action="store_true",
+                        help="include wall-clock timings in --stats "
+                             "output (not deterministic)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the incremental program-summary "
+                             "cache; build cold and do not write it")
     parser.add_argument("--list-checkers", action="store_true",
                         help="list registered checkers and exit")
     return parser
@@ -75,6 +102,75 @@ def _print_json(fresh: _t.Sequence[Finding],
     stream.write("\n")
 
 
+def _collect(paths: _t.Sequence[pathlib.Path], config: LintConfig,
+             cache: "_t.Any") -> tuple[list[Finding], _t.Any, _t.Any]:
+    """One full run: per-file + program findings over ``paths``."""
+    files = list(iter_python_files(paths, config))
+    findings: list[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, config))
+    extra, program, stats = program_findings(files, config, cache)
+    findings.extend(extra)
+    return sorted(set(findings)), program, stats
+
+
+def _apply_fixes(findings: _t.Sequence[Finding],
+                 config: LintConfig) -> tuple[int, int]:
+    """Rewrite files in place; returns (fixes applied, files touched)."""
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding)
+    applied = 0
+    touched = 0
+    for relpath in sorted(by_path):
+        target = config.root / relpath
+        try:
+            source = target.read_text(encoding="utf-8")
+        except OSError:  # pragma: no cover - race with deletion
+            continue
+        new_source, done = fix_source(source, by_path[relpath])
+        if done and new_source != source:
+            target.write_text(new_source, encoding="utf-8")
+            applied += len(done)
+            touched += 1
+    return applied, touched
+
+
+def _stats_document(findings: _t.Sequence[Finding], program: _t.Any,
+                    build_stats: _t.Any, cache_used: bool,
+                    timings: dict[str, float] | None,
+                    ) -> dict[str, _t.Any]:
+    from repro.lint.program.taint import taint_result
+
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    taint = taint_result(program)
+    document: dict[str, _t.Any] = {
+        "files": build_stats.files,
+        "cache": {
+            "enabled": cache_used,
+            "hits": build_stats.cache_hits,
+            "misses": build_stats.cache_misses,
+        },
+        "program": {
+            "functions": program.function_count(),
+            "call_edges": program.edge_count(),
+            "process_generators": len(program.process_generators()),
+        },
+        "taint": {
+            "tokens": taint.tokens,
+            "sink_hits": len(taint.hits),
+            "fixpoint_rounds": taint.rounds,
+        },
+        "findings": {code: counts[code] for code in sorted(counts)},
+    }
+    if timings is not None:
+        document["timings"] = timings
+    return document
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -82,13 +178,22 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     if args.list_checkers:
         for checker_class in all_checkers():
             print(f"{checker_class.code}  {checker_class.description}")
+        for program_class in all_program_checkers():
+            print(f"{program_class.code}  {program_class.description}")
         return 0
+
+    from repro.lint.program.cache import (SummaryCache, load_cache,
+                                          save_cache)
 
     try:
         config = load_config(pathlib.Path.cwd())
         paths = [pathlib.Path(p) for p in args.paths] \
             or [config.root / p for p in config.paths]
-        findings = lint_paths(paths, config)
+        cache: SummaryCache | None = None
+        if not args.no_cache:
+            cache = load_cache(config.program_cache_path())
+        stopwatch = perf_timer()
+        findings, program, build_stats = _collect(paths, config, cache)
     except (ConfigError, FileNotFoundError) as exc:
         print(f"repro.lint: error: {exc}", file=sys.stderr)
         return 2
@@ -109,6 +214,29 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         print(f"repro.lint: error: {exc}", file=sys.stderr)
         return 2
     fresh, baselined = split_by_baseline(findings, baseline)
+
+    if args.fix:
+        applied, touched = _apply_fixes(fresh, config)
+        print(f"applied {applied} fix(es) in {touched} file(s)",
+              file=sys.stderr)
+        if touched:
+            # Re-lint so the report (and exit code) reflect the
+            # repaired tree; fixes are idempotent so this converges.
+            findings, program, build_stats = _collect(
+                paths, config, cache)
+            fresh, baselined = split_by_baseline(findings, baseline)
+
+    if cache is not None:
+        save_cache(config.program_cache_path(), cache)
+
+    if args.stats:
+        timings = {"lint_s": round(stopwatch(), 3)} \
+            if args.timings else None
+        json.dump(_stats_document(findings, program, build_stats,
+                                  cache is not None, timings),
+                  sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
 
     if args.format == "json":
         _print_json(fresh, baselined, sys.stdout)

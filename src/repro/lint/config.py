@@ -61,6 +61,8 @@ class LintConfig:
     root: pathlib.Path
     #: Baseline file path, relative to ``root``.
     baseline: str = "tools/lint_baseline.json"
+    #: Incremental whole-program summary cache, relative to ``root``.
+    program_cache: str = "build/lint-program-cache.json"
     #: Default scan paths when the CLI gets none.
     paths: tuple[str, ...] = ("src",)
     #: Path prefixes/files where wall-clock calls are legitimate.
@@ -83,6 +85,9 @@ class LintConfig:
 
     def baseline_path(self) -> pathlib.Path:
         return self.root / self.baseline
+
+    def program_cache_path(self) -> pathlib.Path:
+        return self.root / self.program_cache
 
     def allows_wallclock(self, relpath: str) -> bool:
         """True if ``relpath`` may read the wall clock (DET002)."""
@@ -140,7 +145,8 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
 
     known = {"baseline", "paths", "wallclock-allow", "ignore", "exclude",
              "cacheable-priority-range", "telemetry-paths",
-             "telemetry-profiling-allow", "experiments-paths"}
+             "telemetry-profiling-allow", "experiments-paths",
+             "program-cache"}
     unknown = set(table) - known
     if unknown:
         raise ConfigError(
@@ -164,6 +170,8 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
     return LintConfig(
         root=root,
         baseline=str(table.get("baseline", "tools/lint_baseline.json")),
+        program_cache=str(table.get("program-cache",
+                                    "build/lint-program-cache.json")),
         paths=_strings("paths", ("src",)),
         wallclock_allow=_strings("wallclock-allow",
                                  _DEFAULT_WALLCLOCK_ALLOW),

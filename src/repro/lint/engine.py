@@ -5,6 +5,13 @@ gate in ``tests/test_lint_clean.py``) call it as a library:
 
     config = load_config(repo_root)
     findings = lint_paths([repo_root / "src"], config)
+
+``lint_paths`` runs both layers: the per-file checkers over each module,
+then the whole-program passes (DET101/DET102/SIM101) over the linked
+:class:`~repro.lint.program.model.Program` built from the same file
+set.  Passing ``program=False`` restricts a run to the per-file layer;
+passing a :class:`~repro.lint.program.cache.SummaryCache` serves
+unchanged files from the incremental cache.
 """
 
 from __future__ import annotations
@@ -15,10 +22,17 @@ import typing as _t
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
-from repro.lint.registry import ModuleUnderLint, all_checkers
+from repro.lint.registry import (ModuleUnderLint, all_checkers,
+                                 all_program_checkers)
 from repro.lint.suppressions import parse_suppressions
 
-__all__ = ["lint_file", "lint_paths", "iter_python_files"]
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.program.build import BuildStats
+    from repro.lint.program.cache import SummaryCache
+    from repro.lint.program.model import Program
+
+__all__ = ["lint_file", "lint_paths", "iter_python_files",
+           "program_findings"]
 
 
 def iter_python_files(paths: _t.Iterable[pathlib.Path],
@@ -58,7 +72,11 @@ def _relpath(path: pathlib.Path, config: LintConfig) -> str:
 
 
 def lint_file(path: pathlib.Path, config: LintConfig) -> list[Finding]:
-    """All non-suppressed findings for one file, sorted by location."""
+    """Per-file findings for one file, sorted by location.
+
+    Whole-program findings require the full file set and therefore only
+    come out of :func:`lint_paths` / :func:`program_findings`.
+    """
     relpath = _relpath(path, config)
     source = path.read_text(encoding="utf-8")
     try:
@@ -79,11 +97,57 @@ def lint_file(path: pathlib.Path, config: LintConfig) -> list[Finding]:
     return sorted(findings)
 
 
+def program_findings(files: _t.Sequence[pathlib.Path],
+                     config: LintConfig,
+                     cache: "SummaryCache | None" = None,
+                     ) -> "tuple[list[Finding], Program, BuildStats]":
+    """Run the whole-program passes over ``files``.
+
+    Returns the (suppression-filtered, sorted) findings together with
+    the linked program and the build accounting, so ``--stats`` can
+    report call-graph and cache numbers from the same run.
+    """
+    from repro.lint.program.build import build_program
+
+    pairs = [(_relpath(path, config), path) for path in files]
+    program, stats = build_program(pairs, cache)
+    raw: list[Finding] = []
+    for checker_class in all_program_checkers():
+        if checker_class.code in config.ignore:
+            continue
+        raw.extend(checker_class().check_program(program, config))
+    by_path: dict[str, list[Finding]] = {}
+    for finding in raw:
+        by_path.setdefault(finding.path, []).append(finding)
+    sources = dict(pairs)
+    kept: list[Finding] = []
+    for relpath in sorted(by_path):
+        path = sources.get(relpath)
+        if path is None:  # pragma: no cover - findings track scanned files
+            kept.extend(by_path[relpath])
+            continue
+        suppressions = parse_suppressions(
+            path.read_text(encoding="utf-8"))
+        for finding in by_path[relpath]:
+            if not suppressions.is_suppressed(finding.code,
+                                              finding.line):
+                kept.append(finding)
+    return sorted(kept), program, stats
+
+
 def lint_paths(paths: _t.Iterable[pathlib.Path | str],
-               config: LintConfig) -> list[Finding]:
-    """Lint every Python file under ``paths``; sorted, deduplicated."""
+               config: LintConfig, *, program: bool = True,
+               cache: "SummaryCache | None" = None) -> list[Finding]:
+    """Lint every Python file under ``paths``; sorted, deduplicated.
+
+    Runs the per-file checkers and — unless ``program=False`` — the
+    whole-program passes over the same file set.
+    """
     findings: list[Finding] = []
-    for file_path in iter_python_files(
-            (pathlib.Path(p) for p in paths), config):
+    files = list(iter_python_files(
+        (pathlib.Path(p) for p in paths), config))
+    for file_path in files:
         findings.extend(lint_file(file_path, config))
+    if program:
+        findings.extend(program_findings(files, config, cache)[0])
     return sorted(set(findings))

@@ -1,0 +1,126 @@
+"""Machine-applicable repairs: :class:`Fix` objects and their applier.
+
+A fix is a bag of :class:`Edit` span rewrites against one file — each
+edit replaces the half-open source region ``[start, end)`` (line/column
+coordinates as reported by :mod:`ast`, i.e. 1-based lines, 0-based
+columns) with a replacement string.  Checkers attach fixes to findings;
+``python -m repro.lint --fix`` gathers them per file, drops conflicting
+edits deterministically, and rewrites the file in one pass.
+
+Fixes must be *idempotent*: applying them, re-linting, and applying
+again must be a no-op.  The CLI enforces this by re-linting after every
+apply; the test suite round-trips every fixture
+(fix → re-lint → zero findings for the fixed codes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.findings import Finding
+
+__all__ = ["Edit", "Fix", "apply_edits", "fix_source", "edits_conflict"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Edit:
+    """Replace ``[start_line:start_col, end_line:end_col)`` with text.
+
+    Lines are 1-based, columns 0-based — the coordinate system of
+    ``ast`` node locations, so checkers can build edits straight from
+    ``node.lineno``/``node.col_offset`` and their ``end_*`` twins.
+    An insertion is an edit whose start equals its end.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    def span(self) -> tuple[int, int, int, int]:
+        return (self.start_line, self.start_col,
+                self.end_line, self.end_col)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Fix:
+    """One reviewable repair: a description plus its span rewrites."""
+
+    description: str
+    edits: tuple[Edit, ...]
+
+
+def edits_conflict(first: Edit, second: Edit) -> bool:
+    """True if the two edits' spans overlap (insertions never conflict
+    unless at the same point with different text)."""
+    a, b = sorted((first, second))
+    if a.span() == b.span():
+        return a.replacement != b.replacement
+    a_end = (a.end_line, a.end_col)
+    b_start = (b.start_line, b.start_col)
+    return b_start < a_end
+
+
+def _offsets(source: str) -> list[int]:
+    """Absolute offset of the start of each (1-based) line."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def apply_edits(source: str, edits: _t.Sequence[Edit]) -> str:
+    """Apply non-conflicting ``edits`` to ``source`` in one pass.
+
+    Identical edits are deduplicated; of two conflicting edits the
+    lexicographically smaller survives (deterministic, so repeated runs
+    converge).  Returns the rewritten source.
+    """
+    unique = sorted(set(edits))
+    accepted: list[Edit] = []
+    for edit in unique:
+        if any(edits_conflict(edit, kept) for kept in accepted):
+            continue
+        accepted.append(edit)
+    offsets = _offsets(source)
+
+    def absolute(line: int, col: int) -> int:
+        index = min(max(line, 1), len(offsets) - 1) \
+            if len(offsets) > 1 else 1
+        return min(offsets[index - 1] + col, len(source))
+
+    pieces: list[str] = []
+    cursor = 0
+    for edit in accepted:
+        start = absolute(edit.start_line, edit.start_col)
+        end = absolute(edit.end_line, edit.end_col)
+        if start < cursor:  # pragma: no cover - conflicts already dropped
+            continue
+        pieces.append(source[cursor:start])
+        pieces.append(edit.replacement)
+        cursor = max(cursor, end)
+    pieces.append(source[cursor:])
+    return "".join(pieces)
+
+
+def fix_source(source: str, findings: _t.Sequence["Finding"],
+               ) -> tuple[str, list["Finding"]]:
+    """Apply every fix carried by ``findings`` to ``source``.
+
+    Returns ``(new_source, applied)`` where ``applied`` lists the
+    findings whose fix contributed at least one edit.  Findings without
+    a fix are ignored.
+    """
+    edits: list[Edit] = []
+    applied: list["Finding"] = []
+    for finding in sorted(findings):
+        if finding.fix is None or not finding.fix.edits:
+            continue
+        edits.extend(finding.fix.edits)
+        applied.append(finding)
+    if not edits:
+        return source, []
+    return apply_edits(source, edits), applied

@@ -1,0 +1,86 @@
+"""Assemble a :class:`~repro.lint.program.model.Program` from files.
+
+``build_program`` is the bridge between the engine's file discovery and
+the inter-procedural passes: hash each file, serve its summary from the
+incremental cache when the digest matches, extract otherwise, then link
+everything into one :class:`Program`.  Files that fail to parse are
+skipped here — the per-file engine already reports them as LINT999, and
+a broken file cannot contribute sound summaries anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import pathlib
+import typing as _t
+
+from repro.lint.program.cache import SummaryCache
+from repro.lint.program.extract import extract_module
+from repro.lint.program.model import ModuleSummary, Program
+
+__all__ = ["BuildStats", "build_program", "file_digest"]
+
+
+@dataclasses.dataclass
+class BuildStats:
+    """Accounting for one build, surfaced by ``repro.lint --stats``."""
+
+    files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    parse_failures: int = 0
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "files": self.files,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "parse_failures": self.parse_failures,
+        }
+
+
+def file_digest(source: str) -> str:
+    """Content digest used as the incremental-cache key."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def build_program(files: _t.Sequence[tuple[str, pathlib.Path]],
+                  cache: SummaryCache | None = None,
+                  ) -> tuple[Program, BuildStats]:
+    """Build the linked program over ``(relpath, path)`` pairs.
+
+    ``cache`` — when given — serves summaries for unchanged files and is
+    updated in place with freshly extracted ones (the caller decides
+    whether to persist it).  Returns the program plus build accounting.
+    """
+    stats = BuildStats()
+    summaries: list[ModuleSummary] = []
+    for relpath, path in sorted(files):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        stats.files += 1
+        digest = file_digest(source)
+        summary: ModuleSummary | None = None
+        if cache is not None:
+            summary = cache.lookup(relpath, digest)
+            if summary is not None:
+                stats.cache_hits += 1
+            else:
+                stats.cache_misses += 1
+        if summary is None:
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                stats.parse_failures += 1
+                continue
+            summary = extract_module(relpath, tree, digest)
+            if cache is not None:
+                cache.store(summary)
+        summaries.append(summary)
+    if cache is not None:
+        cache.prune(summary.path for summary in summaries)
+    return Program(summaries), stats

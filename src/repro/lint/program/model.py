@@ -1,0 +1,340 @@
+"""Serializable data model for the whole-program analysis.
+
+Every per-file fact the inter-procedural passes consume lives in a
+:class:`ModuleSummary` built from plain ints/strings/lists, so the
+incremental cache can round-trip summaries through JSON with no loss —
+a cache hit and a fresh extraction are *the same object graph*, which
+is what makes cached and cold runs byte-identical.
+
+Taint flows are encoded as ``(origin, destination)`` pairs over small
+tagged tuples:
+
+=============== ======================================================
+``("source", i)``   value of the ``i``-th recorded nondeterminism source
+``("param", i)``    value of the ``i``-th parameter
+``("call", i)``     return value of the ``i``-th recorded call
+``("return",)``     the function's return value
+``("sink", i)``     argument position of the ``i``-th recorded sink
+``("arg", i, j)``   argument ``j`` of the ``i``-th recorded call
+=============== ======================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = ["SourceRec", "SinkRec", "CallRec", "WriteRec",
+           "FunctionSummary", "ModuleSummary", "Program",
+           "Origin", "Dest", "Flow", "MODULE_BODY"]
+
+#: Pseudo-function name holding a module's top-level statements.
+MODULE_BODY = "<module>"
+
+Origin = _t.Tuple[str, int]
+Dest = _t.Tuple[_t.Union[str, int], ...]
+Flow = _t.Tuple[Origin, Dest]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SourceRec:
+    """One nondeterminism source occurrence inside a function."""
+
+    #: ``"rng"`` | ``"clock"`` | ``"entropy"`` | ``"order"``.
+    kind: str
+    line: int
+    col: int
+    #: Human-readable description, e.g. ``"random.Random() without a seed"``.
+    detail: str
+
+    def to_json(self) -> list[object]:
+        return [self.kind, self.line, self.col, self.detail]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "SourceRec":
+        return SourceRec(str(data[0]), int(_t.cast(int, data[1])),
+                         int(_t.cast(int, data[2])), str(data[3]))
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SinkRec:
+    """One sim-visible (or ordering-sensitive) sink occurrence."""
+
+    #: ``"sim"`` | ``"telemetry"`` | ``"pacm"`` | ``"order"``.
+    kind: str
+    line: int
+    col: int
+    detail: str
+
+    def to_json(self) -> list[object]:
+        return [self.kind, self.line, self.col, self.detail]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "SinkRec":
+        return SinkRec(str(data[0]), int(_t.cast(int, data[1])),
+                       int(_t.cast(int, data[2])), str(data[3]))
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class CallRec:
+    """One call site whose callee could (maybe) be resolved.
+
+    ``ref`` is the canonical dotted path as seen from the calling module
+    (``"repro.sim.randomness.RandomStreams"``), or ``""`` when the
+    callee is not a resolvable name.  The build step maps refs onto
+    project functions; unresolved refs simply contribute no edge.
+    """
+
+    ref: str
+    line: int
+    col: int
+    #: Display name for traces, e.g. ``"jitter"``.
+    name: str
+
+    def to_json(self) -> list[object]:
+        return [self.ref, self.line, self.col, self.name]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "CallRec":
+        return CallRec(str(data[0]), int(_t.cast(int, data[1])),
+                       int(_t.cast(int, data[2])), str(data[3]))
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class WriteRec:
+    """One attribute write inside a function body.
+
+    ``scope`` is ``"self"`` for ``self.attr = ...`` writes (the only
+    scope the race detector currently correlates across functions).
+    ``after_acquire`` is True when a ``yield <resource>.request()`` /
+    ``yield <lock>.acquire()`` precedes the write in statement order —
+    the write is then considered serialized by that resource.
+    """
+
+    scope: str
+    attr: str
+    line: int
+    col: int
+    after_acquire: bool
+
+    def to_json(self) -> list[object]:
+        return [self.scope, self.attr, self.line, self.col,
+                self.after_acquire]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "WriteRec":
+        return WriteRec(str(data[0]), str(data[1]),
+                        int(_t.cast(int, data[2])),
+                        int(_t.cast(int, data[3])), bool(data[4]))
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """Everything the global passes need to know about one function."""
+
+    #: Fully qualified name, ``module.Class.func`` or ``module.func``;
+    #: the module body is ``module.<module>``.
+    name: str
+    path: str
+    line: int
+    params: tuple[str, ...] = ()
+    is_generator: bool = False
+    yields_event: bool = False
+    has_sim_handle: bool = False
+    #: Function contains a ``yield x.request()`` / ``yield x.acquire()``.
+    acquires: bool = False
+    sources: tuple[SourceRec, ...] = ()
+    sinks: tuple[SinkRec, ...] = ()
+    calls: tuple[CallRec, ...] = ()
+    flows: tuple[Flow, ...] = ()
+    writes: tuple[WriteRec, ...] = ()
+    #: Dotted refs of generator functions this function registers as
+    #: simulation processes (``sim.process(fn(...))``, runner strings).
+    process_refs: tuple[tuple[str, int], ...] = ()
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "params": list(self.params),
+            "is_generator": self.is_generator,
+            "yields_event": self.yields_event,
+            "has_sim_handle": self.has_sim_handle,
+            "acquires": self.acquires,
+            "sources": [rec.to_json() for rec in self.sources],
+            "sinks": [rec.to_json() for rec in self.sinks],
+            "calls": [rec.to_json() for rec in self.calls],
+            "flows": [[list(origin), list(dest)]
+                      for origin, dest in self.flows],
+            "writes": [rec.to_json() for rec in self.writes],
+            "process_refs": [list(ref) for ref in self.process_refs],
+        }
+
+    @staticmethod
+    def from_json(data: _t.Mapping[str, _t.Any]) -> "FunctionSummary":
+        return FunctionSummary(
+            name=str(data["name"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            params=tuple(str(p) for p in data["params"]),
+            is_generator=bool(data["is_generator"]),
+            yields_event=bool(data["yields_event"]),
+            has_sim_handle=bool(data["has_sim_handle"]),
+            acquires=bool(data["acquires"]),
+            sources=tuple(SourceRec.from_json(rec)
+                          for rec in data["sources"]),
+            sinks=tuple(SinkRec.from_json(rec) for rec in data["sinks"]),
+            calls=tuple(CallRec.from_json(rec) for rec in data["calls"]),
+            flows=tuple(
+                ((str(origin[0]), int(origin[1])),
+                 tuple(item if isinstance(item, int) else str(item)
+                       for item in dest))
+                for origin, dest in data["flows"]),
+            writes=tuple(WriteRec.from_json(rec)
+                         for rec in data["writes"]),
+            process_refs=tuple((str(ref[0]), int(ref[1]))
+                               for ref in data["process_refs"]),
+        )
+
+
+@dataclasses.dataclass
+class ModuleSummary:
+    """Per-file extraction result; the unit of incremental caching."""
+
+    #: Repo-relative POSIX path.
+    path: str
+    #: Dotted module name derived from the path (``repro.sim.kernel``).
+    module: str
+    #: SHA-256 of the file contents (the cache key).
+    digest: str
+    #: Module-level name → canonical dotted path (imports + local defs);
+    #: this is what resolves re-exports across modules.
+    exports: dict[str, str] = dataclasses.field(default_factory=dict)
+    functions: list[FunctionSummary] = dataclasses.field(
+        default_factory=list)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "digest": self.digest,
+            "exports": {name: self.exports[name]
+                        for name in sorted(self.exports)},
+            "functions": [fn.to_json() for fn in self.functions],
+        }
+
+    @staticmethod
+    def from_json(data: _t.Mapping[str, _t.Any]) -> "ModuleSummary":
+        return ModuleSummary(
+            path=str(data["path"]),
+            module=str(data["module"]),
+            digest=str(data["digest"]),
+            exports={str(key): str(value)
+                     for key, value in data["exports"].items()},
+            functions=[FunctionSummary.from_json(fn)
+                       for fn in data["functions"]],
+        )
+
+
+class Program:
+    """The linked whole-program view handed to program checkers."""
+
+    def __init__(self, modules: _t.Sequence[ModuleSummary]) -> None:
+        #: Module summaries sorted by path (deterministic iteration).
+        self.modules: list[ModuleSummary] = sorted(
+            modules, key=lambda m: m.path)
+        #: Qualified name → function summary.
+        self.functions: dict[str, FunctionSummary] = {}
+        #: Canonical ref → qualified function name (after re-exports).
+        self._ref_targets: dict[str, str] = {}
+        #: Caller qualname → sorted list of (call index, callee qualname).
+        self.call_edges: dict[str, list[tuple[int, str]]] = {}
+        #: Callee qualname → sorted list of (caller qualname, call index).
+        self.callers: dict[str, list[tuple[str, int]]] = {}
+        #: Scratch space for passes that share expensive results (the
+        #: taint fixpoint runs once per program, not once per checker).
+        self.analysis_cache: dict[str, _t.Any] = {}
+        self._link()
+
+    # ------------------------------------------------------------------
+    # Linking
+    # ------------------------------------------------------------------
+    def _link(self) -> None:
+        alias: dict[str, str] = {}
+        for module in self.modules:
+            for function in module.functions:
+                self.functions[function.name] = function
+            for name in sorted(module.exports):
+                alias[f"{module.module}.{name}"] = module.exports[name]
+        # Short-circuit alias chains (bounded: chains cannot be longer
+        # than the number of aliases).
+        for key in sorted(alias):
+            target = alias[key]
+            hops = 0
+            while target in alias and hops <= len(alias):
+                target = alias[target]
+                hops += 1
+            alias[key] = target
+        self._alias = alias
+        for module in self.modules:
+            for function in module.functions:
+                edges: list[tuple[int, str]] = []
+                for index, call in enumerate(function.calls):
+                    callee = self.resolve_ref(call.ref)
+                    if callee is not None:
+                        edges.append((index, callee))
+                if edges:
+                    self.call_edges[function.name] = edges
+                    for index, callee in edges:
+                        self.callers.setdefault(callee, []).append(
+                            (function.name, index))
+        for callee in self.callers:
+            self.callers[callee].sort()
+
+    def resolve_ref(self, ref: str) -> str | None:
+        """Map a canonical dotted ref onto a project function name."""
+        if not ref:
+            return None
+        seen = 0
+        while ref in self._alias and seen <= len(self._alias):
+            ref = self._alias[ref]
+            seen += 1
+        if ref in self.functions:
+            return ref
+        # A class ref stands for its constructor.
+        if f"{ref}.__init__" in self.functions:
+            return f"{ref}.__init__"
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection (used by --stats and the tests)
+    # ------------------------------------------------------------------
+    def function_count(self) -> int:
+        return len(self.functions)
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self.call_edges.values())
+
+    def process_generators(self) -> list[str]:
+        """Qualified names of functions that are simulation processes.
+
+        A function qualifies when it is a generator that yields kernel
+        events or holds a simulator handle, or when any function
+        registers it via ``sim.process(...)`` / a runner string.
+        """
+        registered: set[str] = set()
+        for name in sorted(self.functions):
+            for ref, _line in self.functions[name].process_refs:
+                target = self.resolve_ref(ref)
+                if target is not None:
+                    registered.add(target)
+        names: list[str] = []
+        for name in sorted(self.functions):
+            function = self.functions[name]
+            if not function.is_generator:
+                continue
+            if function.yields_event or function.has_sim_handle \
+                    or name in registered:
+                names.append(name)
+        return names

@@ -1,0 +1,140 @@
+"""The registered whole-program checkers: DET101, DET102, SIM101.
+
+These consume the shared taint fixpoint (:mod:`repro.lint.program.taint`)
+and the race analysis (:mod:`repro.lint.program.races`); the expensive
+work runs once per :class:`Program` regardless of how many passes ask
+for it.  Findings are anchored at the *source* (where the fix belongs)
+and carry the full source→sink trace so a reader can follow the value
+across files without re-deriving the call graph.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.program.model import Program
+from repro.lint.program.races import find_races
+from repro.lint.program.taint import SinkHit, taint_result
+from repro.lint.registry import ProgramChecker, register_program
+
+__all__ = ["DeterminismTaint", "OrderTaint", "SimRace"]
+
+
+def _sink_location(program: Program, hit: SinkHit) -> str:
+    function = program.functions[hit.function]
+    return f"{function.path}:{hit.sink.line}"
+
+
+@register_program
+class DeterminismTaint(ProgramChecker):
+    """DET101: RNG / clock / entropy taint reaching a sim-visible sink.
+
+    The per-file rules (DET001/DET002) flag the *construction* of a
+    nondeterministic value; this pass follows the value itself — through
+    assignments, returns, and call edges — and fires only when it
+    actually lands in event scheduling, a PACM utility computation, or a
+    telemetry sample.  The one sanctioned flow is host profiling:
+    wall-clock values born in a ``wallclock-allow`` file may feed
+    telemetry samples (that is what ``repro.perf`` / the profiling hook
+    exist for), but never the simulation or PACM math.
+    """
+
+    code = "DET101"
+    description = ("nondeterministic value (unseeded RNG, wall clock, "
+                   "OS entropy) flows into a sim-visible sink "
+                   "(event scheduling, PACM utility, telemetry)")
+
+    _SOURCE_KINDS = frozenset({"rng", "clock", "entropy"})
+    _SINK_KINDS = frozenset({"sim", "telemetry", "pacm"})
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        for hit in taint_result(program).hits:
+            kind, path, line, col, detail = hit.token
+            if kind not in self._SOURCE_KINDS:
+                continue
+            if hit.sink.kind not in self._SINK_KINDS:
+                continue
+            if kind == "clock" and hit.sink.kind == "telemetry" \
+                    and config.allows_wallclock(path):
+                continue  # the blessed host-profiling path
+            yield Finding(
+                path=path, line=line, col=col, code=self.code,
+                message=(f"nondeterministic value ({detail}) reaches "
+                         f"{hit.sink.detail} at "
+                         f"{_sink_location(program, hit)}; thread a "
+                         f"seeded stream or sim.now-derived value "
+                         f"instead"),
+                trace=hit.trace)
+
+
+@register_program
+class OrderTaint(ProgramChecker):
+    """DET102: iteration order escaping across a function boundary.
+
+    DET003 catches ``min(d.keys())`` inside one function; it is blind
+    the moment the unordered value is returned or passed along.  This
+    pass follows order taint across call edges and fires when it
+    reaches an ordering-sensitive sink (heap push, serialization,
+    min/max, ``str.join``) or event scheduling in *another* function —
+    same-function flows are left to DET003 so each defect has exactly
+    one code.
+    """
+
+    code = "DET102"
+    description = ("dict/set iteration order crosses a function "
+                   "boundary and feeds an ordering-sensitive or "
+                   "sim-visible sink without sorted()")
+
+    _SINK_KINDS = frozenset({"order", "sim"})
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        for hit in taint_result(program).hits:
+            kind, path, line, col, detail = hit.token
+            if kind != "order" or hit.sink.kind not in self._SINK_KINDS:
+                continue
+            if len(hit.trace) < 3:
+                continue  # same-function flow: DET003 territory
+            yield Finding(
+                path=path, line=line, col=col, code=self.code,
+                message=(f"iteration order of a {detail} escapes this "
+                         f"function and reaches {hit.sink.detail} at "
+                         f"{_sink_location(program, hit)}; wrap it in "
+                         f"sorted() before it crosses the boundary"),
+                trace=hit.trace)
+
+
+@register_program
+class SimRace(ProgramChecker):
+    """SIM101: one attribute, several process generators, no lock.
+
+    See :mod:`repro.lint.program.races` for the model.  The finding is
+    anchored at the first write site and its trace lists every writer,
+    so the report shows both halves of the race, not just one.
+    """
+
+    code = "SIM101"
+    description = ("attribute written by two or more simulation "
+                   "process generators with no resource acquisition "
+                   "serializing the writes")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        for race in find_races(program):
+            function, write = race.anchor()
+            path = program.functions[function].path
+            names = ", ".join(sorted({fn for fn, _w in race.writers}))
+            yield Finding(
+                path=path, line=write.line, col=write.col,
+                code=self.code,
+                message=(f"self.{race.attr} is written by "
+                         f"{len({fn for fn, _w in race.writers})} "
+                         f"process generators ({names}) with no "
+                         f"resource acquisition; the final value "
+                         f"depends on scheduler interleaving — guard "
+                         f"the writes with a Resource or funnel them "
+                         f"through one owner process"),
+                trace=race.trace(program))

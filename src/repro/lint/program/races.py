@@ -1,0 +1,74 @@
+"""SIM101: simulated-state races between process generators.
+
+Two simulation processes interleave at every ``yield``; if both write
+the same ``self.attr`` with no resource acquisition serializing them,
+the attribute's final value depends on scheduler interleaving — which
+the kernel keeps deterministic only as long as nobody perturbs event
+insertion order.  Such shared writes are exactly the bugs that surface
+as "the numbers changed when I reordered two arrivals".
+
+A write is considered serialized when a ``<resource>.request()`` /
+``<lock>.acquire()`` precedes it in the function (the extractor's
+``after_acquire`` bit).  Reads are not tracked: a racy read pattern
+always involves a companion write, and anchoring on writes keeps the
+rule's false-positive surface small.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.lint.findings import TraceStep
+from repro.lint.program.model import Program, WriteRec
+
+__all__ = ["Race", "find_races"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Race:
+    """One attribute written by ≥2 distinct process generators."""
+
+    #: Qualified class name, e.g. ``repro.apps.server.OriginServer``.
+    klass: str
+    attr: str
+    #: Sorted ``(function qualname, write)`` pairs, one per writer.
+    writers: tuple[tuple[str, WriteRec], ...]
+
+    def anchor(self) -> tuple[str, WriteRec]:
+        """The (function, write) the finding is anchored at."""
+        return self.writers[0]
+
+    def trace(self, program: Program) -> tuple[TraceStep, ...]:
+        steps = []
+        for function, write in self.writers:
+            path = program.functions[function].path
+            steps.append(TraceStep(
+                path, write.line,
+                f"self.{self.attr} written by process generator "
+                f"{function}()"))
+        return tuple(steps)
+
+
+def find_races(program: Program) -> list[Race]:
+    """All unserialized multi-writer attributes, sorted."""
+    generators = set(program.process_generators())
+    writers: dict[tuple[str, str], list[tuple[str, WriteRec]]] = {}
+    for name in sorted(generators):
+        function = program.functions[name]
+        klass, _, _method = name.rpartition(".")
+        if not klass:
+            continue
+        for write in function.writes:
+            if write.scope != "self" or write.after_acquire:
+                continue
+            writers.setdefault((klass, write.attr), []).append(
+                (name, write))
+    races: list[Race] = []
+    for (klass, attr) in sorted(writers):
+        entries = sorted(writers[(klass, attr)])
+        distinct = {function for function, _write in entries}
+        if len(distinct) < 2:
+            continue
+        races.append(Race(klass=klass, attr=attr,
+                          writers=tuple(entries)))
+    return sorted(races)

@@ -1,0 +1,347 @@
+"""Inter-procedural determinism taint (the DET101/DET102 engine).
+
+A *token* identifies one nondeterminism source occurrence — an unseeded
+RNG construction, a wall-clock read, an OS-entropy draw, or a raw
+dict/set iteration — by kind and location.  The fixpoint is
+**summary-based and context-sensitive**: for every function it computes
+transfer facts
+
+* ``SR``  — tokens born inside the function (or its callees) that
+  reach its return value,
+* ``P2R`` — parameters whose value reaches the return value,
+* ``P2S`` — parameters whose value reaches some sink (possibly in a
+  transitive callee),
+
+and applies callee summaries *at each call site*.  Taint entering a
+callee from one caller can therefore never leak out into a different
+caller — the classic false-positive mode of a global return-taint set.
+
+``sorted(...)`` is modeled as a laundering pseudo-call: order tokens
+stop there (sorting makes iteration order part of the data), while
+randomness and clock taint pass through.  Parameter summaries crossing
+a ``sorted()`` carry a ``drops_order`` flag so the laundering applies
+even when the sort happens in a callee.
+
+Traces are *first-wins*: once a token reaches a slot its trace is
+frozen, which guarantees termination (every token enters every slot at
+most once) and keeps the reported path minimal.  Everything iterates in
+sorted order, so findings and traces are deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.lint.findings import TraceStep
+from repro.lint.program.extract import SORTED_REF
+from repro.lint.program.model import (Dest, FunctionSummary, Origin,
+                                      Program, SinkRec)
+
+__all__ = ["Token", "SinkHit", "TaintResult", "taint_result"]
+
+#: ``(kind, path, line, col, detail)`` — one source occurrence.
+Token = _t.Tuple[str, str, int, int, str]
+
+Trace = _t.Tuple[TraceStep, ...]
+
+#: A parameter transfer fact: the steps taken inside the callee plus
+#: whether the path crossed a ``sorted()`` (laundering order tokens).
+_ParamFact = _t.Tuple[Trace, bool]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SinkHit:
+    """One token observed reaching one sink, with its witness trace."""
+
+    token: Token
+    #: Qualified name of the function containing the sink.
+    function: str
+    sink: SinkRec
+    trace: Trace
+
+
+@dataclasses.dataclass
+class TaintResult:
+    """Fixpoint output shared by the DET101/DET102 passes."""
+
+    hits: list[SinkHit]
+    #: Number of full passes until the fixpoint stabilized.
+    rounds: int
+    #: Total distinct source tokens seen.
+    tokens: int
+
+
+def taint_result(program: Program) -> TaintResult:
+    """The (memoized) taint fixpoint for ``program``."""
+    cached = program.analysis_cache.get("taint")
+    if isinstance(cached, TaintResult):
+        return cached
+    result = _Fixpoint(program).run()
+    program.analysis_cache["taint"] = result
+    return result
+
+
+@dataclasses.dataclass
+class _Value:
+    """Abstract value of one origin: concrete tokens plus parameters."""
+
+    tokens: dict[Token, Trace] = dataclasses.field(default_factory=dict)
+    params: dict[int, _ParamFact] = dataclasses.field(
+        default_factory=dict)
+
+    def add_token(self, token: Token, trace: Trace) -> None:
+        self.tokens.setdefault(token, trace)
+
+    def add_param(self, index: int, fact: _ParamFact) -> None:
+        current = self.params.get(index)
+        # Prefer the non-laundering fact: it lets more tokens through,
+        # and the flag can only ever flip True→False, so this stays
+        # monotone.
+        if current is None or (current[1] and not fact[1]):
+            self.params[index] = fact
+
+
+class _Fixpoint:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: function → token → trace reaching the return value.
+        self.source_to_return: dict[str, dict[Token, Trace]] = {}
+        #: function → param index → transfer fact to the return value.
+        self.param_to_return: dict[str, dict[int, _ParamFact]] = {}
+        #: function → param index → (sink function, sink) → fact whose
+        #: trace ends at the sink step.
+        self.param_to_sink: dict[
+            str, dict[int, dict[tuple[str, SinkRec], _ParamFact]]] = {}
+        #: (token, sink function, sink) → witness trace.
+        self.hits: dict[tuple[Token, str, SinkRec], Trace] = {}
+        self.tokens: set[Token] = set()
+        self.changed = False
+
+    # -- merge helpers (first trace wins; sets ``changed``) -------------
+    def _merge_sr(self, function: str, token: Token,
+                  trace: Trace) -> None:
+        slot = self.source_to_return.setdefault(function, {})
+        if token not in slot:
+            slot[token] = trace
+            self.changed = True
+
+    def _merge_p2r(self, function: str, index: int,
+                   fact: _ParamFact) -> None:
+        slot = self.param_to_return.setdefault(function, {})
+        current = slot.get(index)
+        if current is None or (current[1] and not fact[1]):
+            slot[index] = fact
+            self.changed = True
+
+    def _merge_p2s(self, function: str, index: int, sink_function: str,
+                   sink: SinkRec, fact: _ParamFact) -> None:
+        slot = self.param_to_sink.setdefault(
+            function, {}).setdefault(index, {})
+        current = slot.get((sink_function, sink))
+        if current is None or (current[1] and not fact[1]):
+            slot[(sink_function, sink)] = fact
+            self.changed = True
+
+    def _merge_hit(self, token: Token, function: str, sink: SinkRec,
+                   trace: Trace) -> None:
+        key = (token, function, sink)
+        if key not in self.hits:
+            self.hits[key] = trace
+            self.changed = True
+
+    # -- call-site helpers ----------------------------------------------
+    def _callee(self, summary: FunctionSummary,
+                call_index: int) -> str | None:
+        for index, callee in self.program.call_edges.get(
+                summary.name, ()):
+            if index == call_index:
+                return callee
+        return None
+
+    @staticmethod
+    def _param_index(target: FunctionSummary,
+                     selector: _t.Union[str, int]) -> int | None:
+        """Map an argument selector onto the callee's parameter index.
+
+        Positional selectors shift by one when the callee is a bound
+        method or constructor (its summary's parameter 0 is ``self`` /
+        ``cls``, which the call site never passes explicitly).
+        """
+        bound = bool(target.params) and target.params[0] in ("self",
+                                                             "cls")
+        if isinstance(selector, int):
+            index = selector + (1 if bound else 0)
+            return index if 0 <= index < len(target.params) else None
+        try:
+            return target.params.index(selector)
+        except ValueError:
+            return None
+
+    def _arg_flows(self, summary: FunctionSummary, call_index: int,
+                   ) -> _t.Iterator[tuple[Origin, _t.Union[str, int]]]:
+        """Origins flowing into arguments of call ``call_index``."""
+        for origin, dest in summary.flows:
+            if len(dest) == 3 and dest[1] == call_index \
+                    and dest[0] in ("arg", "kwarg"):
+                yield origin, dest[2]
+
+    # -- abstract evaluation of one origin -------------------------------
+    def _value(self, summary: FunctionSummary, origin: Origin,
+               seen: frozenset[Origin]) -> _Value:
+        value = _Value()
+        if origin in seen:  # pragma: no cover - self-referential expr
+            return value
+        tag, index = origin
+        if tag == "source":
+            if 0 <= index < len(summary.sources):
+                source = summary.sources[index]
+                token: Token = (source.kind, summary.path, source.line,
+                                source.col, source.detail)
+                self.tokens.add(token)
+                value.add_token(token, (TraceStep(
+                    summary.path, source.line,
+                    f"source: {source.detail}"),))
+        elif tag == "param":
+            value.add_param(index, ((), False))
+        elif tag == "call" and 0 <= index < len(summary.calls):
+            self._call_value(summary, index, seen | {origin}, value)
+        return value
+
+    def _call_value(self, summary: FunctionSummary, call_index: int,
+                    seen: frozenset[Origin], value: _Value) -> None:
+        """Fold the result of call ``call_index`` into ``value``."""
+        call = summary.calls[call_index]
+        if call.ref == SORTED_REF:
+            for origin, _selector in sorted(
+                    self._arg_flows(summary, call_index)):
+                inner = self._value(summary, origin, seen)
+                for token in sorted(inner.tokens):
+                    if token[0] != "order":
+                        value.add_token(token, inner.tokens[token])
+                for index in sorted(inner.params):
+                    trace, _drops = inner.params[index]
+                    value.add_param(index, (trace, True))
+            return
+        callee = self._callee(summary, call_index)
+        if callee is None:
+            return
+        target = self.program.functions[callee]
+        ret_step = TraceStep(summary.path, call.line,
+                             f"tainted value returned by {call.name}()")
+        for token, trace in sorted(self.source_to_return.get(
+                callee, {}).items()):
+            value.add_token(token, trace + (ret_step,))
+        returning = self.param_to_return.get(callee, {})
+        if not returning:
+            return
+        for origin, selector in sorted(self._arg_flows(summary,
+                                                       call_index)):
+            position = self._param_index(target, selector)
+            if position is None or position not in returning:
+                continue
+            inner_trace, drops = returning[position]
+            enter_step = TraceStep(
+                summary.path, call.line,
+                f"passed into {call.name}() [{target.name} parameter "
+                f"{target.params[position]!r}]")
+            inner = self._value(summary, origin, seen)
+            for token in sorted(inner.tokens):
+                if drops and token[0] == "order":
+                    continue
+                value.add_token(token, inner.tokens[token]
+                                + (enter_step,) + inner_trace
+                                + (ret_step,))
+            for index in sorted(inner.params):
+                trace, drops2 = inner.params[index]
+                value.add_param(index, (trace + (enter_step,)
+                                        + inner_trace + (ret_step,),
+                                        drops or drops2))
+
+    # -- one evaluation of one function ----------------------------------
+    def _evaluate(self, summary: FunctionSummary) -> None:
+        for origin, dest in summary.flows:
+            kind = dest[0]
+            if kind == "return":
+                value = self._value(summary, origin, frozenset())
+                for token in sorted(value.tokens):
+                    self._merge_sr(summary.name, token,
+                                   value.tokens[token])
+                for index in sorted(value.params):
+                    self._merge_p2r(summary.name, index,
+                                    value.params[index])
+            elif kind == "sink":
+                self._flow_to_sink(summary, origin, dest)
+            elif kind in ("arg", "kwarg"):
+                self._flow_to_arg(summary, origin, dest)
+
+    def _flow_to_sink(self, summary: FunctionSummary, origin: Origin,
+                      dest: Dest) -> None:
+        sink_index = _t.cast(int, dest[1])
+        if not 0 <= sink_index < len(summary.sinks):
+            return
+        sink = summary.sinks[sink_index]
+        step = TraceStep(summary.path, sink.line,
+                         f"sink: {sink.detail}")
+        value = self._value(summary, origin, frozenset())
+        for token in sorted(value.tokens):
+            self._merge_hit(token, summary.name, sink,
+                            value.tokens[token] + (step,))
+        for index in sorted(value.params):
+            trace, drops = value.params[index]
+            self._merge_p2s(summary.name, index, summary.name, sink,
+                            (trace + (step,), drops))
+
+    def _flow_to_arg(self, summary: FunctionSummary, origin: Origin,
+                     dest: Dest) -> None:
+        """Taint passed into a call whose parameter reaches a sink."""
+        call_index = _t.cast(int, dest[1])
+        callee = self._callee(summary, call_index)
+        if callee is None:
+            return
+        target = self.program.functions[callee]
+        position = self._param_index(target, dest[2])
+        if position is None:
+            return
+        sinks = self.param_to_sink.get(callee, {}).get(position)
+        if not sinks:
+            return
+        call = summary.calls[call_index]
+        enter_step = TraceStep(
+            summary.path, call.line,
+            f"passed into {call.name}() [{target.name} parameter "
+            f"{target.params[position]!r}]")
+        value = self._value(summary, origin, frozenset())
+        for (sink_function, sink) in sorted(
+                sinks, key=lambda key: (key[0], key[1])):
+            inner_trace, drops = sinks[(sink_function, sink)]
+            for token in sorted(value.tokens):
+                if drops and token[0] == "order":
+                    continue
+                self._merge_hit(token, sink_function, sink,
+                                value.tokens[token] + (enter_step,)
+                                + inner_trace)
+            for index in sorted(value.params):
+                trace, drops2 = value.params[index]
+                self._merge_p2s(summary.name, index, sink_function,
+                                sink, (trace + (enter_step,)
+                                       + inner_trace,
+                                       drops or drops2))
+
+    def run(self) -> TaintResult:
+        names = sorted(self.program.functions)
+        rounds = 0
+        while True:
+            rounds += 1
+            self.changed = False
+            for name in names:
+                self._evaluate(self.program.functions[name])
+            if not self.changed:
+                break
+            if rounds > len(names) + 64:  # pragma: no cover - safety net
+                break
+        hits = [SinkHit(token=token, function=function, sink=sink,
+                        trace=self.hits[(token, function, sink)])
+                for token, function, sink in sorted(self.hits)]
+        return TaintResult(hits=hits, rounds=rounds,
+                           tokens=len(self.tokens))

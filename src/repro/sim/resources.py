@@ -10,6 +10,7 @@ X microseconds of CPU".
 from __future__ import annotations
 
 import typing as _t
+from collections import deque
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
@@ -37,7 +38,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self._in_use = 0
-        self._waiting: list[Event] = []
+        self._waiting: deque[Event] = deque()
         self._granted: set[int] = set()
 
     @property
@@ -71,7 +72,7 @@ class Resource:
         self._granted.discard(id(request))
         self._in_use -= 1
         while self._waiting and self._in_use < self.capacity:
-            waiter = self._waiting.pop(0)
+            waiter = self._waiting.popleft()
             self._in_use += 1
             self._granted.add(id(waiter))
             waiter.succeed(self)
@@ -132,8 +133,8 @@ class Store:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self._items: list[object] = []
-        self._getters: list[Event] = []
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -141,7 +142,7 @@ class Store:
     def put(self, item: object) -> None:
         """Deposit ``item``, waking the oldest waiting getter if any."""
         if self._getters:
-            self._getters.pop(0).succeed(item)
+            self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
@@ -149,7 +150,7 @@ class Store:
         """Return an event that triggers with the next available item."""
         event = self.sim.event()
         if self._items:
-            event.succeed(self._items.pop(0))
+            event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event

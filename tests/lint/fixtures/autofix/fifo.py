@@ -1,0 +1,22 @@
+"""Autofix fixture: list-as-FIFO (PERF001), both shapes."""
+
+from __future__ import annotations
+
+
+class Mailbox:
+    def __init__(self) -> None:
+        self._pending: list[object] = []  # expect: PERF001
+
+    def put(self, item: object) -> None:
+        self._pending.append(item)
+
+    def get(self) -> object:
+        return self._pending.pop(0)
+
+
+def drain(items: list[int]) -> list[int]:
+    queue = [item for item in items]  # expect: PERF001
+    out = []
+    while queue:
+        out.append(queue.pop(0))
+    return out

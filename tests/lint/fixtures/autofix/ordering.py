@@ -1,0 +1,16 @@
+"""Autofix fixture: unordered iteration sinks (DET003 sorted() wraps)."""
+
+from __future__ import annotations
+
+import heapq
+
+
+def pick_winner(scores: dict[str, float]) -> str:
+    return max(scores.keys())  # expect: DET003
+
+
+def build_heap(scores: dict[str, float]) -> list[tuple[float, str]]:
+    heap: list[tuple[float, str]] = []
+    for name in scores.keys():  # expect: DET003
+        heapq.heappush(heap, (scores[name], name))
+    return heap

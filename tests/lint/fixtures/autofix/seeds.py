@@ -1,0 +1,15 @@
+"""Autofix fixture: unseeded RNG constructors (DET001 seed injection)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy
+
+
+def make_plain_rng() -> random.Random:
+    return random.Random()  # expect: DET001
+
+
+def make_numpy_rng() -> object:
+    return numpy.random.default_rng()  # expect: DET001

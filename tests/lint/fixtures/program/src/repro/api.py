@@ -1,0 +1,12 @@
+"""Fixture: a re-export facade.
+
+``make_rng`` is an alias of :func:`repro.entropy.fresh_rng`; the
+program linker must resolve calls through this module to the real
+definition, or the DET101 chain breaks silently.
+"""
+
+from __future__ import annotations
+
+from repro.entropy import fresh_rng as make_rng
+
+__all__ = ["make_rng"]

@@ -1,0 +1,18 @@
+"""Fixture: a process generator reachable only via a runner string.
+
+``drain`` takes no sim handle and yields no recognizable event factory
+— the *only* evidence it runs as a process is the ``module:function``
+runner string below, which the extractor must parse into a call-graph
+edge and a process registration.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+RUNNER = "repro.cells:drain"
+
+
+def drain(mailbox: _t.Any) -> _t.Iterator[_t.Any]:
+    while True:
+        yield mailbox.get()

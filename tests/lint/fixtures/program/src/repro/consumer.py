@@ -1,0 +1,20 @@
+"""Fixture: the serialization sink end of the DET102 chain."""
+
+from __future__ import annotations
+
+from repro.orderlib import tags_of, tags_sorted
+
+
+def dump(mapping: dict[str, int]) -> str:
+    tags = list(tags_of(mapping))
+    return ",".join(tags)
+
+
+def dump_sorted(mapping: dict[str, int]) -> str:
+    # Negative: the helper sorts before the order escapes.
+    return ",".join(tags_sorted(mapping))
+
+
+def dump_locally_sorted(mapping: dict[str, int]) -> str:
+    # Negative: sorted() at the call site launders the order token.
+    return ",".join(sorted(tags_of(mapping)))

@@ -1,0 +1,22 @@
+"""Fixture: the sim-visible sink end of the DET101 chain.
+
+The tainted delay crosses three modules before reaching
+``sim.timeout(...)`` here; the finding anchors at the source in
+``repro.entropy`` with a trace ending at this call.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.middle import fixed_delay, sample_delay
+
+
+def run(sim: _t.Any) -> _t.Iterator[_t.Any]:
+    delay = sample_delay()
+    yield sim.timeout(delay)
+
+
+def run_fixed(sim: _t.Any) -> _t.Iterator[_t.Any]:
+    # Negative: a constant delay schedules deterministically.
+    yield sim.timeout(fixed_delay())

@@ -1,0 +1,19 @@
+"""Fixture: the nondeterminism source module of the cross-module chain.
+
+``fresh_rng`` constructs an unseeded RNG; the whole-program pass must
+track it through ``api`` (a re-export), ``middle`` (a wrapper), and
+``driver`` (the sim sink) and anchor DET101 *here*, at the source.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def fresh_rng() -> random.Random:
+    return random.Random()  # expect: DET001, DET101
+
+
+def seeded_rng(seed: int) -> random.Random:
+    # Negative: explicitly seeded, no taint token is born here.
+    return random.Random(seed)

@@ -1,0 +1,21 @@
+"""Fixture: the middle hop of the DET101 chain.
+
+``sample_delay`` launders the RNG through a method call and a local —
+taint must survive ``rng.random()`` (receiver taint), the assignment,
+and the arithmetic before returning to the caller.
+"""
+
+from __future__ import annotations
+
+from repro.api import make_rng
+
+
+def sample_delay() -> float:
+    rng = make_rng()
+    jitter = rng.random()
+    return 0.010 + jitter * 0.005
+
+
+def fixed_delay() -> float:
+    # Negative: no taint flows out of here.
+    return 0.010

@@ -1,0 +1,20 @@
+"""Fixture: a dict-view escaping its function (DET102 source side).
+
+``tags_of`` returns a raw ``.keys()`` view; consumers that serialize it
+inherit hash-order nondeterminism.  The per-file DET003 checker cannot
+see this (source and sink live in different functions) — only the
+whole-program order-taint pass can, and it anchors the finding here.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def tags_of(mapping: dict[str, int]) -> _t.Iterable[str]:
+    return mapping.keys()  # expect: DET102
+
+
+def tags_sorted(mapping: dict[str, int]) -> list[str]:
+    # Negative: sorting makes iteration order part of the data.
+    return sorted(mapping.keys())

@@ -1,0 +1,42 @@
+"""Fixture: SIM101 — two process generators racing on one counter.
+
+``SharedTally.hits`` is incremented by both generator methods with no
+resource guarding the writes; the final count depends on scheduler
+interleaving.  ``SerializedTally`` shows the negative: acquiring the
+lock before writing serializes the increments.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class SharedTally:
+    def __init__(self, sim: _t.Any) -> None:
+        self._sim = sim
+        self.hits = 0
+
+    def count_fetches(self) -> _t.Iterator[_t.Any]:
+        yield self._sim.timeout(1.0)
+        self.hits += 1
+
+    def count_delegations(self) -> _t.Iterator[_t.Any]:
+        yield self._sim.timeout(2.0)
+        self.hits += 1  # expect: SIM101
+
+
+class SerializedTally:
+    def __init__(self, sim: _t.Any, lock: _t.Any) -> None:
+        self._sim = sim
+        self._lock = lock
+        self.hits = 0
+
+    def count_fetches(self) -> _t.Iterator[_t.Any]:
+        request = self._lock.request()
+        yield request
+        self.hits += 1
+
+    def count_delegations(self) -> _t.Iterator[_t.Any]:
+        request = self._lock.request()
+        yield request
+        self.hits += 1

@@ -3,6 +3,7 @@
 import json
 import os
 import pathlib
+import shutil
 import subprocess
 import sys
 
@@ -55,12 +56,60 @@ def test_json_format_is_machine_readable():
     assert all(finding["line"] > 0 for finding in document["findings"])
 
 
-def test_list_checkers_names_all_six():
+def test_list_checkers_names_every_layer():
     result = run_cli("--list-checkers")
     assert result.returncode == 0
     for code in ("DET001", "DET002", "DET003",
-                 "SIM001", "SIM002", "CACHE001"):
+                 "SIM001", "SIM002", "CACHE001",
+                 "PERF001", "DET101", "DET102", "SIM101"):
         assert code in result.stdout
+
+
+def test_program_findings_render_their_traces():
+    # cwd = the fixture root, so module names line up with its imports
+    # and the cross-module chains link.
+    result = run_cli("--no-baseline", "--no-cache", "src",
+                     cwd=FIXTURES / "program")
+    assert result.returncode == 1
+    for code in ("DET101", "DET102", "SIM101"):
+        assert code in result.stdout
+    # Trace steps render indented under the finding, source to sink.
+    assert "    src/repro/entropy.py" in result.stdout
+    assert "    src/repro/driver.py" in result.stdout
+
+
+def test_stats_json_is_deterministic():
+    first = run_cli("--stats", "--no-cache", "src")
+    second = run_cli("--stats", "--no-cache", "src")
+    assert first.returncode == 0, first.stdout + first.stderr
+    assert first.stdout == second.stdout
+    document = json.loads(first.stdout)
+    assert document["program"]["functions"] > 0
+    assert document["taint"]["fixpoint_rounds"] > 0
+    assert "timings" not in document  # only under --timings
+
+
+def test_stats_timings_are_opt_in():
+    result = run_cli("--stats", "--timings", "--no-cache", "src")
+    assert result.returncode == 0
+    assert "lint_s" in json.loads(result.stdout)["timings"]
+
+
+def test_fix_rewrites_in_place_and_exits_clean(tmp_path):
+    target = tmp_path / "fifo.py"
+    shutil.copy(FIXTURES / "autofix" / "fifo.py", target)
+    result = run_cli("--fix", "--no-baseline", "--no-cache", "fifo.py",
+                     cwd=tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "applied" in result.stderr
+    fixed = target.read_text()
+    assert "popleft()" in fixed and "pop(0)" not in fixed
+    # Idempotence: a second --fix run changes nothing.
+    rerun = run_cli("--fix", "--no-baseline", "--no-cache", "fifo.py",
+                    cwd=tmp_path)
+    assert rerun.returncode == 0
+    assert "applied 0 fix(es)" in rerun.stderr
+    assert target.read_text() == fixed
 
 
 def test_nonexistent_path_is_a_usage_error():

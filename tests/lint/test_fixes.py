@@ -1,0 +1,102 @@
+"""Autofix round-trips: fix → re-lint → clean, and apply-again no-op.
+
+Every fixture under ``fixtures/autofix`` is designed so that *all* its
+findings carry a machine fix.  The round-trip contract (docs/linting.md)
+is: applying the fixes and re-linting yields zero findings for the
+fixed codes, and applying again changes nothing — ``--fix`` relies on
+both to converge in one pass.
+"""
+
+import pathlib
+import shutil
+
+import pytest
+
+from repro.lint import LintConfig, lint_file
+from repro.lint.fixes import Edit, apply_edits, edits_conflict, fix_source
+
+AUTOFIX = pathlib.Path(__file__).parent / "fixtures" / "autofix"
+
+_FIXTURES = [
+    ("fifo.py", "PERF001"),
+    ("seeds.py", "DET001"),
+    ("ordering.py", "DET003"),
+]
+
+
+def _roundtrip(tmp_path: pathlib.Path, name: str):
+    """Copy the fixture, apply its fixes, and return (before, after)."""
+    target = tmp_path / name
+    shutil.copy(AUTOFIX / name, target)
+    config = LintConfig(root=tmp_path)
+    before = lint_file(target, config)
+    fixed, applied = fix_source(target.read_text(), before)
+    target.write_text(fixed)
+    after = lint_file(target, config)
+    return before, applied, after, target
+
+
+@pytest.mark.parametrize("name,code", _FIXTURES)
+def test_fix_roundtrip_clears_the_code(tmp_path, name, code):
+    before, applied, after, _target = _roundtrip(tmp_path, name)
+    assert {finding.code for finding in before} == {code}
+    assert len(applied) == len(before)
+    assert not [finding for finding in after if finding.code == code]
+
+
+@pytest.mark.parametrize("name,code", _FIXTURES)
+def test_fix_is_idempotent(tmp_path, name, code):
+    _before, _applied, after, target = _roundtrip(tmp_path, name)
+    again, applied_again = fix_source(target.read_text(), after)
+    assert applied_again == []
+    assert again == target.read_text()
+
+
+def test_fifo_fix_adds_the_import_and_popleft(tmp_path):
+    _before, _applied, _after, target = _roundtrip(tmp_path, "fifo.py")
+    fixed = target.read_text()
+    assert "from collections import deque" in fixed
+    assert fixed.count("popleft()") == 2
+    assert "pop(0)" not in fixed
+    # The annotated attribute initializer is rewritten end to end.
+    assert "self._pending: deque[object] = deque()" in fixed
+
+
+def test_seed_fix_inserts_placeholder_seed(tmp_path):
+    _before, _applied, _after, target = _roundtrip(tmp_path, "seeds.py")
+    fixed = target.read_text()
+    assert "random.Random(0)" in fixed
+    assert "numpy.random.default_rng(0)" in fixed
+
+
+def test_sorted_wrap_fix(tmp_path):
+    _before, _applied, _after, target = _roundtrip(tmp_path,
+                                                   "ordering.py")
+    fixed = target.read_text()
+    assert "max(sorted(scores.keys()))" in fixed
+    assert "for name in sorted(scores.keys()):" in fixed
+
+
+# -- edit mechanics ------------------------------------------------------
+
+def test_identical_edits_are_deduplicated():
+    edit = Edit(1, 0, 1, 3, "new")
+    assert apply_edits("old text\n", [edit, edit]) == "new text\n"
+
+
+def test_conflicting_edits_drop_deterministically():
+    first = Edit(1, 0, 1, 3, "aaa")
+    second = Edit(1, 2, 1, 5, "bbb")
+    assert edits_conflict(first, second)
+    # The lexicographically smaller edit survives, whatever the order.
+    expected = apply_edits("0123456789\n", [first])
+    assert apply_edits("0123456789\n", [first, second]) == expected
+    assert apply_edits("0123456789\n", [second, first]) == expected
+
+
+def test_insertions_at_the_same_point_with_same_text_coexist():
+    insertion = Edit(1, 4, 1, 4, "X")
+    other = Edit(1, 8, 1, 8, "Y")
+    assert not edits_conflict(insertion, other)
+    assert apply_edits("abcdefghij\n", [other, insertion]) \
+        == "abcdXefghYij\n"

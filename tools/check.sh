@@ -18,10 +18,29 @@ export PYTHONPATH
 echo "==> repro.lint"
 python -m repro.lint
 
-echo "==> repro.cli obs (telemetry determinism smoke)"
+echo "==> repro.lint program-pass determinism"
+# The whole-program passes must be (a) deterministic run to run and
+# (b) indistinguishable between a cold build and an incremental-cache
+# hit — byte-identical JSON in both comparisons.
+lint_cold_a=$(mktemp) lint_cold_b=$(mktemp) lint_cached=$(mktemp)
 spans_a=$(mktemp) spans_b=$(mktemp)
 sweep_serial=$(mktemp) sweep_parallel=$(mktemp)
-trap 'rm -f "$spans_a" "$spans_b" "$sweep_serial" "$sweep_parallel"' EXIT
+trap 'rm -f "$lint_cold_a" "$lint_cold_b" "$lint_cached" \
+    "$spans_a" "$spans_b" "$sweep_serial" "$sweep_parallel"' EXIT
+python -m repro.lint --format json --no-cache > "$lint_cold_a"
+python -m repro.lint --format json --no-cache > "$lint_cold_b"
+if ! cmp -s "$lint_cold_a" "$lint_cold_b"; then
+    echo "FAIL: two cold repro.lint runs produced different JSON" >&2
+    exit 1
+fi
+python -m repro.lint --format json > /dev/null   # warm the cache
+python -m repro.lint --format json > "$lint_cached"
+if ! cmp -s "$lint_cold_a" "$lint_cached"; then
+    echo "FAIL: cached repro.lint run differs from a cold build" >&2
+    exit 1
+fi
+
+echo "==> repro.cli obs (telemetry determinism smoke)"
 python -m repro.cli obs --spans "$spans_a" >/dev/null
 python -m repro.cli obs --spans "$spans_b" >/dev/null
 if ! cmp -s "$spans_a" "$spans_b"; then
