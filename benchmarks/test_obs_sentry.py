@@ -1,0 +1,66 @@
+"""Observability-layer benchmark: attribution throughput + the sentry.
+
+Times the three analysis stages over one instrumented run — span-tree
+building + critical-path attribution, the Chrome trace export, and the
+full ``sentry`` gate — and leaves the sentry's ``BENCH_obs.json`` at
+the repo root as the committed benchmark artifact.  The sentry must
+exit 0 here: the repo's own ``[tool.repro-sentry]`` budgets are part of
+the bench contract.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.telemetry.analysis import attribute, records_from_telemetry
+from repro.telemetry.obs import instrumented_run
+from repro.telemetry.sentry import run_sentry
+from repro.telemetry.tracefmt import chrome_trace_json
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_attribution_throughput_and_sentry_gate():
+    quick = os.environ.get("REPRO_FULL") != "1"
+
+    started = time.perf_counter()
+    run = instrumented_run(quick=quick, seed=0)
+    run_wall = time.perf_counter() - started
+    records = records_from_telemetry(run.telemetry)
+
+    started = time.perf_counter()
+    report = attribute(records)
+    attribute_wall = time.perf_counter() - started
+    assert report.requests and not report.issues
+
+    started = time.perf_counter()
+    trace_bytes = len(chrome_trace_json(records))
+    trace_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    tables, code = run_sentry(quick=quick, seed=0,
+                              output=str(REPO / "BENCH_obs.json"))
+    sentry_wall = time.perf_counter() - started
+    assert code == 0, "repo sentry budgets must hold on the bench host"
+
+    summary = {
+        "spans": len(records),
+        "requests_attributed": len(report.requests),
+        "instrumented_run_wall_s": round(run_wall, 3),
+        "attribute_wall_s": round(attribute_wall, 3),
+        "attribute_spans_per_s": round(
+            len(records) / attribute_wall) if attribute_wall else None,
+        "trace_export_wall_s": round(trace_wall, 3),
+        "trace_export_bytes": trace_bytes,
+        "sentry_wall_s": round(sentry_wall, 3),
+    }
+    print()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    for table in tables:
+        print()
+        print(table.render())
+
+    # Analysis must stay cheap relative to producing the data: the
+    # whole attribute+export pass is bounded by one simulated run.
+    assert attribute_wall + trace_wall < max(run_wall, 5.0)

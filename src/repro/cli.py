@@ -132,13 +132,66 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = subparsers.add_parser(
         "obs", parents=[common],
-        help="telemetry panel: per-stage latency breakdown, per-app "
-             "hit ratios, span export")
-    obs.add_argument("--spans", type=str, default=None, metavar="FILE",
+        help="telemetry panel: per-stage latency breakdown, "
+             "critical-path attribution, per-app hit ratios, exports")
+    obs.add_argument("--spans", "--export-spans", type=str,
+                     default=None, metavar="FILE", dest="spans",
                      help="write the run's span log to FILE as JSONL")
+    obs.add_argument("--export-metrics", type=str, default=None,
+                     metavar="FILE",
+                     help="write every metric record to FILE as JSONL")
+    obs.add_argument("--export-trace", type=str, default=None,
+                     metavar="FILE",
+                     help="write a Chrome trace-event JSON of the span "
+                          "trees to FILE (view in ui.perfetto.dev)")
     obs.add_argument("--profile", action="store_true",
                      help="also report host events/sec and wall-ms "
                           "per sim-s")
+
+    sentry = subparsers.add_parser(
+        "sentry", parents=[common],
+        help="regression sentry: evaluate [tool.repro-sentry] latency/"
+             "throughput budgets over one instrumented run; writes "
+             "BENCH_obs.json and exits non-zero on violations")
+    sentry.add_argument("--budget", action="append", default=[],
+                        metavar="EXPR",
+                        help="extra budget expression, e.g. "
+                             "'stage:ap-hit/total/p95 <= 20' "
+                             "(repeatable, applied after pyproject)")
+    sentry.add_argument("--pyproject", type=str,
+                        default="pyproject.toml",
+                        help="pyproject.toml holding "
+                             "[tool.repro-sentry] (default ./)")
+    sentry.add_argument("--report", type=str, default=None,
+                        metavar="FILE",
+                        help="where to write the JSON report "
+                             "(default BENCH_obs.json)")
+    sentry.add_argument("--profile", action="store_true",
+                        help="profile the host run and evaluate "
+                             "profile: budgets (results land under the "
+                             "report's nondeterministic 'timings' key)")
+
+    diff = subparsers.add_parser(
+        "diff", parents=[common],
+        help="diff two exported runs (JSONL paths) or two systems "
+             "across a seed fleet with significance annotations")
+    diff.add_argument("runs", nargs="*", metavar="RUN",
+                      help="two exported runs: spans/metrics .jsonl "
+                           "files or directories holding spans.jsonl/"
+                           "metrics.jsonl")
+    diff.add_argument("--systems", type=str, default=None,
+                      metavar="A,B",
+                      help="compare two systems across --seeds instead "
+                           "of two exported runs")
+    diff.add_argument("--seeds", type=str, default="0,1,2",
+                      help="seed fleet for --systems (default 0,1,2)")
+    diff.add_argument("--n-apps", type=int, default=None,
+                      help="workload app count override (--systems)")
+    diff.add_argument("--duration-s", type=float, default=None,
+                      help="simulated seconds per run (--systems)")
+    diff.add_argument("--tolerance", type=float, default=0.0,
+                      help="absolute delta below which values are "
+                           "equal (default 0 = byte-exact)")
     return parser
 
 
@@ -202,6 +255,33 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return cells_table(result).render()
 
 
+def _run_diff(args: argparse.Namespace) -> str:
+    """Diff two exported runs, or two systems across a seed fleet."""
+    from repro.errors import ConfigError
+
+    if args.systems:
+        from repro.telemetry.analysis import compare_systems
+
+        names = [name.strip() for name in args.systems.split(",")
+                 if name.strip()]
+        if len(names) != 2:
+            raise ConfigError(
+                f"--systems expects exactly two names, got {names}")
+        seeds = tuple(int(seed) for seed in args.seeds.split(",")
+                      if seed.strip())
+        return compare_systems(
+            names[0], names[1], seeds=seeds, n_apps=args.n_apps,
+            duration_s=args.duration_s, jobs=args.jobs).render()
+    if len(args.runs) != 2:
+        raise ConfigError(
+            "diff expects two exported run paths (or --systems A,B)")
+    from repro.telemetry.analysis import diff_runs, load_run
+
+    delta = diff_runs(load_run(args.runs[0]), load_run(args.runs[1]),
+                      tolerance=args.tolerance)
+    return delta.render()
+
+
 def _emit(rendered: str, output: str | None) -> None:
     if output:
         with open(output, "w") as handle:
@@ -223,7 +303,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             print(f"  {name.ljust(width)}  {description}")
         print(f"  {'all'.ljust(width)}  run everything")
         print(f"  {'obs'.ljust(width)}  telemetry panel: per-stage "
-              f"latency, per-app hit ratios, span export")
+              f"latency, attribution, hit ratios, exports")
+        print(f"  {'sentry'.ljust(width)}  regression sentry: budget "
+              f"gates over one instrumented run (BENCH_obs.json)")
+        print(f"  {'diff'.ljust(width)}  diff two exported runs or two "
+              f"systems across a seed fleet")
         print(f"  {'sweep'.ljust(width)}  ad-hoc declarative scenario "
               f"through the sweep engine")
         return 0
@@ -253,7 +337,47 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
               flush=True)
         rendered = _render_tables(
             run_obs(quick, args.seed, spans_path=args.spans,
-                    profile=args.profile), args.format)
+                    profile=args.profile,
+                    metrics_path=args.export_metrics,
+                    trace_path=args.export_trace), args.format)
+    elif args.command == "sentry":
+        from repro.errors import ConfigError
+        from repro.telemetry.sentry import DEFAULT_REPORT_PATH, \
+            run_sentry
+
+        print("--- sentry: telemetry regression gate ---",
+              file=sys.stderr, flush=True)
+        try:
+            tables, code = run_sentry(
+                quick=quick, seed=args.seed,
+                output=args.report or DEFAULT_REPORT_PATH,
+                pyproject=args.pyproject,
+                extra_budgets=args.budget, profile=args.profile)
+        except (ConfigError, OSError) as error:
+            print(f"sentry: {error}", file=sys.stderr)
+            return 2
+        _emit(_render_tables(tables, args.format), args.output)
+        print(f"done in {elapsed():.0f}s", file=sys.stderr)
+        return code
+    elif args.command == "diff":
+        from repro.errors import ConfigError, TelemetryError
+
+        try:
+            rendered = _run_diff(args)
+        except (ConfigError, TelemetryError, OSError,
+                ValueError) as error:
+            print(f"diff: {error}", file=sys.stderr)
+            return 2
+        # An identical pair diffs to the empty string — keep it
+        # *byte*-empty (no trailing newline) so tools can gate on it.
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n" if rendered else "")
+            print(f"wrote {args.output}", file=sys.stderr)
+        elif rendered:
+            print(rendered)
+        print(f"done in {elapsed():.0f}s", file=sys.stderr)
+        return 0
     else:
         names = (list(EXPERIMENTS) if args.command == "all"
                  else [args.command])

@@ -52,6 +52,14 @@ _DEFAULT_EXPERIMENTS_PATHS = (
     "src/repro/experiments/",
 )
 
+#: Receiver-name substrings marking a ``.span(...)`` call as a telemetry
+#: span scope (TEL002) rather than, say, ``re.Match.span``.
+_DEFAULT_SPAN_RECEIVER_HINTS = (
+    "telemetry",
+    "tel",
+    "spans",
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class LintConfig:
@@ -82,6 +90,8 @@ class LintConfig:
         _DEFAULT_TELEMETRY_PROFILING_ALLOW)
     #: Paths where direct Workload orchestration is banned (SIM003).
     experiments_paths: tuple[str, ...] = _DEFAULT_EXPERIMENTS_PATHS
+    #: Receiver substrings identifying telemetry span scopes (TEL002).
+    span_receiver_hints: tuple[str, ...] = _DEFAULT_SPAN_RECEIVER_HINTS
 
     def baseline_path(self) -> pathlib.Path:
         return self.root / self.baseline
@@ -146,7 +156,7 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
     known = {"baseline", "paths", "wallclock-allow", "ignore", "exclude",
              "cacheable-priority-range", "telemetry-paths",
              "telemetry-profiling-allow", "experiments-paths",
-             "program-cache"}
+             "program-cache", "span-receiver-hints"}
     unknown = set(table) - known
     if unknown:
         raise ConfigError(
@@ -186,4 +196,6 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
             _DEFAULT_TELEMETRY_PROFILING_ALLOW),
         experiments_paths=_strings("experiments-paths",
                                    _DEFAULT_EXPERIMENTS_PATHS),
+        span_receiver_hints=_strings("span-receiver-hints",
+                                     _DEFAULT_SPAN_RECEIVER_HINTS),
     )

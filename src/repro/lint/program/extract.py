@@ -26,7 +26,7 @@ from repro.lint.checkers.determinism import WALLCLOCK_CALLS
 from repro.lint.program.model import (MODULE_BODY, CallRec, Dest, Flow,
                                       FunctionSummary, ModuleSummary,
                                       Origin, SinkRec, SourceRec,
-                                      WriteRec)
+                                      SpanStartRec, WriteRec)
 
 __all__ = ["extract_module", "module_name_for"]
 
@@ -146,6 +146,12 @@ class _FunctionExtractor:
         self.flows: set[Flow] = set()
         self.writes: dict[WriteRec, None] = {}
         self.process_refs: set[tuple[str, int]] = set()
+        #: ``.span(...)`` sites as (receiver, line, col); usage is
+        #: tracked separately so the two-pass loop walk converges.
+        self.span_sites: list[tuple[str, int, int]] = []
+        self._span_index: dict[tuple[str, int, int], int] = {}
+        self.span_usage: list[str] = []
+        self.entered_calls: set[int] = set()
         self.is_generator = False
         self.yields_event = False
         self.has_sim_handle = False
@@ -175,6 +181,12 @@ class _FunctionExtractor:
             flows=tuple(sorted(self.flows)),
             writes=tuple(self.writes),
             process_refs=tuple(sorted(self.process_refs)),
+            span_starts=tuple(
+                SpanStartRec(receiver=receiver, line=line, col=col,
+                             usage=self.span_usage[index])
+                for index, (receiver, line, col)
+                in enumerate(self.span_sites)),
+            entered_calls=tuple(sorted(self.entered_calls)),
         )
 
     # -- deduplicated record tables --------------------------------------
@@ -212,6 +224,24 @@ class _FunctionExtractor:
         for origin in sorted(origins):
             self.flows.add((origin, dest))
 
+    def _span_start(self, receiver: str, node: ast.expr) -> Origin:
+        key = (receiver, node.lineno, node.col_offset)
+        index = self._span_index.get(key)
+        if index is None:
+            index = len(self.span_sites)
+            self.span_sites.append(key)
+            self.span_usage.append("leaked")
+            self._span_index[key] = index
+        return ("span", index)
+
+    def _mark_entered(self, origins: set[Origin]) -> None:
+        """The origins were entered as a ``with`` context manager."""
+        for tag, index in origins:
+            if tag == "span":
+                self.span_usage[index] = "with"
+            elif tag == "call":
+                self.entered_calls.add(index)
+
     # -- statement walk --------------------------------------------------
     def run(self, body: _t.Sequence[ast.stmt]) -> None:
         for statement in body:
@@ -235,7 +265,13 @@ class _FunctionExtractor:
             self._assign(node.target, origins)
         elif isinstance(node, ast.Return):
             if node.value is not None:
-                self._flow_all(self._expr(node.value), ("return",))
+                origins = self._expr(node.value)
+                for tag, index in origins:
+                    # A returned span scope is a factory: entering it
+                    # becomes the caller's responsibility (TEL002).
+                    if tag == "span" and self.span_usage[index] != "with":
+                        self.span_usage[index] = "returned"
+                self._flow_all(origins, ("return",))
         elif isinstance(node, ast.Expr):
             self._expr(node.value)
         elif isinstance(node, (ast.For, ast.AsyncFor)):
@@ -259,6 +295,7 @@ class _FunctionExtractor:
         elif isinstance(node, (ast.With, ast.AsyncWith)):
             for item in node.items:
                 origins = self._expr(item.context_expr)
+                self._mark_entered(origins)
                 if item.optional_vars is not None:
                     self._assign(item.optional_vars, origins)
             for inner in node.body:
@@ -440,6 +477,15 @@ class _FunctionExtractor:
         if source is not None:
             kind, detail = source
             return {self._source(kind, node, detail)}
+
+        if isinstance(func, ast.Attribute) and func.attr == "span":
+            receiver = _attr_chain_tail(func.value)
+            if receiver is not None:
+                # A span-scope start (TEL002): the result carries a
+                # ("span", i) token that With/Return consume; receiver
+                # taint still propagates like any method call.
+                merged |= self._expr(func.value)
+                return merged | {self._span_start(receiver, node)}
 
         sink = self._classify_sink(func, path)
         if sink is not None:

@@ -25,8 +25,8 @@ import dataclasses
 import typing as _t
 
 __all__ = ["SourceRec", "SinkRec", "CallRec", "WriteRec",
-           "FunctionSummary", "ModuleSummary", "Program",
-           "Origin", "Dest", "Flow", "MODULE_BODY"]
+           "SpanStartRec", "FunctionSummary", "ModuleSummary",
+           "Program", "Origin", "Dest", "Flow", "MODULE_BODY"]
 
 #: Pseudo-function name holding a module's top-level statements.
 MODULE_BODY = "<module>"
@@ -128,6 +128,33 @@ class WriteRec:
                         int(_t.cast(int, data[3])), bool(data[4]))
 
 
+@dataclasses.dataclass(frozen=True, order=True)
+class SpanStartRec:
+    """One ``<receiver>.span(...)`` context-manager-API call site.
+
+    ``receiver`` is the last identifier of the receiver chain
+    (``self.telemetry.span(...)`` → ``"telemetry"``); the TEL002 pass
+    decides whether it is telemetry-like via the configurable
+    ``span-receiver-hints``, so summaries stay config-independent and
+    cacheable.  ``usage`` records how the produced scope is consumed
+    locally: ``"with"`` (entered), ``"returned"`` (responsibility hands
+    to the caller — a factory), or ``"leaked"`` (neither).
+    """
+
+    receiver: str
+    line: int
+    col: int
+    usage: str
+
+    def to_json(self) -> list[object]:
+        return [self.receiver, self.line, self.col, self.usage]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "SpanStartRec":
+        return SpanStartRec(str(data[0]), int(_t.cast(int, data[1])),
+                            int(_t.cast(int, data[2])), str(data[3]))
+
+
 @dataclasses.dataclass
 class FunctionSummary:
     """Everything the global passes need to know about one function."""
@@ -151,6 +178,10 @@ class FunctionSummary:
     #: Dotted refs of generator functions this function registers as
     #: simulation processes (``sim.process(fn(...))``, runner strings).
     process_refs: tuple[tuple[str, int], ...] = ()
+    #: ``.span(...)`` context-manager starts seen in this body (TEL002).
+    span_starts: tuple[SpanStartRec, ...] = ()
+    #: Indices into ``calls`` whose results were entered via ``with``.
+    entered_calls: tuple[int, ...] = ()
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -169,6 +200,8 @@ class FunctionSummary:
                       for origin, dest in self.flows],
             "writes": [rec.to_json() for rec in self.writes],
             "process_refs": [list(ref) for ref in self.process_refs],
+            "span_starts": [rec.to_json() for rec in self.span_starts],
+            "entered_calls": list(self.entered_calls),
         }
 
     @staticmethod
@@ -195,6 +228,10 @@ class FunctionSummary:
                          for rec in data["writes"]),
             process_refs=tuple((str(ref[0]), int(ref[1]))
                                for ref in data["process_refs"]),
+            span_starts=tuple(SpanStartRec.from_json(rec)
+                              for rec in data["span_starts"]),
+            entered_calls=tuple(int(index)
+                                for index in data["entered_calls"]),
         )
 
 

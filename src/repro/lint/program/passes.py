@@ -1,4 +1,4 @@
-"""The registered whole-program checkers: DET101, DET102, SIM101.
+"""The registered whole-program checkers: DET101, DET102, SIM101, TEL002.
 
 These consume the shared taint fixpoint (:mod:`repro.lint.program.taint`)
 and the race analysis (:mod:`repro.lint.program.races`); the expensive
@@ -13,13 +13,14 @@ from __future__ import annotations
 import typing as _t
 
 from repro.lint.config import LintConfig
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, TraceStep
 from repro.lint.program.model import Program
 from repro.lint.program.races import find_races
 from repro.lint.program.taint import SinkHit, taint_result
 from repro.lint.registry import ProgramChecker, register_program
 
-__all__ = ["DeterminismTaint", "OrderTaint", "SimRace"]
+__all__ = ["DeterminismTaint", "OrderTaint", "SimRace",
+           "SpanScopeLeak"]
 
 
 def _sink_location(program: Program, hit: SinkHit) -> str:
@@ -138,3 +139,109 @@ class SimRace(ProgramChecker):
                          f"the writes with a Resource or funnel them "
                          f"through one owner process"),
                 trace=race.trace(program))
+
+
+@register_program
+class SpanScopeLeak(ProgramChecker):
+    """TEL002: a telemetry span scope started outside a ``with``.
+
+    ``Telemetry.span(...)`` hands back a context manager; a scope that
+    is never entered is never finished, so the span silently vanishes
+    from the log (and its ``started`` count drifts from the finished
+    count).  The extraction layer records every ``<receiver>.span(...)``
+    site with how its result is consumed; this pass keeps the sites
+    whose receiver looks telemetry-like (``span-receiver-hints`` in
+    pyproject — filtering happens here, not at extraction, so summaries
+    stay config-independent and cacheable) and flags:
+
+    * a scope that is neither entered with ``with`` nor returned, and
+    * a call to a *factory* — a function whose return value originates
+      from a span start — whose result is likewise neither entered nor
+      returned (computed as a fixpoint over call edges, so factories
+      wrapping factories still resolve).
+    """
+
+    code = "TEL002"
+    description = ("telemetry span scope started via the context-"
+                   "manager API but never entered with 'with' "
+                   "(the span is never finished or recorded)")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        hints = tuple(hint.lower()
+                      for hint in config.span_receiver_hints)
+
+        def is_span_receiver(receiver: str) -> bool:
+            lowered = receiver.lower()
+            return any(hint in lowered for hint in hints)
+
+        factories = self._span_factories(program, is_span_receiver)
+        for name in sorted(program.functions):
+            function = program.functions[name]
+            for record in function.span_starts:
+                if record.usage == "leaked" \
+                        and is_span_receiver(record.receiver):
+                    yield Finding(
+                        path=function.path, line=record.line,
+                        col=record.col, code=self.code,
+                        message=(f"span scope from "
+                                 f"{record.receiver}.span(...) is "
+                                 f"never entered; wrap it in "
+                                 f"'with {record.receiver}"
+                                 f".span(...):' so the span is "
+                                 f"finished and recorded"))
+            returned = {index for origin, dest in function.flows
+                        if dest == ("return",) and origin[0] == "call"
+                        for index in (origin[1],)}
+            entered = set(function.entered_calls)
+            for index, callee in program.call_edges.get(name, ()):
+                if callee not in factories:
+                    continue
+                if index in entered or index in returned:
+                    continue
+                call = function.calls[index]
+                factory = program.functions[callee]
+                yield Finding(
+                    path=function.path, line=call.line, col=call.col,
+                    code=self.code,
+                    message=(f"{call.name}(...) returns a telemetry "
+                             f"span scope that is never entered; use "
+                             f"'with {call.name}(...):' (factory "
+                             f"defined at {factory.path}:"
+                             f"{factory.line})"),
+                    trace=(TraceStep(factory.path, factory.line,
+                                     f"{callee} returns a span "
+                                     f"scope"),
+                           TraceStep(function.path, call.line,
+                                     "result is never entered with "
+                                     "'with'")))
+
+    @staticmethod
+    def _span_factories(program: Program,
+                        is_span_receiver: _t.Callable[[str], bool],
+                        ) -> set[str]:
+        """Functions whose return value originates from a span start."""
+        factories: set[str] = set()
+        for name in sorted(program.functions):
+            function = program.functions[name]
+            if any(record.usage == "returned"
+                   and is_span_receiver(record.receiver)
+                   for record in function.span_starts):
+                factories.add(name)
+        # Propagate through return-of-call chains to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(program.functions):
+                if name in factories:
+                    continue
+                function = program.functions[name]
+                returned_calls = {
+                    origin[1] for origin, dest in function.flows
+                    if dest == ("return",) and origin[0] == "call"}
+                for index, callee in program.call_edges.get(name, ()):
+                    if index in returned_calls and callee in factories:
+                        factories.add(name)
+                        changed = True
+                        break
+        return factories

@@ -19,7 +19,24 @@ from repro.runner.engine import CellResult, SweepResult
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.multiseed import MultiSeedResult
 
-__all__ = ["fold_multiseed", "sweep_table", "cells_table"]
+__all__ = ["fold_multiseed", "sweep_table", "cells_table",
+           "common_numeric_metrics"]
+
+
+def common_numeric_metrics(cells: _t.Iterable[CellResult]) -> list[str]:
+    """Every numeric metric name across cells, first-seen order.
+
+    The shared discovery step behind :func:`cells_table` and the
+    trace-analysis run diff (:func:`repro.telemetry.analysis.
+    compare_systems`): insertion-ordered so serial and parallel sweeps
+    list columns identically.
+    """
+    seen: dict[str, None] = {}
+    for cr in cells:
+        for name, value in cr.metrics.items():
+            if isinstance(value, (int, float)):
+                seen.setdefault(name)
+    return list(seen)
 
 
 def fold_multiseed(result: SweepResult,
@@ -89,12 +106,7 @@ def cells_table(result: SweepResult, title: str | None = None,
     """The generic flat shape: one row per cell (CLI `sweep` output)."""
     axis_columns = list(result.spec.axes)
     if metrics is None:
-        seen: dict[str, None] = {}
-        for cr in result.cells:
-            for name, value in cr.metrics.items():
-                if isinstance(value, (int, float)):
-                    seen.setdefault(name)
-        metrics = list(seen)
+        metrics = common_numeric_metrics(result.cells)
     table = ExperimentTable(
         title=title or f"Sweep: {result.spec.name}",
         columns=["system", "seed", *axis_columns, *metrics])

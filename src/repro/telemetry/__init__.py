@@ -13,14 +13,29 @@ Components take an optional ``telemetry`` argument defaulting to
 Exports (:mod:`.export`) are deterministic: same seed → byte-identical
 JSONL.  See ``docs/telemetry.md`` for the instrument catalogue and span
 taxonomy.
+
+The analysis layer turns recordings into decisions: :mod:`.analysis`
+(span trees, critical-path attribution, run diffing), :mod:`.tracefmt`
+(Perfetto-viewable Chrome traces), and :mod:`.sentry` (declarative
+latency/throughput budgets behind ``python -m repro.cli sentry``).
 """
 
+from repro.telemetry.analysis import (
+    AttributionReport,
+    SpanRecord,
+    TraceTree,
+    attribute,
+    build_trace_trees,
+    diff_runs,
+    records_from_telemetry,
+)
 from repro.telemetry.export import (
     metric_records,
     metrics_to_jsonl,
     snapshot_table,
     span_records,
     spans_to_jsonl,
+    write_metrics_jsonl,
     write_spans_jsonl,
 )
 from repro.telemetry.instruments import (
@@ -43,6 +58,7 @@ from repro.telemetry.spans import (
 )
 
 __all__ = [
+    "AttributionReport",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "Gauge",
@@ -55,15 +71,22 @@ __all__ = [
     "NullTelemetry",
     "Span",
     "SpanLog",
+    "SpanRecord",
     "SpanScope",
     "Telemetry",
+    "TraceTree",
+    "attribute",
+    "build_trace_trees",
+    "diff_runs",
     "format_trace_parent",
     "labelset",
     "parse_trace_parent",
     "metric_records",
     "metrics_to_jsonl",
+    "records_from_telemetry",
     "snapshot_table",
     "span_records",
     "spans_to_jsonl",
+    "write_metrics_jsonl",
     "write_spans_jsonl",
 ]

@@ -16,7 +16,8 @@ from repro.telemetry.instruments import Counter, Gauge, Histogram
 from repro.telemetry.registry import Telemetry
 
 __all__ = ["span_records", "spans_to_jsonl", "metric_records",
-           "metrics_to_jsonl", "write_spans_jsonl", "snapshot_table"]
+           "metrics_to_jsonl", "write_spans_jsonl",
+           "write_metrics_jsonl", "snapshot_table"]
 
 
 def _dumps(record: dict[str, object]) -> str:
@@ -90,6 +91,15 @@ def metrics_to_jsonl(telemetry: Telemetry) -> str:
     """One JSON object per (instrument, label set), newline-separated."""
     return "\n".join(_dumps(record)
                      for record in metric_records(telemetry))
+
+
+def write_metrics_jsonl(telemetry: Telemetry, path: str) -> int:
+    """Dump every metric record to ``path``; returns the record count."""
+    records = metric_records(telemetry)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(_dumps(record) + "\n")
+    return len(records)
 
 
 # ----------------------------------------------------------------------

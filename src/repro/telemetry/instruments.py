@@ -12,6 +12,14 @@ bounds (sim-milliseconds by default) *and* retain the raw samples, so
 percentiles are exact (computed through
 :func:`repro.sim.monitor.percentile` — the repository's one percentile
 implementation) rather than bucket-interpolated.
+
+Retained samples are bounded: pass ``max_samples`` to cap how many raw
+samples each label set keeps (percentiles are *exact until the cap*,
+then computed over the first ``max_samples`` observations, with
+bucket counts/sum/count staying exact forever).  Drops are counted per
+instrument and surfaced through the registry's
+``telemetry.samples_dropped`` counter, so a million-request run cannot
+silently degrade its percentiles — see docs/telemetry.md.
 """
 
 from __future__ import annotations
@@ -116,13 +124,15 @@ class Gauge(Instrument):
 class _HistogramState:
     """Per-label-set histogram storage."""
 
-    __slots__ = ("bucket_counts", "samples", "sum")
+    __slots__ = ("bucket_counts", "samples", "sum", "dropped")
 
     def __init__(self, n_buckets: int) -> None:
         #: One count per configured bucket, plus a final +inf bucket.
         self.bucket_counts = [0] * (n_buckets + 1)
         self.samples: list[float] = []
         self.sum = 0.0
+        #: Observations not retained as raw samples (max_samples cap).
+        self.dropped = 0
 
 
 class Histogram(Instrument):
@@ -132,12 +142,20 @@ class Histogram(Instrument):
     implicit ``+inf`` bucket catches overflows.  The raw samples are
     retained, so :meth:`percentile` is exact (linear interpolation over
     the sorted samples), matching the paper's reported p50/p95/p99.
+
+    ``max_samples`` bounds the retained raw samples *per label set*:
+    past the cap, bucket counts, ``count`` and ``sum`` stay exact while
+    further samples are dropped (percentiles become
+    first-``max_samples``-exact) and ``on_drop`` — if set — is invoked
+    once per dropped sample so the registry can count drops.
     """
 
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: _t.Sequence[float] | None = None) -> None:
+                 buckets: _t.Sequence[float] | None = None,
+                 max_samples: int | None = None,
+                 on_drop: _t.Callable[[str], None] | None = None) -> None:
         super().__init__(name, help)
         bounds = tuple(buckets if buckets is not None
                        else DEFAULT_LATENCY_BUCKETS_MS)
@@ -147,7 +165,13 @@ class Histogram(Instrument):
             raise TelemetryError(
                 f"histogram {name}: buckets must be strictly increasing, "
                 f"got {bounds}")
+        if max_samples is not None and max_samples < 1:
+            raise TelemetryError(
+                f"histogram {name}: max_samples must be >= 1, "
+                f"got {max_samples}")
         self.buckets = bounds
+        self.max_samples = max_samples
+        self._on_drop = on_drop
         self._states: dict[LabelSet, _HistogramState] = {}
 
     # -- recording ------------------------------------------------------
@@ -157,8 +181,14 @@ class Histogram(Instrument):
         if state is None:
             state = self._states[key] = _HistogramState(len(self.buckets))
         state.bucket_counts[self._bucket_index(value)] += 1
-        state.samples.append(value)
         state.sum += value
+        if self.max_samples is not None \
+                and len(state.samples) >= self.max_samples:
+            state.dropped += 1
+            if self._on_drop is not None:
+                self._on_drop(self.name)
+        else:
+            state.samples.append(value)
 
     def _bucket_index(self, value: float) -> int:
         for index, bound in enumerate(self.buckets):
@@ -182,7 +212,13 @@ class Histogram(Instrument):
         return collected
 
     def count(self, **labels: object) -> int:
-        return sum(len(state.samples) for state in self._matching(labels))
+        """Total observations, including samples dropped at the cap."""
+        return sum(len(state.samples) + state.dropped
+                   for state in self._matching(labels))
+
+    def dropped(self, **labels: object) -> int:
+        """Observations not retained as raw samples (max_samples cap)."""
+        return sum(state.dropped for state in self._matching(labels))
 
     def sum(self, **labels: object) -> float:
         return math.fsum(state.sum for state in self._matching(labels))
@@ -212,15 +248,28 @@ class Histogram(Instrument):
         return sorted(self._states)
 
     def summary(self, **labels: object) -> dict[str, float]:
-        """count/mean/p50/p95/p99/max over the matching samples."""
+        """count/mean/p50/p95/p99/max over the matching samples.
+
+        ``count`` and ``mean`` cover *every* observation (exact past the
+        cap); the percentiles and ``max`` come from the retained
+        samples.  A ``samples_dropped`` key appears only once the
+        ``max_samples`` cap has actually dropped something, keeping
+        uncapped exports byte-identical to the pre-cap format.
+        """
         values = self.samples(**labels)
         if not values:
             return {"count": 0.0}
-        return {
-            "count": float(len(values)),
-            "mean": math.fsum(values) / len(values),
+        count = self.count(**labels)
+        dropped = self.dropped(**labels)
+        summary = {
+            "count": float(count),
+            "mean": (self.sum(**labels) / count if dropped
+                     else math.fsum(values) / len(values)),
             "p50": percentile(values, 50.0),
             "p95": percentile(values, 95.0),
             "p99": percentile(values, 99.0),
             "max": max(values),
         }
+        if dropped:
+            summary["samples_dropped"] = float(dropped)
+        return summary

@@ -2,14 +2,22 @@
 
 Runs the paper's workload on APE-CACHE with telemetry enabled and
 renders what the unified registry saw: the request path's per-stage
-latency breakdown (``dns_piggyback`` → AP retrieval → edge fetch) and
-per-app hit ratios with a Gini fairness index.  ``--spans FILE`` dumps
-the span log as deterministic JSONL; ``--profile`` adds the host-side
-events/sec view from :mod:`repro.telemetry.profiling`.
+latency breakdown (``dns_piggyback`` → AP retrieval → edge fetch),
+the span-derived critical-path attribution
+(:mod:`repro.telemetry.analysis`), and per-app hit ratios with a Gini
+fairness index.  ``--export-spans``/``--export-metrics`` dump the run
+as deterministic JSONL, ``--export-trace`` writes a Perfetto-viewable
+Chrome trace (:mod:`repro.telemetry.tracefmt`), and ``--profile`` adds
+the host-side events/sec view from :mod:`repro.telemetry.profiling`.
+
+:func:`instrumented_run` is the shared "one instrumented run" builder
+this panel and the regression sentry (:mod:`repro.telemetry.sentry`)
+both sit on.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 
 from repro.apps.workload import Workload, WorkloadConfig
@@ -17,9 +25,14 @@ from repro.baselines.ape import ApeCacheSystem
 from repro.cache.fairness import gini
 from repro.experiments.common import ExperimentTable, effective_duration
 from repro.sim.kernel import MINUTE
-from repro.telemetry.export import write_spans_jsonl
+from repro.telemetry.analysis import (
+    AttributionReport,
+    attribute,
+    records_from_telemetry,
+)
+from repro.telemetry.export import write_metrics_jsonl, write_spans_jsonl
 from repro.telemetry.instruments import Counter, Histogram
-from repro.telemetry.profiling import HostProfile
+from repro.telemetry.profiling import HostProfile, HostProfileReport
 from repro.telemetry.registry import Telemetry
 from repro.testbed import TestbedConfig
 
@@ -27,7 +40,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.baselines.base import CachingSystem
     from repro.testbed import Testbed
 
-__all__ = ["run_obs", "stage_table", "hit_ratio_table"]
+__all__ = ["ObsRun", "instrumented_run", "run_obs", "stage_table",
+           "hit_ratio_table"]
 
 #: Retrieval sources in request-path order (device first, origin last).
 _SOURCES = ("device-hit", "ap-hit", "ap-delegated", "edge")
@@ -107,14 +121,31 @@ def hit_ratio_table(telemetry: Telemetry) -> ExperimentTable:
     return table
 
 
-def run_obs(quick: bool = True, seed: int = 0,
-            spans_path: str | None = None,
-            profile: bool = False) -> list[ExperimentTable]:
-    """One telemetry-enabled APE-CACHE run, rendered as panels."""
+@dataclasses.dataclass
+class ObsRun:
+    """One completed instrumented run plus everything derived from it."""
+
+    telemetry: Telemetry
+    duration_s: float
+    seed: int
+    #: Host-side profile, only when profiling was requested.
+    profile: HostProfileReport | None = None
+
+    def attribution(self) -> AttributionReport:
+        """Critical-path attribution over this run's span log."""
+        return attribute(records_from_telemetry(self.telemetry))
+
+
+def instrumented_run(quick: bool = True, seed: int = 0,
+                     profile: bool = False,
+                     system: "CachingSystem | None" = None,
+                     max_samples: int | None = None) -> ObsRun:
+    """Run the paper's workload with telemetry on; the obs/sentry core."""
     duration = effective_duration(quick, quick_s=2 * MINUTE)
     config = WorkloadConfig(
         n_apps=30, duration_s=duration, seed=seed,
-        testbed=TestbedConfig(seed=seed, enable_telemetry=True))
+        testbed=TestbedConfig(seed=seed, enable_telemetry=True,
+                              telemetry_max_samples=max_samples))
     workload = Workload(config)
 
     profiles: list[HostProfile] = []
@@ -125,20 +156,47 @@ def run_obs(quick: bool = True, seed: int = 0,
         yield bed.sim.timeout(0.0)
 
     extra = [_profiler] if profile else []
-    workload.run(ApeCacheSystem(), extra_processes=extra)
+    workload.run(system if system is not None else ApeCacheSystem(),
+                 extra_processes=extra)
     bed: "Testbed" = workload._last_bed
-    telemetry = bed.telemetry
+    return ObsRun(telemetry=bed.telemetry, duration_s=duration,
+                  seed=seed,
+                  profile=profiles[0].stop() if profiles else None)
 
-    tables = [stage_table(telemetry), hit_ratio_table(telemetry)]
+
+def run_obs(quick: bool = True, seed: int = 0,
+            spans_path: str | None = None,
+            profile: bool = False,
+            metrics_path: str | None = None,
+            trace_path: str | None = None) -> list[ExperimentTable]:
+    """One telemetry-enabled APE-CACHE run, rendered as panels."""
+    run = instrumented_run(quick, seed, profile=profile)
+    telemetry = run.telemetry
+
+    report = run.attribution()
+    tables = [stage_table(telemetry), report.table(),
+              hit_ratio_table(telemetry)]
     tables[0].notes.append(
         f"{len(telemetry.spans)} spans, "
         f"{len(telemetry.instruments())} instruments recorded over "
-        f"{duration:.0f} sim-s (seed {seed})")
+        f"{run.duration_s:.0f} sim-s (seed {seed})")
     if spans_path is not None:
         count = write_spans_jsonl(telemetry, spans_path)
         tables[0].notes.append(f"wrote {count} spans to {spans_path}")
-    if profiles:
-        tables[0].notes.append(profiles[0].stop().render())
+    if metrics_path is not None:
+        count = write_metrics_jsonl(telemetry, metrics_path)
+        tables[0].notes.append(
+            f"wrote {count} metric records to {metrics_path}")
+    if trace_path is not None:
+        from repro.telemetry.tracefmt import write_chrome_trace
+
+        count = write_chrome_trace(records_from_telemetry(telemetry),
+                                   trace_path)
+        tables[0].notes.append(
+            f"wrote {count} spans as a Chrome trace to {trace_path} "
+            f"(open in ui.perfetto.dev)")
+    if run.profile is not None:
+        tables[0].notes.append(run.profile.render())
     return tables
 
 

@@ -41,12 +41,18 @@ class Telemetry:
     ``clock`` is a :class:`Simulator` (spans and snapshots read its
     ``now``) or any zero-argument callable; ``None`` pins the clock to
     zero, which suits pure unit tests of instruments.
+
+    ``max_samples`` is the default retained-raw-sample cap applied to
+    every histogram created through :meth:`histogram` (``None`` =
+    unbounded, the historical behaviour).  Capped drops are tallied in
+    the ``telemetry.samples_dropped`` counter, labelled by instrument.
     """
 
     enabled = True
 
     def __init__(self, clock: "Simulator | _t.Callable[[], float] | None"
-                 = None, max_spans: int = 100_000) -> None:
+                 = None, max_spans: int = 100_000,
+                 max_samples: int | None = None) -> None:
         if clock is None:
             self._clock: _t.Callable[[], float] = _zero_clock
         elif callable(clock):
@@ -54,7 +60,14 @@ class Telemetry:
         else:
             self._clock = lambda: clock.now
         self._instruments: dict[str, Instrument] = {}
+        self.max_samples = max_samples
         self.spans = SpanLog(self._clock, max_spans=max_spans)
+
+    def _count_dropped_sample(self, instrument: str) -> None:
+        self.counter(
+            "telemetry.samples_dropped",
+            "histogram samples not retained (max_samples cap)",
+        ).inc(instrument=instrument)
 
     # -- clock ----------------------------------------------------------
     def now(self) -> float:
@@ -80,9 +93,13 @@ class Telemetry:
         return _t.cast(Gauge, self._get(name, Gauge, help=help))
 
     def histogram(self, name: str, help: str = "",
-                  buckets: _t.Sequence[float] | None = None) -> Histogram:
+                  buckets: _t.Sequence[float] | None = None,
+                  max_samples: int | None = None) -> Histogram:
+        """A histogram; ``max_samples`` overrides the registry default."""
+        cap = self.max_samples if max_samples is None else max_samples
         return _t.cast(Histogram, self._get(
-            name, Histogram, help=help, buckets=buckets))
+            name, Histogram, help=help, buckets=buckets,
+            max_samples=cap, on_drop=self._count_dropped_sample))
 
     def instruments(self) -> list[Instrument]:
         """Every registered instrument, sorted by name."""
@@ -144,6 +161,9 @@ class _NullInstrument(Counter, Gauge, Histogram):
     def sum(self, **labels: object) -> float:
         return 0.0
 
+    def dropped(self, **labels: object) -> int:
+        return 0
+
     def mean(self, **labels: object) -> float:
         return 0.0
 
@@ -198,7 +218,8 @@ class NullTelemetry(Telemetry):
         return self._null_instrument
 
     def histogram(self, name: str, help: str = "",
-                  buckets: _t.Sequence[float] | None = None) -> Histogram:
+                  buckets: _t.Sequence[float] | None = None,
+                  max_samples: int | None = None) -> Histogram:
         return self._null_instrument
 
     def span(self, name: str, parent: ParentLike = None,

@@ -86,6 +86,10 @@ class TestbedConfig:
     #: Collect metrics and spans (see :mod:`repro.telemetry`).  Off by
     #: default: un-instrumented runs keep the no-op null backend.
     enable_telemetry: bool = False
+    #: Retained-raw-sample cap per histogram label set (None =
+    #: unbounded).  Percentiles are exact until the cap; drops are
+    #: tallied in ``telemetry.samples_dropped`` (docs/telemetry.md).
+    telemetry_max_samples: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("edge_hops", "controller_hops", "ldns_hops",
@@ -105,9 +109,10 @@ class Testbed:
         self.streams = RandomStreams(self.config.seed)
         #: One registry for every tier, clocked on this testbed's
         #: simulator, so cross-tier traces share one id space.
-        self.telemetry: Telemetry = (Telemetry(self.sim)
-                                     if self.config.enable_telemetry
-                                     else NULL)
+        self.telemetry: Telemetry = (
+            Telemetry(self.sim,
+                      max_samples=self.config.telemetry_max_samples)
+            if self.config.enable_telemetry else NULL)
         self.network = Network(self.sim, telemetry=self.telemetry)
         self.transport = Transport(
             self.network,

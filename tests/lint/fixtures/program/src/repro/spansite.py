@@ -1,0 +1,68 @@
+"""Fixture: TEL002 — span scopes started outside ``with``.
+
+Covers the direct shapes (bare statement, assigned-but-never-entered)
+and the factory shapes (a helper returning the scope, one and two call
+hops deep), plus the negatives that must stay silent: properly entered
+scopes, factories themselves, and a ``re.Match``-style receiver that
+merely *has* a ``.span`` method.
+"""
+
+from __future__ import annotations
+
+
+def leaked_statement(telemetry) -> None:
+    telemetry.span("request")  # expect: TEL002
+
+
+def leaked_assignment(telemetry) -> None:
+    scope = telemetry.span("dns_piggyback")  # expect: TEL002
+    _unused = scope
+
+
+def entered_inline(telemetry) -> None:
+    # Negative: the canonical shape.
+    with telemetry.span("ap_hit"):
+        pass
+
+
+def entered_later(telemetry) -> None:
+    # Negative: assigned first, but the scope is entered.
+    scope = telemetry.span("edge_fetch")
+    with scope:
+        pass
+
+
+def start_span(telemetry):
+    # Negative: returning the scope makes this a factory; entering it
+    # is the caller's job.
+    return telemetry.span("request")
+
+
+def start_span_nested(telemetry):
+    # Negative: still a factory, one call hop removed.
+    return start_span(telemetry)
+
+
+def leaks_factory(telemetry) -> None:
+    start_span(telemetry)  # expect: TEL002
+
+
+def leaks_nested_factory(telemetry) -> None:
+    start_span_nested(telemetry)  # expect: TEL002
+
+
+def enters_factory(telemetry) -> None:
+    # Negative: the factory result is entered at the call site.
+    with start_span(telemetry):
+        pass
+
+
+def relays_factory(telemetry):
+    # Negative: handing the scope upward keeps it someone else's job.
+    return start_span(telemetry)
+
+
+def not_a_telemetry_span(match) -> None:
+    # Negative: ``re.Match.span`` — the receiver carries no telemetry
+    # hint, so the site is ignored.
+    match.span(0)

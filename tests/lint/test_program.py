@@ -89,6 +89,34 @@ def test_sim101_names_both_writers():
         {"src/repro/races.py"}
 
 
+def test_tel002_factory_leak_traces_back_to_the_definition():
+    findings = [finding for finding in lint_program_fixture()
+                if finding.code == "TEL002"
+                and finding.path.endswith("spansite.py")]
+    # Two direct leaks plus two factory-call leaks.
+    assert len(findings) == 4
+    factory_leaks = [finding for finding in findings if finding.trace]
+    assert len(factory_leaks) == 2
+    for finding in factory_leaks:
+        assert "never entered" in finding.message
+        assert len(finding.trace) == 2
+        assert "returns a span" in finding.trace[0].note
+        assert finding.trace[1].line == finding.line
+    direct = [finding for finding in findings if not finding.trace]
+    assert all("wrap it in 'with telemetry.span(...)'" in
+               finding.message.replace('"', "'") or
+               "with telemetry.span" in finding.message
+               for finding in direct)
+
+
+def test_tel002_hints_are_configurable():
+    # An empty hint list disables the rule outright.
+    config = LintConfig(root=PROGRAM, span_receiver_hints=())
+    findings = [finding for finding in lint_paths([PROGRAM], config)
+                if finding.code == "TEL002"]
+    assert findings == []
+
+
 def test_runner_string_registers_a_process_generator():
     config = LintConfig(root=PROGRAM)
     files = list(iter_python_files([PROGRAM], config))

@@ -49,7 +49,10 @@ def test_run_obs_builds_both_panels(tmp_path):
     spans_path = tmp_path / "spans.jsonl"
     tables = run_obs(quick=True, seed=0, spans_path=str(spans_path),
                      profile=True)
-    stages, hits = tables
+    stages, attribution, hits = tables
+
+    assert attribution.rows, "attribution panel is empty"
+    assert "ap-hit" in attribution.column("source")
 
     stage_names = stages.column("stage")
     assert "dns lookup (piggybacked)" in stage_names

@@ -140,6 +140,26 @@ def test_registry_clock_drives_spans():
     assert (span.start_s, span.end_s) == (1.5, 2.0)
 
 
+def test_registry_default_cap_feeds_the_drop_counter():
+    telemetry = Telemetry(max_samples=2)
+    hist = telemetry.histogram("client.total_ms", buckets=(100.0,))
+    for value in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(value)
+    dropped = telemetry.get("telemetry.samples_dropped")
+    assert dropped is not None
+    assert dropped.total(instrument="client.total_ms") == 2.0
+    assert hist.summary()["samples_dropped"] == 2.0
+
+
+def test_histogram_cap_override_beats_registry_default():
+    telemetry = Telemetry(max_samples=1)
+    hist = telemetry.histogram("lat", buckets=(1.0,), max_samples=3)
+    for _ in range(3):
+        hist.observe(0.5)
+    assert hist.dropped() == 0
+    assert telemetry.get("telemetry.samples_dropped") is None
+
+
 # ----------------------------------------------------------------------
 # The null backend
 # ----------------------------------------------------------------------

@@ -1,0 +1,83 @@
+"""Chrome trace-event export: shape, determinism, and the golden file."""
+
+import json
+import pathlib
+
+from repro.telemetry.analysis import SpanRecord, records_from_telemetry
+from repro.telemetry.obs import instrumented_run
+from repro.telemetry.tracefmt import (
+    chrome_trace_events,
+    chrome_trace_json,
+    write_chrome_trace,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "trace.json"
+
+
+def fixed_records():
+    """A tiny two-trace run with stable ids and timings."""
+    return [
+        SpanRecord(trace=1, span=1, parent=None, name="request",
+                   start_ms=0.0, duration_ms=22.5,
+                   attrs={"app": "maps", "source": "ap-hit"}),
+        SpanRecord(trace=1, span=2, parent=1, name="dns_piggyback",
+                   start_ms=0.0, duration_ms=8.25),
+        SpanRecord(trace=1, span=3, parent=1, name="ap_hit",
+                   start_ms=8.25, duration_ms=10.0),
+        SpanRecord(trace=2, span=4, parent=None, name="request",
+                   start_ms=30.0, duration_ms=80.125,
+                   attrs={"app": "mail", "source": "edge"},
+                   status="error"),
+        SpanRecord(trace=2, span=5, parent=4, name="edge_fetch",
+                   start_ms=35.5, duration_ms=60.0),
+    ]
+
+
+def test_events_carry_metadata_tracks_and_complete_spans():
+    events = chrome_trace_events(fixed_records())
+    metadata = [event for event in events if event["ph"] == "M"]
+    spans = [event for event in events if event["ph"] == "X"]
+    assert [event["name"] for event in metadata] == \
+        ["process_name", "thread_name", "thread_name"]
+    # Root attrs name the per-trace track.
+    labels = [event["args"]["name"] for event in metadata[1:]]
+    assert labels == ["trace 1 (maps)", "trace 2 (mail)"]
+    assert len(spans) == 5
+    first = spans[0]
+    assert first["ts"] == 0 and first["dur"] == 22500  # integer µs
+    assert first["args"]["attr.source"] == "ap-hit"
+    error = next(event for event in spans
+                 if event["args"]["status"] == "error")
+    assert error["tid"] == 2
+
+
+def test_trace_json_matches_the_golden_file():
+    assert chrome_trace_json(fixed_records()) + "\n" == \
+        GOLDEN.read_text(), (
+        "trace-event output drifted; if intentional, regenerate "
+        "tests/telemetry/golden/trace.json with "
+        "write_chrome_trace(fixed_records(), path)")
+
+
+def test_write_chrome_trace_round_trips_as_json(tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(fixed_records(), str(path))
+    assert count == 5
+    document = json.loads(path.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    assert len(document["traceEvents"]) == 8
+
+
+def test_real_run_export_is_deterministic_and_parseable(tmp_path):
+    documents = []
+    for attempt in ("a", "b"):
+        run = instrumented_run(quick=True, seed=0)
+        path = tmp_path / f"trace-{attempt}.json"
+        write_chrome_trace(records_from_telemetry(run.telemetry),
+                           str(path))
+        documents.append(path.read_bytes())
+    assert documents[0] == documents[1]
+    parsed = json.loads(documents[0])
+    names = {event["name"] for event in parsed["traceEvents"]
+             if event["ph"] == "X"}
+    assert "request" in names and "dns_piggyback" in names

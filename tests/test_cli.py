@@ -68,6 +68,76 @@ def test_unknown_command_rejected():
 
 
 # ----------------------------------------------------------------------
+# obs / sentry / diff parsing and cheap end-to-end paths
+# ----------------------------------------------------------------------
+def test_obs_export_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["obs", "--export-spans", "s.jsonl", "--export-metrics",
+         "m.jsonl", "--export-trace", "t.json", "--profile"])
+    assert args.spans == "s.jsonl"          # --export-spans aliases it
+    assert args.export_metrics == "m.jsonl"
+    assert args.export_trace == "t.json"
+    assert args.profile
+    assert parser.parse_args(["obs", "--spans", "x"]).spans == "x"
+
+
+def test_sentry_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["sentry", "--budget", "issues <= 0", "--budget",
+         "stage:*/total/p95 <= 50", "--report", "r.json", "--seed", "3"])
+    assert args.budget == ["issues <= 0", "stage:*/total/p95 <= 50"]
+    assert args.report == "r.json"
+    assert args.seed == 3
+
+
+def test_diff_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(["diff", "runA", "runB",
+                              "--tolerance", "0.5"])
+    assert args.runs == ["runA", "runB"]
+    assert args.tolerance == 0.5
+    fleet = parser.parse_args(
+        ["diff", "--systems", "APE-CACHE,Wi-Cache", "--seeds", "0,1"])
+    assert fleet.systems == "APE-CACHE,Wi-Cache"
+    assert fleet.runs == []
+
+
+def test_sentry_rejects_a_malformed_budget(capsys, tmp_path):
+    code = main(["sentry", "--budget", "nonsense",
+                 "--report", str(tmp_path / "r.json")])
+    assert code == 2
+    assert "sentry:" in capsys.readouterr().err
+
+
+def test_diff_rejects_a_single_run(capsys):
+    assert main(["diff", "only-one"]) == 2
+    assert "diff:" in capsys.readouterr().err
+
+
+def test_diff_same_exported_run_is_byte_empty(tmp_path, capsys):
+    from repro.telemetry.export import write_spans_jsonl
+    from repro.telemetry.obs import instrumented_run
+
+    run = instrumented_run(quick=True, seed=0)
+    spans = tmp_path / "spans.jsonl"
+    write_spans_jsonl(run.telemetry, str(spans))
+    out = tmp_path / "delta.txt"
+    assert main(["diff", str(spans), str(spans),
+                 "--output", str(out)]) == 0
+    assert out.read_bytes() == b""
+    capsys.readouterr()  # drain the progress lines
+
+
+def test_list_mentions_the_observability_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("obs", "sentry", "diff", "sweep"):
+        assert name in out
+
+
+# ----------------------------------------------------------------------
 # Table export formats
 # ----------------------------------------------------------------------
 def make_table():

@@ -23,10 +23,13 @@ echo "==> repro.lint program-pass determinism"
 # (b) indistinguishable between a cold build and an incremental-cache
 # hit — byte-identical JSON in both comparisons.
 lint_cold_a=$(mktemp) lint_cold_b=$(mktemp) lint_cached=$(mktemp)
-spans_a=$(mktemp) spans_b=$(mktemp)
+spans_a=$(mktemp) spans_b=$(mktemp) trace_a=$(mktemp)
 sweep_serial=$(mktemp) sweep_parallel=$(mktemp)
+bench_a=$(mktemp) bench_b=$(mktemp) diff_out=$(mktemp)
 trap 'rm -f "$lint_cold_a" "$lint_cold_b" "$lint_cached" \
-    "$spans_a" "$spans_b" "$sweep_serial" "$sweep_parallel"' EXIT
+    "$spans_a" "$spans_b" "$trace_a" \
+    "$sweep_serial" "$sweep_parallel" \
+    "$bench_a" "$bench_b" "$diff_out"' EXIT
 python -m repro.lint --format json --no-cache > "$lint_cold_a"
 python -m repro.lint --format json --no-cache > "$lint_cold_b"
 if ! cmp -s "$lint_cold_a" "$lint_cold_b"; then
@@ -41,10 +44,45 @@ if ! cmp -s "$lint_cold_a" "$lint_cached"; then
 fi
 
 echo "==> repro.cli obs (telemetry determinism smoke)"
-python -m repro.cli obs --spans "$spans_a" >/dev/null
+python -m repro.cli obs --spans "$spans_a" \
+    --export-trace "$trace_a" >/dev/null
 python -m repro.cli obs --spans "$spans_b" >/dev/null
 if ! cmp -s "$spans_a" "$spans_b"; then
     echo "FAIL: span JSONL export differs across two same-seed runs" >&2
+    exit 1
+fi
+# The Perfetto export must at least be a well-formed trace document.
+python - "$trace_a" <<'EOF'
+import json, sys
+document = json.load(open(sys.argv[1]))
+events = document["traceEvents"]
+assert events and any(event["ph"] == "X" for event in events), \
+    "trace export has no complete events"
+EOF
+
+echo "==> repro.cli sentry (budget gate + report determinism)"
+# Two same-seed sentry runs must (a) pass the repo budgets and
+# (b) agree byte-for-byte on BENCH_obs.json once the wall-clock-derived
+# "timings" subtree is stripped.
+python -m repro.cli sentry --report "$bench_a" >/dev/null
+python -m repro.cli sentry --report "$bench_b" >/dev/null
+python - "$bench_a" "$bench_b" <<'EOF'
+import json, sys
+a, b = (json.load(open(path)) for path in sys.argv[1:3])
+a.pop("timings"), b.pop("timings")
+assert a == b, "BENCH_obs.json differs across two same-seed runs"
+EOF
+# An impossible injected budget must flip the exit code to 1.
+if python -m repro.cli sentry --report "$bench_a" \
+        --budget "stage:ap-hit/total/p95 <= 0" >/dev/null 2>&1; then
+    echo "FAIL: sentry passed despite an impossible injected budget" >&2
+    exit 1
+fi
+# A run diffed against itself is byte-empty.
+python -m repro.cli diff "$spans_a" "$spans_b" \
+    --output "$diff_out" >/dev/null 2>&1
+if [ -s "$diff_out" ]; then
+    echo "FAIL: same-seed self-diff is not byte-empty" >&2
     exit 1
 fi
 
