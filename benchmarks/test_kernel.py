@@ -1,0 +1,71 @@
+"""Scheduler microbenchmark: raw events/second through the event heap.
+
+Drives the bare :class:`~repro.sim.kernel.Simulator` with a dense fleet
+of short-horizon timer processes — no network, no caches — so the
+number isolates the kernel hot path (``_schedule``/``step``/``run``)
+that the PERF-pass local-binding work targets.  Emits
+``BENCH_kernel.json`` at the repo root and gates the throughput against
+the ``kernel:events_per_s`` budget in ``[tool.repro-sentry]`` (the obs
+sentry validates but skips that selector; this benchmark owns it).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.sim.kernel import MS, Simulator
+from repro.telemetry.sentry import load_budgets
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Timer fleet: many concurrent processes, very short rearm horizon, so
+#: the heap stays deep and every event is schedule + pop + resume.
+N_PROCESSES = 200
+HORIZON_S = 2.0
+TICK_S = 1 * MS
+
+
+def _ticker(sim: Simulator, offset: float):
+    yield sim.timeout(offset)
+    while sim.now < HORIZON_S:
+        yield sim.timeout(TICK_S)
+
+
+def _kernel_budgets() -> list[float]:
+    budgets = load_budgets(str(REPO / "pyproject.toml"))
+    return [budget.limit for budget in budgets
+            if budget.selector == "kernel:events_per_s"
+            and budget.op == ">="]
+
+
+def test_kernel_events_per_second():
+    sim = Simulator()
+    for number in range(N_PROCESSES):
+        # Staggered starts keep ties rare and the heap realistically
+        # interleaved rather than draining in creation order.
+        sim.process(_ticker(sim, offset=(number % 17) * TICK_S / 17))
+    started = time.perf_counter()
+    sim.run(until=HORIZON_S)
+    elapsed = time.perf_counter() - started
+    events = sim.events_processed
+    events_per_s = events / elapsed if elapsed > 0 else float("inf")
+
+    record = {
+        "processes": N_PROCESSES,
+        "horizon_s": HORIZON_S,
+        "events": events,
+        "wall_s": round(elapsed, 4),
+        "events_per_s": round(events_per_s, 1),
+    }
+    out = REPO / "BENCH_kernel.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    # Sanity: the fleet really produced a dense event stream.
+    assert events > N_PROCESSES * (HORIZON_S / TICK_S) * 0.9
+
+    for floor in _kernel_budgets():
+        assert events_per_s >= floor, (
+            f"kernel throughput {events_per_s:,.0f} events/s below the "
+            f"[tool.repro-sentry] floor {floor:,.0f}")

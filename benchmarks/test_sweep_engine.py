@@ -4,8 +4,10 @@ Runs the same 4-system x 2-seed scenario at ``jobs`` 1, 2, and 4 and
 emits ``BENCH_sweep.json`` at the repo root with the wall-clock per
 cell and the speedup relative to the serial run.  Results must be
 byte-identical at every worker count; the >= 1.5x speedup assertion at
-``--jobs 4`` applies only on hosts with at least 4 CPU cores (a
-single-core container still records its numbers).
+``--jobs 4`` applies only on hosts with at least 4 CPU cores.  On a
+single-CPU host the engine itself falls back to serial execution —
+the benchmark records that fallback (reason string per jobs level)
+instead of asserting a speedup that cannot exist there.
 """
 
 import json
@@ -42,8 +44,9 @@ def test_sweep_engine_scaling():
     timings: dict[int, float] = {}
     baseline = None
     for jobs in JOBS:
+        engine = SweepEngine(jobs=jobs)
         started = time.perf_counter()
-        result = SweepEngine(jobs=jobs).run(spec)
+        result = engine.run(spec)
         elapsed = time.perf_counter() - started
         document = result.to_json()
         if baseline is None:
@@ -55,6 +58,7 @@ def test_sweep_engine_scaling():
             "wall_s": round(elapsed, 3),
             "wall_per_cell_s": round(elapsed / n_cells, 4),
             "speedup_vs_serial": round(timings[1] / elapsed, 2),
+            "serial_fallback": engine.serial_fallback_reason,
         }
 
     out = REPO / "BENCH_sweep.json"
@@ -63,7 +67,14 @@ def test_sweep_engine_scaling():
     print(json.dumps(record, indent=2, sort_keys=True))
 
     cores = os.cpu_count() or 1
-    if cores >= 4:
+    if cores <= 1:
+        # No parallelism to measure: the engine must have dropped to
+        # serial on its own; the recorded reason is the benchmark.
+        fallbacks = [record["jobs"][str(jobs)]["serial_fallback"]
+                     for jobs in JOBS if jobs > 1]
+        assert all(fallbacks), (
+            f"single-CPU host but the engine kept its pool: {fallbacks}")
+    elif cores >= 4:
         speedup = timings[1] / timings[4]
         assert speedup >= 1.5, (
             f"expected >= 1.5x speedup at jobs=4 on a {cores}-core "

@@ -79,7 +79,11 @@ class CacheStore:
         return self.capacity_bytes - self.used_bytes
 
     def entries(self) -> list[CacheEntry]:
-        return list(self._entries.values())
+        # Insertion order of ``_entries`` is deterministic in-process
+        # and PACM's min/max tie-breaks rely on it intentionally;
+        # sorting here would reorder re-stored entries and change
+        # eviction behaviour.
+        return list(self._entries.values())  # lint: disable=DET102
 
     def apps(self) -> set[str]:
         return {entry.app_id for entry in self._entries.values()}

@@ -151,6 +151,10 @@ class ResourceRecord:
                     f"unknown RR class {raw_class}") from None
         rdata: object
         if rtype == RRType.A:
+            if len(rdata_bytes) != 4:
+                raise DnsFormatError(
+                    f"A record RDATA must be 4 bytes, "
+                    f"got {len(rdata_bytes)}")
             rdata = IPv4Address.from_bytes(rdata_bytes)
         elif rtype in (RRType.CNAME, RRType.NS):
             rdata, _ = decode_name(data, offset)

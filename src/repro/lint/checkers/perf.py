@@ -25,7 +25,7 @@ from repro.lint.findings import Finding
 from repro.lint.fixes import Edit, Fix
 from repro.lint.registry import Checker, ModuleUnderLint, register
 
-__all__ = ["ListAsFifo"]
+__all__ = ["ListAsFifo", "UnconditionalLabelset"]
 
 #: Receiver methods equally valid on list and deque.
 _COMPATIBLE_METHODS = {"append", "appendleft", "remove", "extend",
@@ -315,3 +315,66 @@ class ListAsFifo(Checker):
                 f"popleft()")
             yield dataclasses.replace(finding,
                                       fix=builder.fix(name))
+
+
+@register
+class UnconditionalLabelset(Checker):
+    """PERF103: label-tuple construction on the no-label telemetry path.
+
+    Telemetry instruments canonicalize their ``**labels`` kwargs with
+    ``labelset(labels)`` — a sort plus tuple build.  The overwhelmingly
+    common case on hot paths is *no* labels, where the canonical key is
+    simply ``()``; paying the sort/tuple for an empty dict on every
+    sample is measurable observer effect.  The checker flags
+    ``labelset(<kwargs>)`` calls on the function's own ``**kwargs``
+    parameter that are not guarded by a truthiness test of that name;
+    the fix idiom is ``() if not labels else labelset(labels)``
+    (``labelset({})`` is ``()``, so behaviour is unchanged).
+    """
+
+    code = "PERF103"
+    description = ("labelset() called unconditionally on a **kwargs "
+                   "parameter; the empty-label fast path should skip "
+                   "tuple construction")
+
+    def check(self, module: ModuleUnderLint) -> _t.Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.args.kwarg is None:
+                continue
+            kwargs_name = node.args.kwarg.arg
+            nodes, parents = _own_nodes(node.body)
+            for inner in nodes:
+                if not (isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id == "labelset"
+                        and len(inner.args) == 1
+                        and not inner.keywords
+                        and isinstance(inner.args[0], ast.Name)
+                        and inner.args[0].id == kwargs_name):
+                    continue
+                if self._guarded(inner, parents, kwargs_name):
+                    continue
+                yield module.finding(
+                    self.code, inner,
+                    f"labelset({kwargs_name}) runs unconditionally; "
+                    f"use '() if not {kwargs_name} else "
+                    f"labelset({kwargs_name})' so empty-label samples "
+                    f"skip the sort and tuple build")
+
+    @staticmethod
+    def _guarded(call: ast.Call, parents: dict[ast.AST, ast.AST],
+                 name: str) -> bool:
+        """Is ``call`` under an If/IfExp testing ``name``?"""
+        node: ast.AST | None = call
+        while node is not None:
+            parent = parents.get(node)
+            if isinstance(parent, (ast.If, ast.IfExp)) \
+                    and parent.test is not node:
+                if any(isinstance(leaf, ast.Name) and leaf.id == name
+                       for leaf in ast.walk(parent.test)):
+                    return True
+            node = parent
+        return False

@@ -92,9 +92,21 @@ class LintConfig:
     experiments_paths: tuple[str, ...] = _DEFAULT_EXPERIMENTS_PATHS
     #: Receiver substrings identifying telemetry span scopes (TEL002).
     span_receiver_hints: tuple[str, ...] = _DEFAULT_SPAN_RECEIVER_HINTS
+    #: Where ``repro.lint`` writes the effect manifest, relative to root.
+    effects_manifest: str = "build/effects.json"
+    #: Dotted refs that EFF101 requires to be certified pure-modulo-seed
+    #: (sweep runners served from the memo cache belong here).
+    effects_require_pure: tuple[str, ...] = ()
+    #: Qualified-name prefixes whose functions the PERF1xx passes treat
+    #: as hot paths, in addition to detected simulation processes.
+    perf_hot_paths: tuple[str, ...] = (
+        "repro.sim.kernel.Simulator.",)
 
     def baseline_path(self) -> pathlib.Path:
         return self.root / self.baseline
+
+    def effects_manifest_path(self) -> pathlib.Path:
+        return self.root / self.effects_manifest
 
     def program_cache_path(self) -> pathlib.Path:
         return self.root / self.program_cache
@@ -156,7 +168,9 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
     known = {"baseline", "paths", "wallclock-allow", "ignore", "exclude",
              "cacheable-priority-range", "telemetry-paths",
              "telemetry-profiling-allow", "experiments-paths",
-             "program-cache", "span-receiver-hints"}
+             "program-cache", "span-receiver-hints",
+             "effects-manifest", "effects-require-pure",
+             "perf-hot-paths"}
     unknown = set(table) - known
     if unknown:
         raise ConfigError(
@@ -198,4 +212,9 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
                                    _DEFAULT_EXPERIMENTS_PATHS),
         span_receiver_hints=_strings("span-receiver-hints",
                                      _DEFAULT_SPAN_RECEIVER_HINTS),
+        effects_manifest=str(table.get("effects-manifest",
+                                       "build/effects.json")),
+        effects_require_pure=_strings("effects-require-pure", ()),
+        perf_hot_paths=_strings(
+            "perf-hot-paths", ("repro.sim.kernel.Simulator.",)),
     )

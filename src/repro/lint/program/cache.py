@@ -24,7 +24,7 @@ __all__ = ["CACHE_VERSION", "SummaryCache", "load_cache", "save_cache"]
 
 #: Bump when the summary schema or extraction semantics change; old
 #: caches are then ignored wholesale.
-CACHE_VERSION = 2  # v2: FunctionSummary gained span_starts/entered_calls
+CACHE_VERSION = 3  # v3: effect facts (globals, mutations, loop records)
 
 
 class SummaryCache:

@@ -1,0 +1,450 @@
+"""Inter-procedural purity/effect analysis (the EFF101/memo engine).
+
+Every function is classified into a six-level effect lattice::
+
+    pure < reads-config < mutates-argument < mutates-global
+         < performs-IO < unknown
+
+by a summary-based fixpoint over the same call graph and flow facts the
+DET101 taint pass uses.  Per function the fixpoint tracks
+
+* ``io`` / ``env`` / ``unknown`` — locally observed effects plus
+  anything a transitive callee does,
+* ``reads`` / ``writes`` — canonical ``module.global`` names read and
+  written (a callee's global traffic becomes the caller's),
+* ``mutated`` — parameter indices this function (or a callee, mapped
+  back through the call-site argument and receiver flows) mutates,
+* ``sources`` — nondeterminism source kinds reachable from the body.
+
+Call sites transfer callee facts context-sensitively: a callee that
+mutates its parameter 0 taints exactly the caller origins that flowed
+into the receiver slot, nothing else.  Constructor calls onto project
+classes without an explicit ``__init__`` (dataclasses) are treated as
+pure allocations, joined with ``__init__``/``__post_init__`` effects
+when those exist.
+
+**Certification** (``pure-modulo-seed``) is what the sweep-cell memo
+cache consumes: a function is certified when it performs no IO, calls
+nothing unknown, mutates no argument or global, reads no global that
+any project function mutates, reads no environment, and reaches no
+``rng``/``clock``/``entropy`` source.  *Order* sources are tolerated —
+matching the repo-wide stance that iteration order only matters when it
+escapes to a sink, which is DET102's job.  Seeded
+``random.Random(seed)`` construction is deliberately pure here: the
+memo key includes the seed, so seed-parameterized runners certify.
+
+Known leniencies (documented in docs/linting.md): calls on opaque local
+objects are assumed effect-free unless the method name is a known
+mutator, and IO through such objects (``path.write_text(...)``) is not
+seen — certification is a contract for runner closures, which funnel IO
+through builtins and ``json.dump`` where the analysis does see it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing as _t
+
+from repro.lint.program.extract import (SORTED_REF, _EXTRA_MUTATORS,
+                                        _MUTATORS)
+from repro.lint.program.model import (FunctionSummary, Origin, Program)
+
+__all__ = ["EFFECTS_VERSION", "LEVELS", "FunctionEffects",
+           "EffectsResult", "effects_result", "effects_manifest"]
+
+#: Bump when the manifest schema or analysis semantics change.
+EFFECTS_VERSION = 1
+
+#: The lattice, least to most effectful.
+LEVELS = ("pure", "reads-config", "mutates-argument", "mutates-global",
+          "performs-io", "unknown")
+
+#: Source kinds that block pure-modulo-seed certification ("order" is
+#: deliberately absent — see the module docstring).
+_IMPURE_SOURCE_KINDS = ("rng", "clock", "entropy")
+
+#: Stdlib/third-party prefixes whose calls are effect-free on their
+#: arguments.  ``random.`` is safe here: *unseeded* constructions were
+#: already classified as sources during extraction, so only seeded ones
+#: surface as call refs.
+_PURE_PREFIXES = (
+    "math.", "itertools.", "functools.", "operator.", "collections.",
+    "heapq.", "bisect.", "statistics.", "hashlib.", "json.", "re.",
+    "copy.", "dataclasses.", "enum.", "typing.", "abc.", "string.",
+    "textwrap.", "fractions.", "decimal.", "numpy.", "random.",
+    "pathlib.", "posixpath.", "ntpath.", "os.path.",
+)
+
+#: Exact refs / prefixes with externally visible effects.
+_ENV_REFS = ("os.environ", "os.getenv", "os.getenvb")
+_IO_PREFIXES = (
+    "os.", "sys.", "io.", "shutil.", "subprocess.", "socket.",
+    "logging.", "tempfile.", "http.", "urllib.", "sqlite3.",
+    "atexit.", "signal.", "threading.", "multiprocessing.",
+    "asyncio.", "time.sleep", "builtins.open", "pickle.dump",
+)
+
+#: Sink details bridged back onto their callee (see ``_PACM_SINKS`` in
+#: extract.py: these calls are recorded as sinks, not call edges).
+_PACM_DETAIL_PREFIX = "PACM utility "
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionEffects:
+    """Final classification of one function."""
+
+    name: str
+    path: str
+    line: int
+    #: One of :data:`LEVELS`.
+    level: str
+    #: Pure-modulo-seed: safe to memoize keyed on inputs + seed.
+    certified: bool
+    #: Why certification failed (empty iff ``certified``), sorted.
+    blockers: tuple[str, ...]
+    #: Source kinds reachable from this function (transitively).
+    sources: tuple[str, ...]
+    mutated_params: tuple[int, ...]
+    global_reads: tuple[str, ...]
+    global_writes: tuple[str, ...]
+    #: Repo-relative paths of this function's transitive code closure.
+    closure_paths: tuple[str, ...]
+    #: SHA-256 over the sorted ``path:digest`` lines of the closure —
+    #: the content key the memo cache folds into cell hashes.
+    closure_digest: str
+
+
+@dataclasses.dataclass
+class EffectsResult:
+    """Fixpoint output shared by EFF101 and the manifest emitter."""
+
+    functions: dict[str, FunctionEffects]
+    #: Every global some project function mutates.
+    mutated_globals: frozenset[str]
+    #: Number of full passes until the fixpoint stabilized.
+    rounds: int
+
+    def certified_count(self) -> int:
+        return sum(1 for effect in self.functions.values()
+                   if effect.certified)
+
+    def level_counts(self) -> dict[str, int]:
+        counts = {level: 0 for level in LEVELS}
+        for effect in self.functions.values():
+            counts[effect.level] += 1
+        return counts
+
+
+def effects_result(program: Program) -> EffectsResult:
+    """The (memoized) effects fixpoint for ``program``."""
+    cached = program.analysis_cache.get("effects")
+    if isinstance(cached, EffectsResult):
+        return cached
+    result = _Fixpoint(program).run()
+    program.analysis_cache["effects"] = result
+    return result
+
+
+def effects_manifest(program: Program) -> dict[str, object]:
+    """The deterministic ``build/effects.json`` document."""
+    result = effects_result(program)
+    functions: dict[str, object] = {}
+    for name in sorted(result.functions):
+        effect = result.functions[name]
+        functions[name] = {
+            "path": effect.path,
+            "line": effect.line,
+            "level": effect.level,
+            "certified": effect.certified,
+            "blockers": list(effect.blockers),
+            "sources": list(effect.sources),
+            "mutated_params": list(effect.mutated_params),
+            "global_reads": list(effect.global_reads),
+            "global_writes": list(effect.global_writes),
+            "closure_paths": list(effect.closure_paths),
+            "closure_digest": effect.closure_digest,
+        }
+    return {
+        "version": EFFECTS_VERSION,
+        "rounds": result.rounds,
+        "mutated_globals": sorted(result.mutated_globals),
+        "functions": functions,
+        "generated_from": {path: program.digests[path]
+                           for path in sorted(program.digests)},
+    }
+
+
+@dataclasses.dataclass
+class _State:
+    """Mutable per-function fixpoint state."""
+
+    io: bool = False
+    env: bool = False
+    unknown: bool = False
+    reads: set[str] = dataclasses.field(default_factory=set)
+    writes: set[str] = dataclasses.field(default_factory=set)
+    mutated: set[int] = dataclasses.field(default_factory=set)
+    sources: set[str] = dataclasses.field(default_factory=set)
+
+
+class _Fixpoint:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.states: dict[str, _State] = {}
+        #: function → extra (call_index, callee) edges: dataclass
+        #: constructors resolved through the class index.
+        self.ctor_edges: dict[str, list[tuple[int, str]]] = {}
+        #: function → callee names bridged from PACM sink records
+        #: (flag/set joins only; PACM entry points mutate nothing).
+        self.sink_bridges: dict[str, list[str]] = {}
+        self.changed = False
+        for name in sorted(program.functions):
+            self._seed(program.functions[name])
+
+    # -- initialisation ---------------------------------------------------
+    def _seed(self, summary: FunctionSummary) -> None:
+        state = _State()
+        state.reads.update(rec.name for rec in summary.global_reads)
+        state.writes.update(rec.name for rec in summary.global_writes)
+        state.mutated.update(index for index, _line
+                             in summary.param_mutations)
+        state.sources.update(rec.kind for rec in summary.sources)
+        for effect in summary.effects:
+            if effect.kind == "io":
+                state.io = True
+            elif effect.kind == "env-read":
+                state.env = True
+            elif effect.kind == "unknown-call":
+                state.unknown = True
+        self.states[summary.name] = state
+        self._classify_unlinked(summary, state)
+        self._bridge_pacm_sinks(summary)
+
+    def _classify_unlinked(self, summary: FunctionSummary,
+                           state: _State) -> None:
+        """Static effects of call refs the linker found no edge for."""
+        linked = {index for index, _callee
+                  in self.program.call_edges.get(summary.name, ())}
+        ctor: list[tuple[int, str]] = []
+        for index, call in enumerate(summary.calls):
+            if index in linked or not call.ref \
+                    or call.ref == SORTED_REF:
+                continue
+            canonical = self.program.canonical_ref(call.ref)
+            if canonical in self.program.classes:
+                # Constructor without a source __init__ (a dataclass):
+                # pure allocation, plus generated-init hooks if present.
+                for hook in ("__init__", "__post_init__"):
+                    target = f"{canonical}.{hook}"
+                    if target in self.program.functions:
+                        ctor.append((index, target))
+                continue
+            owner, _, method = canonical.rpartition(".")
+            if owner in self.program.classes:
+                # Inherited/generated method of a project class: lenient
+                # unless the name is a known mutator.
+                if method in _MUTATORS or method in _EXTRA_MUTATORS:
+                    for origin in self._recv_origins(summary, index):
+                        self._apply_mutation(state, summary, origin)
+                continue
+            if canonical.startswith(_ENV_REFS):
+                state.env = True
+                continue
+            if canonical.startswith(_PURE_PREFIXES):
+                continue
+            if canonical.startswith(_IO_PREFIXES):
+                state.io = True
+                continue
+            # Unlinked project ref or unmodelled third-party module.
+            state.unknown = True
+        if ctor:
+            self.ctor_edges[summary.name] = ctor
+
+    def _bridge_pacm_sinks(self, summary: FunctionSummary) -> None:
+        for sink in summary.sinks:
+            if sink.kind != "pacm" \
+                    or not sink.detail.startswith(_PACM_DETAIL_PREFIX):
+                continue
+            ref = sink.detail[len(_PACM_DETAIL_PREFIX):].rstrip("()")
+            target = self.program.resolve_ref(ref)
+            if target is not None:
+                self.sink_bridges.setdefault(
+                    summary.name, []).append(target)
+
+    # -- call-site helpers ------------------------------------------------
+    @staticmethod
+    def _param_index(target: FunctionSummary,
+                     selector: _t.Union[str, int]) -> int | None:
+        bound = bool(target.params) and target.params[0] in ("self",
+                                                             "cls")
+        if isinstance(selector, int):
+            index = selector + (1 if bound else 0)
+            return index if 0 <= index < len(target.params) else None
+        try:
+            return target.params.index(selector)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _arg_flows(summary: FunctionSummary, call_index: int,
+                   ) -> _t.Iterator[tuple[Origin, _t.Union[str, int]]]:
+        for origin, dest in summary.flows:
+            if len(dest) == 3 and dest[1] == call_index \
+                    and dest[0] in ("arg", "kwarg"):
+                yield origin, dest[2]
+
+    @staticmethod
+    def _recv_origins(summary: FunctionSummary,
+                      call_index: int) -> list[Origin]:
+        return sorted(origin for origin, dest in summary.flows
+                      if len(dest) == 2 and dest[0] == "recv"
+                      and dest[1] == call_index)
+
+    def _apply_mutation(self, state: _State, summary: FunctionSummary,
+                        origin: Origin) -> None:
+        tag, index = origin
+        if tag == "param":
+            if index not in state.mutated:
+                state.mutated.add(index)
+                self.changed = True
+        elif tag == "global" and 0 <= index < len(summary.global_reads):
+            name = summary.global_reads[index].name
+            if name not in state.writes:
+                state.writes.add(name)
+                self.changed = True
+
+    # -- transfer ---------------------------------------------------------
+    def _join_flags(self, state: _State, callee: _State) -> None:
+        if callee.io and not state.io:
+            state.io, self.changed = True, True
+        if callee.env and not state.env:
+            state.env, self.changed = True, True
+        if callee.unknown and not state.unknown:
+            state.unknown, self.changed = True, True
+        for field, incoming in (("reads", callee.reads),
+                                ("writes", callee.writes),
+                                ("sources", callee.sources)):
+            mine: set[str] = getattr(state, field)
+            if not incoming <= mine:
+                mine.update(incoming)
+                self.changed = True
+
+    def _evaluate(self, summary: FunctionSummary) -> None:
+        state = self.states[summary.name]
+        edges = [*self.program.call_edges.get(summary.name, ()),
+                 *self.ctor_edges.get(summary.name, ())]
+        for call_index, callee in edges:
+            callee_state = self.states[callee]
+            self._join_flags(state, callee_state)
+            if not callee_state.mutated:
+                continue
+            target = self.program.functions[callee]
+            bound = bool(target.params) \
+                and target.params[0] in ("self", "cls")
+            for position in sorted(callee_state.mutated):
+                if bound and position == 0:
+                    for origin in self._recv_origins(summary,
+                                                     call_index):
+                        self._apply_mutation(state, summary, origin)
+                for origin, selector in self._arg_flows(summary,
+                                                        call_index):
+                    if self._param_index(target, selector) == position:
+                        self._apply_mutation(state, summary, origin)
+        for callee in self.sink_bridges.get(summary.name, ()):
+            self._join_flags(state, self.states[callee])
+
+    # -- finalisation -----------------------------------------------------
+    def _level(self, state: _State,
+               mutated_globals: frozenset[str]) -> str:
+        if state.unknown:
+            return "unknown"
+        if state.io:
+            return "performs-io"
+        if state.writes or (state.reads & mutated_globals):
+            return "mutates-global"
+        if state.mutated:
+            return "mutates-argument"
+        if state.reads or state.env:
+            return "reads-config"
+        return "pure"
+
+    def _blockers(self, state: _State,
+                  mutated_globals: frozenset[str]) -> tuple[str, ...]:
+        blockers: list[str] = []
+        if state.unknown:
+            blockers.append("unknown-call")
+        if state.io:
+            blockers.append("performs-io")
+        if state.env:
+            blockers.append("env-read")
+        blockers.extend(f"mutates-global:{name}"
+                        for name in sorted(state.writes))
+        blockers.extend(f"mutates-argument:{index}"
+                        for index in sorted(state.mutated))
+        blockers.extend(f"reads-mutated-global:{name}"
+                        for name in sorted(state.reads
+                                           & mutated_globals))
+        blockers.extend(f"source:{kind}"
+                        for kind in _IMPURE_SOURCE_KINDS
+                        if kind in state.sources)
+        return tuple(sorted(blockers))
+
+    def _closure(self, name: str,
+                 edges: dict[str, list[str]]) -> tuple[str, ...]:
+        seen = {name}
+        queue = [name]
+        while queue:
+            current = queue.pop()
+            for callee in edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+        return tuple(sorted({self.program.functions[member].path
+                             for member in seen}))
+
+    def run(self) -> EffectsResult:
+        names = sorted(self.program.functions)
+        rounds = 0
+        while True:
+            rounds += 1
+            self.changed = False
+            for name in names:
+                self._evaluate(self.program.functions[name])
+            if not self.changed:
+                break
+            if rounds > len(names) + 64:  # pragma: no cover - safety
+                break
+        mutated_globals = frozenset(
+            name for state in self.states.values()
+            for name in state.writes)
+        plain_edges: dict[str, list[str]] = {}
+        for name in names:
+            callees = [callee for _index, callee in
+                       [*self.program.call_edges.get(name, ()),
+                        *self.ctor_edges.get(name, ())]]
+            callees.extend(self.sink_bridges.get(name, ()))
+            if callees:
+                plain_edges[name] = sorted(set(callees))
+        functions: dict[str, FunctionEffects] = {}
+        for name in names:
+            summary = self.program.functions[name]
+            state = self.states[name]
+            closure_paths = self._closure(name, plain_edges)
+            digest = hashlib.sha256("\n".join(
+                f"{path}:{self.program.digests.get(path, '')}"
+                for path in closure_paths).encode()).hexdigest()
+            blockers = self._blockers(state, mutated_globals)
+            functions[name] = FunctionEffects(
+                name=name, path=summary.path, line=summary.line,
+                level=self._level(state, mutated_globals),
+                certified=not blockers, blockers=blockers,
+                sources=tuple(sorted(state.sources)),
+                mutated_params=tuple(sorted(state.mutated)),
+                global_reads=tuple(sorted(state.reads)),
+                global_writes=tuple(sorted(state.writes)),
+                closure_paths=closure_paths,
+                closure_digest=digest)
+        return EffectsResult(functions=functions,
+                             mutated_globals=mutated_globals,
+                             rounds=rounds)

@@ -23,10 +23,12 @@ import typing as _t
 
 from repro.lint.asthelpers import ImportMap
 from repro.lint.checkers.determinism import WALLCLOCK_CALLS
-from repro.lint.program.model import (MODULE_BODY, CallRec, Dest, Flow,
-                                      FunctionSummary, ModuleSummary,
-                                      Origin, SinkRec, SourceRec,
-                                      SpanStartRec, WriteRec)
+from repro.lint.program.model import (MODULE_BODY, AllocRec, CallRec,
+                                      Dest, EffectRec, Flow,
+                                      FunctionSummary, GlobalRec,
+                                      LoadRec, ModuleSummary, Origin,
+                                      SinkRec, SourceRec, SpanStartRec,
+                                      WriteRec)
 
 __all__ = ["extract_module", "module_name_for"]
 
@@ -80,6 +82,33 @@ _ORDER_SINK_CALLS = {"heapq.heappush", "heapq.heappushpop",
 #: Receiver mutators that fold an argument into the receiver.
 _MUTATORS = {"append", "appendleft", "add", "extend", "insert", "put"}
 
+#: Further method names the *effects* pass treats as mutating their
+#: receiver (no taint folding — they may take no argument at all).
+_EXTRA_MUTATORS = {"update", "setdefault", "pop", "popleft", "popitem",
+                   "clear", "remove", "discard", "sort", "reverse",
+                   "write", "writelines"}
+
+#: ``heapq`` order sinks that additionally mutate their first argument.
+_HEAP_MUTATING_SINKS = {"heapq.heappush", "heapq.heappushpop",
+                        "heapq.heapify"}
+
+#: Builtins with externally visible effects (console, filesystem, ...).
+_IO_BUILTINS = {"print", "open", "input", "breakpoint", "exec",
+                "eval", "compile", "__import__"}
+
+#: Builtins whose calls are effect-free on their arguments.  Exception
+#: constructors are matched by suffix instead (``...Error(...)``).
+_PURE_BUILTINS = {
+    "abs", "all", "any", "ascii", "bin", "bool", "bytearray", "bytes",
+    "chr", "complex", "dict", "divmod", "enumerate", "filter", "float",
+    "format", "getattr", "hash", "hex", "int", "iter", "list", "map",
+    "memoryview", "next", "object", "oct", "ord", "pow", "range",
+    "repr", "reversed", "round", "slice", "str", "sum", "super",
+    "tuple", "zip",
+}
+_EXCEPTION_SUFFIXES = ("Error", "Exception", "Warning", "Interrupt",
+                       "Exit", "Iteration")
+
 #: Builtins whose result reflects the *structure* of the argument, not
 #: its value or iteration order — taint of any kind stops here.  Note
 #: value-preserving conversions (``int``, ``round``, ``float``) are
@@ -127,6 +156,52 @@ def _is_sim_receiver(node: ast.expr) -> bool:
     return _attr_chain_tail(node) in _SIM_NAMES
 
 
+def _loop_assigned(node: ast.stmt) -> set[str]:
+    """Every name bound anywhere inside a loop statement.
+
+    Attribute chains rooted at one of these names are not
+    loop-invariant, so PERF102 must not suggest hoisting them.
+    Comprehension/lambda parameters are included: they shadow outer
+    names inside expressions this walk cannot scope precisely.
+    """
+    assigned: set[str] = set()
+
+    def add_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            assigned.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign):
+            for target in child.targets:
+                add_target(target)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            add_target(child.target)
+        elif isinstance(child, (ast.For, ast.AsyncFor)):
+            add_target(child.target)
+        elif isinstance(child, (ast.With, ast.AsyncWith)):
+            for item in child.items:
+                if item.optional_vars is not None:
+                    add_target(item.optional_vars)
+        elif isinstance(child, ast.NamedExpr):
+            add_target(child.target)
+        elif isinstance(child, ast.comprehension):
+            add_target(child.target)
+        elif isinstance(child, ast.Lambda):
+            for argument in [*child.args.posonlyargs, *child.args.args,
+                             *child.args.kwonlyargs]:
+                assigned.add(argument.arg)
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            assigned.add(child.name)
+        elif isinstance(child, ast.ExceptHandler) and child.name:
+            assigned.add(child.name)
+    return assigned
+
+
 class _FunctionExtractor:
     """Runs the local dataflow over one function (or the module body)."""
 
@@ -137,6 +212,11 @@ class _FunctionExtractor:
         self.name = name
         self.class_name = class_name
         self.env: dict[str, set[Origin]] = {}
+        #: Like ``env`` but tracking *aliasing* only: the origins a name
+        #: may refer to directly, so that mutating the name mutates
+        #: them.  Call results and literals are fresh objects here even
+        #: though their data taint flows through ``env``.
+        self.alias_env: dict[str, set[Origin]] = {}
         self.sources: list[SourceRec] = []
         self._source_index: dict[SourceRec, int] = {}
         self.sinks: list[SinkRec] = []
@@ -152,6 +232,20 @@ class _FunctionExtractor:
         self._span_index: dict[tuple[str, int, int], int] = {}
         self.span_usage: list[str] = []
         self.entered_calls: set[int] = set()
+        self.global_reads: list[GlobalRec] = []
+        self._global_read_index: dict[str, int] = {}
+        self.global_writes: dict[GlobalRec, None] = {}
+        self.param_mutations: dict[tuple[int, int], None] = {}
+        self.effects: dict[EffectRec, None] = {}
+        self.loop_allocs: dict[AllocRec, None] = {}
+        self.loop_loads: dict[LoadRec, None] = {}
+        self.global_decls: set[str] = set()
+        self.param_types: dict[str, str] = {}
+        #: Innermost-last stack of (loop line, names bound in the loop).
+        self._loop_stack: list[tuple[int, set[str]]] = []
+        self._in_while_test = False
+        self._attr_depth = 0
+        self._no_load = 0
         self.is_generator = False
         self.yields_event = False
         self.has_sim_handle = False
@@ -164,8 +258,16 @@ class _FunctionExtractor:
             self.params = tuple(arg.arg for arg in arguments)
             for index, parameter in enumerate(self.params):
                 self.env[parameter] = {("param", index)}
+                self.alias_env[parameter] = {("param", index)}
             if set(self.params) & _SIM_NAMES:
                 self.has_sim_handle = True
+            for argument in arguments:
+                if argument.annotation is None:
+                    continue
+                typed = owner.resolve_class_annotation(
+                    argument.annotation)
+                if typed is not None:
+                    self.param_types[argument.arg] = typed
 
     # -- summary assembly ------------------------------------------------
     def summary(self, path: str, line: int) -> FunctionSummary:
@@ -187,6 +289,12 @@ class _FunctionExtractor:
                 for index, (receiver, line, col)
                 in enumerate(self.span_sites)),
             entered_calls=tuple(sorted(self.entered_calls)),
+            global_reads=tuple(self.global_reads),
+            global_writes=tuple(self.global_writes),
+            param_mutations=tuple(sorted(self.param_mutations)),
+            effects=tuple(self.effects),
+            loop_allocs=tuple(self.loop_allocs),
+            loop_loads=tuple(self.loop_loads),
         )
 
     # -- deduplicated record tables --------------------------------------
@@ -242,27 +350,147 @@ class _FunctionExtractor:
             elif tag == "call":
                 self.entered_calls.add(index)
 
+    # -- effect/loop fact recording --------------------------------------
+    def _global_read(self, node: ast.Name) -> Origin:
+        canonical = f"{self.owner.module}.{node.id}"
+        index = self._global_read_index.get(canonical)
+        if index is None:
+            index = len(self.global_reads)
+            self.global_reads.append(GlobalRec(
+                name=canonical, line=node.lineno,
+                col=node.col_offset))
+            self._global_read_index[canonical] = index
+        return ("global", index)
+
+    def _global_write(self, canonical: str, node: ast.AST) -> None:
+        self.global_writes.setdefault(GlobalRec(
+            name=canonical, line=node.lineno, col=node.col_offset))
+
+    def _effect(self, kind: str, node: ast.AST, detail: str) -> None:
+        self.effects.setdefault(EffectRec(
+            kind=kind, line=node.lineno, col=node.col_offset,
+            detail=detail))
+
+    def _mutate(self, origins: set[Origin], node: ast.AST) -> None:
+        """Record that ``origins`` (a receiver/target) were mutated."""
+        for tag, index in sorted(origins):
+            if tag == "param":
+                self.param_mutations.setdefault((index, node.lineno))
+            elif tag == "global":
+                self._global_write(self.global_reads[index].name, node)
+
+    def _alias_expr(self, node: ast.expr) -> set[Origin]:
+        """Origins ``node`` may *alias* — mutating it mutates them.
+
+        Unlike ``_expr`` this follows only reference-preserving paths
+        (names, attribute/subscript access, conditional selection).  A
+        call result or a literal is a fresh object: data that merely
+        flowed into it is not mutated through it, which is what keeps
+        ``dp = np.zeros(n); dp[i] = x`` from flagging the function as
+        mutating whatever ``n`` was derived from.  Objects stored into
+        locally built containers are not tracked (documented
+        approximation — the effects pass is a certifier, not a prover).
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.alias_env:
+                return set(self.alias_env[node.id])
+            if node.id in self.env:
+                return set()
+            if node.id in self.owner.module_globals:
+                return {self._global_read(node)}
+            return set()
+        if isinstance(node, ast.Attribute):
+            return self._alias_expr(node.value)
+        if isinstance(node, ast.Subscript):
+            return self._alias_expr(node.value)
+        if isinstance(node, ast.IfExp):
+            return (self._alias_expr(node.body)
+                    | self._alias_expr(node.orelse))
+        if isinstance(node, ast.NamedExpr):
+            return self._alias_expr(node.value)
+        if isinstance(node, ast.Starred):
+            return self._alias_expr(node.value)
+        if isinstance(node, ast.Await):
+            return self._alias_expr(node.value)
+        return set()
+
+    def _expr_quiet(self, node: ast.expr) -> set[Origin]:
+        """Evaluate without recording loop attribute-load facts."""
+        self._no_load += 1
+        try:
+            return self._expr(node)
+        finally:
+            self._no_load -= 1
+
+    def _record_chain_load(self, node: ast.Attribute) -> None:
+        """Record a loop-invariant-rooted attribute chain load."""
+        if self._no_load or self._attr_depth or not self._loop_stack:
+            return
+        parts = [node.attr]
+        base = node.value
+        while isinstance(base, ast.Attribute):
+            parts.append(base.attr)
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        loop_line, assigned = self._loop_stack[-1]
+        if base.id in assigned:
+            return  # root rebound inside the loop; hoisting is unsafe
+        parts.append(base.id)
+        chain = ".".join(reversed(parts))
+        self.loop_loads.setdefault(LoadRec(
+            chain=chain, loop_line=loop_line, line=node.lineno,
+            col=node.col_offset, in_test=self._in_while_test))
+
+    def _push_loop(self, node: ast.stmt) -> None:
+        self._loop_stack.append((node.lineno, _loop_assigned(node)))
+
+    def _pop_loop(self) -> None:
+        self._loop_stack.pop()
+
     # -- statement walk --------------------------------------------------
     def run(self, body: _t.Sequence[ast.stmt]) -> None:
         for statement in body:
             self._statement(statement)
 
     def _statement(self, node: ast.stmt) -> None:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.ClassDef)):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if self._loop_stack:
+                # A fresh closure object per iteration (PERF101).
+                self.loop_allocs.setdefault(AllocRec(
+                    desc=f"def {node.name}", line=node.lineno,
+                    col=node.col_offset))
             return  # separate summaries; no captured-taint modeling
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, ast.Global):
+            self.global_decls.update(node.names)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    self._mutate(self._alias_expr(target.value), target)
+            return
         if isinstance(node, ast.Assign):
             origins = self._expr(node.value)
+            alias = self._alias_expr(node.value)
             for target in node.targets:
-                self._assign(target, origins)
+                self._assign(target, origins, alias)
         elif isinstance(node, ast.AnnAssign):
             if node.value is not None:
-                self._assign(node.target, self._expr(node.value))
+                self._assign(node.target, self._expr(node.value),
+                             self._alias_expr(node.value))
         elif isinstance(node, ast.AugAssign):
             origins = self._expr(node.value)
             if isinstance(node.target, ast.Name):
                 origins |= self.env.get(node.target.id, set())
-            self._assign(node.target, origins)
+                # ``x += v`` mutates in place for containers; flag the
+                # aliased origins (a plain local counter aliases none).
+                self._mutate(self._alias_expr(node.target), node)
+                self._assign(node.target, origins,
+                             self._alias_expr(node.target))
+            else:
+                self._assign(node.target, origins)
         elif isinstance(node, ast.Return):
             if node.value is not None:
                 origins = self._expr(node.value)
@@ -275,17 +503,26 @@ class _FunctionExtractor:
         elif isinstance(node, ast.Expr):
             self._expr(node.value)
         elif isinstance(node, (ast.For, ast.AsyncFor)):
-            self._assign(node.target, self._expr(node.iter))
+            # The loop target aliases the iterable's contents: mutating
+            # an element mutates what the container reaches.
+            self._assign(node.target, self._expr(node.iter),
+                         self._alias_expr(node.iter))
+            self._push_loop(node)
             for _ in range(2):  # two passes: chained flows converge
                 for inner in node.body:
                     self._statement(inner)
+            self._pop_loop()
             for inner in node.orelse:
                 self._statement(inner)
         elif isinstance(node, ast.While):
+            self._push_loop(node)
+            self._in_while_test = True
             self._expr(node.test)
+            self._in_while_test = False
             for _ in range(2):
                 for inner in node.body:
                     self._statement(inner)
+            self._pop_loop()
             for inner in node.orelse:
                 self._statement(inner)
         elif isinstance(node, ast.If):
@@ -297,7 +534,8 @@ class _FunctionExtractor:
                 origins = self._expr(item.context_expr)
                 self._mark_entered(origins)
                 if item.optional_vars is not None:
-                    self._assign(item.optional_vars, origins)
+                    self._assign(item.optional_vars, origins,
+                                 self._alias_expr(item.context_expr))
             for inner in node.body:
                 self._statement(inner)
         elif isinstance(node, ast.Try):
@@ -319,20 +557,29 @@ class _FunctionExtractor:
                 for inner in case.body:
                     self._statement(inner)
 
-    def _assign(self, target: ast.expr, origins: set[Origin]) -> None:
+    def _assign(self, target: ast.expr, origins: set[Origin],
+                alias: set[Origin] | None = None) -> None:
         if isinstance(target, ast.Name):
+            if target.id in self.global_decls:
+                self._global_write(
+                    f"{self.owner.module}.{target.id}", target)
             self.env[target.id] = set(origins)
+            # Rebinding always resets the alias set — a name bound to a
+            # call result or literal no longer aliases anything.
+            self.alias_env[target.id] = set(alias or ())
         elif isinstance(target, ast.Attribute):
             self._record_write(target)
+            self._mutate(self._alias_expr(target.value), target)
         elif isinstance(target, ast.Subscript):
             base = target.value
+            self._mutate(self._alias_expr(base), target)
             if isinstance(base, ast.Name):
                 self.env.setdefault(base.id, set()).update(origins)
         elif isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
-                self._assign(element, origins)
+                self._assign(element, origins, alias)
         elif isinstance(target, ast.Starred):
-            self._assign(target.value, origins)
+            self._assign(target.value, origins, alias)
 
     def _record_write(self, target: ast.Attribute) -> None:
         base = target.value
@@ -347,7 +594,11 @@ class _FunctionExtractor:
         if isinstance(node, ast.Name):
             if node.id in _SIM_NAMES:
                 self.has_sim_handle = True
-            return set(self.env.get(node.id, ()))
+            if node.id in self.env:
+                return set(self.env[node.id])
+            if node.id in self.owner.module_globals:
+                return {self._global_read(node)}
+            return set()
         if isinstance(node, ast.Constant):
             if isinstance(node.value, str) \
                     and _RUNNER_STRING.match(node.value):
@@ -358,7 +609,24 @@ class _FunctionExtractor:
         if isinstance(node, ast.Attribute):
             if node.attr in _SIM_NAMES:
                 self.has_sim_handle = True
-            return self._expr(node.value)
+            if node.attr == "environ" \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "os" \
+                    and "os" in self.owner.imports_aliases:
+                self._effect("env-read", node, "os.environ")
+            self._record_chain_load(node)
+            self._attr_depth += 1
+            try:
+                return self._expr(node.value)
+            finally:
+                self._attr_depth -= 1
+        if isinstance(node, ast.Lambda):
+            if self._loop_stack:
+                # A fresh closure object per iteration (PERF101).
+                self.loop_allocs.setdefault(AllocRec(
+                    desc="lambda", line=node.lineno,
+                    col=node.col_offset))
+            return set()
         if isinstance(node, ast.Subscript):
             return self._expr(node.value) | self._expr(node.slice)
         if isinstance(node, ast.Set):
@@ -404,7 +672,8 @@ class _FunctionExtractor:
             return set()
         if isinstance(node, ast.NamedExpr):
             origins = self._expr(node.value)
-            self._assign(node.target, origins)
+            self._assign(node.target, origins,
+                         self._alias_expr(node.value))
             return origins
         if isinstance(node, ast.Slice):
             return self._union([part for part in
@@ -421,7 +690,8 @@ class _FunctionExtractor:
     def _comprehension(self, generators: _t.Sequence[ast.comprehension],
                        results: _t.Sequence[ast.expr]) -> set[Origin]:
         for generator in generators:
-            self._assign(generator.target, self._expr(generator.iter))
+            self._assign(generator.target, self._expr(generator.iter),
+                         self._alias_expr(generator.iter))
             for condition in generator.ifs:
                 self._expr(condition)
         return self._union(list(results))
@@ -454,6 +724,10 @@ class _FunctionExtractor:
         if isinstance(func, (ast.Attribute, ast.Name)) \
                 and _attr_chain_tail(func) in _SIM_NAMES:
             self.has_sim_handle = True
+        if isinstance(func, ast.Attribute):
+            # The bound-method lookup itself is a per-iteration
+            # attribute load (PERF102 input).
+            self._record_chain_load(func)
         if isinstance(func, ast.Attribute) \
                 and func.attr in ("request", "acquire"):
             # Resource-protocol acquisition: writes after this point are
@@ -499,6 +773,15 @@ class _FunctionExtractor:
                 # do not feed data whose order the sink can expose.
                 for _name, origins in keywords:
                     self._flow_all(origins, ("sink", index))
+            if kind in ("sim", "telemetry") \
+                    and isinstance(func, ast.Attribute):
+                # Scheduling an event / recording a sample mutates the
+                # receiver (simulator, instrument) — an effect fact.
+                self._mutate(self._alias_expr(func.value), node)
+            if path in _HEAP_MUTATING_SINKS and node.args:
+                self._mutate(self._alias_expr(node.args[0]), node)
+            if path == "json.dump":
+                self._effect("io", node, "json.dump()")
             return set(merged)
 
         if isinstance(func, ast.Name) and func.id == "sorted" \
@@ -516,6 +799,16 @@ class _FunctionExtractor:
         self._maybe_mutate_receiver(func, merged)
 
         ref = self.owner.resolve(func, self.class_name)
+        if ref is None and isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            # Parameter-annotation typing: ``entry: CacheEntry`` makes
+            # ``entry.touch()`` resolve to ``CacheEntry.touch`` as long
+            # as the name still holds the original parameter value.
+            typed = self.param_types.get(func.value.id)
+            if typed is not None and func.value.id in self.params \
+                    and self.env.get(func.value.id) == \
+                    {("param", self.params.index(func.value.id))}:
+                ref = f"{typed}.{func.attr}"
         if ref is not None:
             index = self._callrec(ref, node, display)
             for position, origins in enumerate(positional):
@@ -523,12 +816,43 @@ class _FunctionExtractor:
             for name, origins in keywords:
                 if name is not None:
                     self._flow_all(origins, ("kwarg", index, name))
+            if isinstance(func, ast.Attribute):
+                # Receiver flow: lets the effects pass map a callee's
+                # self-mutation back onto the caller's objects (alias
+                # origins only — mutating a locally constructed object
+                # is invisible outside).
+                self._flow_all(self._alias_expr(func.value),
+                               ("recv", index))
             return {("call", index)}
         # Unresolved callee: assume the result derives from the inputs —
         # including the receiver of a method call (``rng.random()``
         # returns something as tainted as ``rng`` itself).
         if isinstance(func, ast.Attribute):
-            merged |= self._expr(func.value)
+            merged |= self._expr_quiet(func.value)
+            if func.attr in _MUTATORS or func.attr in _EXTRA_MUTATORS:
+                self._mutate(self._alias_expr(func.value), node)
+            return set(merged)
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.env or name in self.owner.module_globals:
+                # Call through a local value / parameter / rebindable
+                # module global: statically unknowable target.
+                self._effect("unknown-call", node,
+                             f"call through {name!r}")
+            elif name in ("setattr", "delattr"):
+                if node.args:
+                    self._mutate(self._alias_expr(node.args[0]), node)
+            elif name in _IO_BUILTINS:
+                self._effect("io", node, f"{name}()")
+            elif name in _PURE_BUILTINS \
+                    or name.endswith(_EXCEPTION_SUFFIXES):
+                pass
+            else:
+                self._effect("unknown-call", node, f"{name}()")
+            return set(merged)
+        # Calls on arbitrary expressions (``handlers[key]()``, ...).
+        merged |= self._expr(func)
+        self._effect("unknown-call", node, "dynamic call target")
         return set(merged)
 
     def _classify_source(self, node: ast.Call, func: ast.expr,
@@ -641,7 +965,13 @@ class _ModuleExtractor:
         self.imports_aliases = self._alias_names(tree)
         self.local_functions: set[str] = set()
         self.local_classes: dict[str, set[str]] = {}
+        #: Top-level data bindings (module state the effects pass
+        #: tracks); imports/defs/classes are code refs, not state.
+        self.module_globals: set[str] = set()
         self._index_toplevel()
+        self.module_globals -= (self.local_functions
+                                | set(self.local_classes)
+                                | self.imports_aliases)
 
     @staticmethod
     def _alias_names(tree: ast.Module) -> set[str]:
@@ -665,6 +995,23 @@ class _ModuleExtractor:
                     item.name for item in node.body
                     if isinstance(item, (ast.FunctionDef,
                                          ast.AsyncFunctionDef))}
+            elif isinstance(node, (ast.Assign, ast.AnnAssign,
+                                   ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.module_globals.add(target.id)
+
+    def resolve_class_annotation(self, node: ast.expr) -> str | None:
+        """Canonical class ref for a plain-Name parameter annotation."""
+        if not isinstance(node, ast.Name):
+            return None
+        if node.id in self.local_classes:
+            return f"{self.module}.{node.id}"
+        if node.id in self.imports_aliases:
+            return self.imports.resolve(node)
+        return None
 
     def resolve(self, func: ast.expr,
                 class_name: str | None) -> str | None:
@@ -737,7 +1084,9 @@ class _ModuleExtractor:
                 extractor.summary(self.relpath, node.lineno))
         return ModuleSummary(
             path=self.relpath, module=self.module, digest=digest,
-            exports=self.exports(), functions=functions)
+            exports=self.exports(), functions=functions,
+            classes=tuple(sorted(f"{self.module}.{name}"
+                                 for name in self.local_classes)))
 
     def _iter_functions(self) -> _t.Iterator[
             tuple[str, ast.FunctionDef | ast.AsyncFunctionDef,

@@ -1,11 +1,16 @@
-"""The registered whole-program checkers: DET101, DET102, SIM101, TEL002.
+"""The registered whole-program checkers.
 
-These consume the shared taint fixpoint (:mod:`repro.lint.program.taint`)
-and the race analysis (:mod:`repro.lint.program.races`); the expensive
-work runs once per :class:`Program` regardless of how many passes ask
-for it.  Findings are anchored at the *source* (where the fix belongs)
-and carry the full source→sink trace so a reader can follow the value
-across files without re-deriving the call graph.
+DET101/DET102/SIM101/TEL002 consume the shared taint fixpoint
+(:mod:`repro.lint.program.taint`) and the race analysis
+(:mod:`repro.lint.program.races`); EFF101 consumes the effect fixpoint
+(:mod:`repro.lint.program.effects`); PERF101/PERF102 consume the loop
+facts the extractor records, scoped to the *hot set* — detected
+simulation processes plus the ``perf-hot-paths`` prefixes from
+pyproject.  The expensive analyses run once per :class:`Program`
+regardless of how many passes ask for them.  Findings are anchored at
+the *source* (where the fix belongs) and carry the full source→sink
+trace so a reader can follow the value across files without re-deriving
+the call graph.
 """
 
 from __future__ import annotations
@@ -14,13 +19,15 @@ import typing as _t
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, TraceStep
+from repro.lint.program.effects import effects_result
 from repro.lint.program.model import Program
 from repro.lint.program.races import find_races
 from repro.lint.program.taint import SinkHit, taint_result
 from repro.lint.registry import ProgramChecker, register_program
 
 __all__ = ["DeterminismTaint", "OrderTaint", "SimRace",
-           "SpanScopeLeak"]
+           "SpanScopeLeak", "EffectCertification",
+           "HotLoopClosure", "HotLoopAttributeReload"]
 
 
 def _sink_location(program: Program, hit: SinkHit) -> str:
@@ -245,3 +252,146 @@ class SpanScopeLeak(ProgramChecker):
                         changed = True
                         break
         return factories
+
+
+@register_program
+class EffectCertification(ProgramChecker):
+    """EFF101: a declared-memoizable runner is not actually pure.
+
+    ``[tool.repro-lint] effects-require-pure`` lists the dotted refs of
+    sweep runners whose cells the memo cache is allowed to serve.  The
+    memo engine independently refuses uncertified runners at runtime;
+    this pass moves the failure to lint time, with the blocker chain
+    (what the runner does that a cached re-run would not reproduce)
+    spelled out at the definition site.
+    """
+
+    code = "EFF101"
+    description = ("function listed in effects-require-pure is not "
+                   "certified pure-modulo-seed by the effect analysis")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        if not config.effects_require_pure:
+            return
+        # A ref is only enforceable when the scan actually covers its
+        # package: linting a lone fixture file (or one module out of
+        # ``src``) must not fail because pyproject names runners that
+        # live outside the scan set.  "Covers" means some scanned
+        # module sits at or under one of the ref's dotted package
+        # prefixes, at least two components deep — so the normal full
+        # ``src`` scan still reports a typo'd function or module name.
+        modules = sorted(module.module for module in program.modules)
+
+        def covered(ref: str) -> bool:
+            parts = ref.replace(":", ".").split(".")
+            for depth in range(len(parts) - 1, 1, -1):
+                prefix = ".".join(parts[:depth])
+                if any(name == prefix or name.startswith(prefix + ".")
+                       for name in modules):
+                    return True
+            return False
+
+        result = effects_result(program)
+        for ref in config.effects_require_pure:
+            if not covered(ref):
+                continue
+            target = program.resolve_ref(ref)
+            if target is None or target not in result.functions:
+                yield Finding(
+                    path="pyproject.toml", line=1, col=0,
+                    code=self.code,
+                    message=(f"effects-require-pure entry {ref!r} does "
+                             f"not resolve to a project function"))
+                continue
+            effect = result.functions[target]
+            if effect.certified:
+                continue
+            blockers = ", ".join(effect.blockers)
+            yield Finding(
+                path=effect.path, line=effect.line, col=0,
+                code=self.code,
+                message=(f"{target} is declared memoizable "
+                         f"(effects-require-pure) but the effect "
+                         f"analysis classifies it {effect.level} "
+                         f"[{blockers}]; a memoized cell would not "
+                         f"reproduce these effects — make the runner "
+                         f"pure-modulo-seed or drop it from the list"))
+
+
+def _hot_functions(program: Program,
+                   config: LintConfig) -> set[str]:
+    """Simulation processes plus the configured hot-path prefixes."""
+    hot = set(program.process_generators())
+    prefixes = tuple(config.perf_hot_paths)
+    if prefixes:
+        hot.update(name for name in program.functions
+                   if name.startswith(prefixes))
+    return hot
+
+
+@register_program
+class HotLoopClosure(ProgramChecker):
+    """PERF101: a closure built on every iteration of a hot loop.
+
+    A ``lambda`` or nested ``def`` inside the event loop or a process
+    generator allocates a fresh function object per iteration — pure
+    overhead when the closure could be hoisted.  Comprehensions are
+    deliberately not flagged: building a collection per iteration is
+    usually the loop's actual job.
+    """
+
+    code = "PERF101"
+    description = ("lambda/nested def constructed on every iteration "
+                   "of a hot-path loop (simulation process or "
+                   "perf-hot-paths function)")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        for name in sorted(_hot_functions(program, config)):
+            function = program.functions[name]
+            for record in function.loop_allocs:
+                yield Finding(
+                    path=function.path, line=record.line,
+                    col=record.col, code=self.code,
+                    message=(f"{record.desc} is constructed on every "
+                             f"iteration of a loop in hot path {name}; "
+                             f"hoist it out of the loop"))
+
+
+@register_program
+class HotLoopAttributeReload(ProgramChecker):
+    """PERF102: the same attribute chain loaded repeatedly in a hot loop.
+
+    Fires only when a chain rooted at a loop-invariant name is loaded
+    at two or more distinct sites inside one loop — a single load per
+    iteration is normal code, and chains whose root is rebound inside
+    the loop are excluded at extraction because hoisting them would be
+    wrong.  The fix is one local binding above the loop.
+    """
+
+    code = "PERF102"
+    description = ("attribute chain rooted at a loop-invariant name "
+                   "loaded at 2+ sites inside one hot-path loop; bind "
+                   "it to a local before the loop")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        for name in sorted(_hot_functions(program, config)):
+            function = program.functions[name]
+            grouped: dict[tuple[int, str], list[_t.Any]] = {}
+            for record in function.loop_loads:
+                grouped.setdefault(
+                    (record.loop_line, record.chain), []).append(record)
+            for (loop_line, chain), records in sorted(grouped.items()):
+                if len(records) < 2:
+                    continue
+                anchor = min(records,
+                             key=lambda rec: (rec.line, rec.col))
+                yield Finding(
+                    path=function.path, line=anchor.line,
+                    col=anchor.col, code=self.code,
+                    message=(f"'{chain}' is loaded at {len(records)} "
+                             f"sites inside the loop at line "
+                             f"{loop_line} in hot path {name}; bind "
+                             f"it to a local before the loop"))

@@ -120,35 +120,42 @@ class Transport:
         self.udp_exchanges += 1
         destination = self.network.node_by_address(dst_address)
         source = self.network.node(src)
+        # Retry-loop locals: each bound once instead of per attempt.
+        sim_timeout = self.sim.timeout
+        sim_process = self.sim.process
+        dropped = self._dropped
+        one_way = self.one_way
+        timeout_s = self.udp_timeout_s
+        dst_name = destination.name
         for _attempt in range(self.udp_retries + 1):
-            if self._dropped():
+            if dropped():
                 self.udp_losses += 1
-                yield self.sim.timeout(self.udp_timeout_s)
+                yield sim_timeout(timeout_s)
                 continue
-            out_delay = self.one_way(src, destination.name,
-                                     len(payload) + UDP_OVERHEAD_BYTES)
-            yield self.sim.timeout(out_delay)
+            out_delay = one_way(src, dst_name,
+                                len(payload) + UDP_OVERHEAD_BYTES)
+            yield sim_timeout(out_delay)
             handler = destination.handle_udp(port, payload,
                                              source.address)
-            response = yield self.sim.process(handler)
+            response = yield sim_process(handler)
             if response is None:
                 raise TransportError(
-                    f"{destination.name} dropped a datagram on "
+                    f"{dst_name} dropped a datagram on "
                     f"port {port}")
             if not isinstance(response, (bytes, bytearray)):
                 raise TransportError(
-                    f"UDP handler on {destination.name} returned "
+                    f"UDP handler on {dst_name} returned "
                     f"{type(response).__name__}, expected bytes")
-            if self._dropped():
+            if dropped():
                 self.udp_losses += 1
-                yield self.sim.timeout(self.udp_timeout_s)
+                yield sim_timeout(timeout_s)
                 continue
-            back_delay = self.one_way(destination.name, src,
-                                      len(response) + UDP_OVERHEAD_BYTES)
-            yield self.sim.timeout(back_delay)
+            back_delay = one_way(dst_name, src,
+                                 len(response) + UDP_OVERHEAD_BYTES)
+            yield sim_timeout(back_delay)
             return bytes(response)
         raise TransportError(
-            f"datagram to {destination.name}:{port} lost after "
+            f"datagram to {dst_name}:{port} lost after "
             f"{self.udp_retries + 1} attempts")
 
     # ------------------------------------------------------------------

@@ -1,0 +1,275 @@
+"""Content-addressed memoization of sweep cells, gated by certification.
+
+A sweep cell is a pure function of its spec **only if** its runner (and
+everything the runner transitively calls) is certified pure-modulo-seed
+by the effect analysis (:mod:`repro.lint.program.effects`).  The
+:class:`Memoizer` enforces exactly that contract:
+
+* The certification source of truth is the ``build/effects.json``
+  manifest the linter emits.  A runner whose manifest entry is missing,
+  uncertified, or **stale** (any file in its transitive code closure
+  changed since the manifest was generated) is never served from cache
+  — those cells always run live, silently.
+* A cell's cache key is the SHA-256 over its JSON identity (runner,
+  system label, seed, workload, params, coords, telemetry flag — the
+  envelope index and scenario name are excluded: the same cell under a
+  renamed scenario is still the same computation) **plus** the runner's
+  closure digest, so editing any file the runner depends on
+  automatically invalidates its cells.
+* The cache file is plain JSON and corruption-tolerant: an unreadable,
+  truncated, or version-mismatched file behaves as an empty cache.
+
+The memo layer deliberately does not import the linter at runtime — it
+only reads the manifest file — so sweeps stay importable in stripped
+environments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner.spec import Cell
+
+__all__ = ["MEMO_VERSION", "MemoStats", "MemoCache", "Memoizer"]
+
+#: Bump to invalidate every existing cache entry (key derivation or
+#: envelope schema changes).
+MEMO_VERSION = 1
+
+#: Default locations, relative to the project root.
+DEFAULT_CACHE = "build/sweep-memo.json"
+DEFAULT_MANIFEST = "build/effects.json"
+
+
+@dataclasses.dataclass
+class MemoStats:
+    """Accounting for one sweep through the memo layer."""
+
+    #: Cells served from cache (not executed).
+    hits: int = 0
+    #: Certified cells that had to run (and were then stored).
+    misses: int = 0
+    #: Cells whose runner is not certified — always executed live.
+    uncertified: int = 0
+
+    def executed(self) -> int:
+        return self.misses + self.uncertified
+
+    def summary(self) -> str:
+        return (f"memo: {self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.uncertified} uncertified cell(s); "
+                f"{self.executed()} executed live")
+
+
+class MemoCache:
+    """The on-disk JSON store: key → result envelope."""
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path
+        self._entries: dict[str, dict[str, object]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(document, dict) \
+                or document.get("version") != MEMO_VERSION:
+            return
+        cells = document.get("cells")
+        if not isinstance(cells, dict):
+            return
+        for key, envelope in cells.items():
+            if isinstance(envelope, dict):
+                self._entries[str(key)] = envelope
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> dict[str, object] | None:
+        """A deep copy of the stored envelope, or None."""
+        envelope = self._entries.get(key)
+        if envelope is None:
+            return None
+        return _t.cast("dict[str, object]",
+                       json.loads(json.dumps(envelope)))
+
+    def store(self, key: str, envelope: dict[str, object]) -> None:
+        self._entries[key] = envelope
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist (only when something changed since load)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": MEMO_VERSION,
+            "cells": {key: self._entries[key]
+                      for key in sorted(self._entries)},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        self._dirty = False
+
+
+def _find_root(start: pathlib.Path) -> pathlib.Path:
+    """Nearest ancestor holding ``pyproject.toml`` (manifest paths are
+    stored repo-relative)."""
+    start = start.resolve()
+    if start.is_file():  # pragma: no cover - callers pass directories
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start
+
+
+def _file_digest(path: pathlib.Path) -> str | None:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+class Memoizer:
+    """Certification lookups + the cell-level cache protocol.
+
+    The :class:`~repro.runner.engine.SweepEngine` calls :meth:`lookup`
+    before executing a cell and :meth:`record` after; everything else
+    (manifest parsing, staleness, key derivation) is internal.
+    """
+
+    def __init__(self, cache_path: pathlib.Path | str | None = None,
+                 manifest_path: pathlib.Path | str | None = None,
+                 root: pathlib.Path | None = None) -> None:
+        self.root = root if root is not None \
+            else _find_root(pathlib.Path.cwd())
+        self.cache = MemoCache(
+            pathlib.Path(cache_path) if cache_path is not None
+            else self.root / DEFAULT_CACHE)
+        manifest = pathlib.Path(manifest_path) \
+            if manifest_path is not None else self.root / DEFAULT_MANIFEST
+        self.manifest_path = manifest
+        self._manifest = self._load_manifest(manifest)
+        self.stats = MemoStats()
+        #: runner ref → closure digest (certified) or None; memoized.
+        self._digests: dict[str, str | None] = {}
+
+    @staticmethod
+    def _load_manifest(path: pathlib.Path) -> dict[str, _t.Any] | None:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict) \
+                or not isinstance(document.get("functions"), dict) \
+                or not isinstance(document.get("generated_from"), dict):
+            return None
+        return document
+
+    # -- certification ---------------------------------------------------
+    def closure_digest(self, runner_ref: str) -> str | None:
+        """The certified runner's closure digest, or None.
+
+        None means "do not memoize": unknown runner, uncertified, or a
+        stale manifest (some closure file changed on disk).
+        """
+        if runner_ref in self._digests:
+            return self._digests[runner_ref]
+        digest = self._certify(runner_ref)
+        self._digests[runner_ref] = digest
+        return digest
+
+    def _certify(self, runner_ref: str) -> str | None:
+        if self._manifest is None:
+            return None
+        try:
+            from repro.runner.registry import resolve_runner
+            runner = resolve_runner(runner_ref)
+        except Exception:  # noqa: BLE001 - unknown runner: run live
+            return None
+        qualname = f"{runner.__module__}.{runner.__qualname__}"
+        entry = self._manifest["functions"].get(qualname)
+        if not isinstance(entry, dict) or not entry.get("certified"):
+            return None
+        digest = entry.get("closure_digest")
+        closure_paths = entry.get("closure_paths")
+        if not isinstance(digest, str) \
+                or not isinstance(closure_paths, list):
+            return None
+        recorded = self._manifest["generated_from"]
+        for relpath in closure_paths:
+            expected = recorded.get(relpath)
+            actual = _file_digest(self.root / str(relpath))
+            if expected is None or actual != expected:
+                return None  # closure changed since certification
+        return digest
+
+    # -- cell protocol ---------------------------------------------------
+    def _cell_key(self, cell: "Cell",
+                  closure_digest: str) -> str | None:
+        if cell.system is not None and not isinstance(cell.system, str):
+            return None  # a live factory object has no stable identity
+        identity = {
+            "runner": cell.runner,
+            "system": cell.system_label(),
+            "seed": cell.seed,
+            "workload": dataclasses.asdict(cell.workload)
+            if cell.workload is not None else None,
+            "params": cell.params,
+            "coords": cell.coords,
+            "telemetry": cell.telemetry,
+        }
+        try:
+            blob = json.dumps(identity, sort_keys=True)
+        except (TypeError, ValueError):
+            return None  # non-JSON params: identity is not stable
+        seed = f"{MEMO_VERSION}|{closure_digest}|{blob}"
+        return hashlib.sha256(seed.encode("utf-8")).hexdigest()
+
+    def lookup(self, cell: "Cell") -> dict[str, object] | None:
+        """The cached envelope for ``cell`` (index rewritten), or None."""
+        digest = self.closure_digest(cell.runner)
+        if digest is None:
+            self.stats.uncertified += 1
+            return None
+        key = self._cell_key(cell, digest)
+        if key is None:
+            self.stats.uncertified += 1
+            return None
+        envelope = self.cache.lookup(key)
+        if envelope is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        envelope["index"] = cell.index
+        return envelope
+
+    def record(self, cell: "Cell",
+               envelope: dict[str, object]) -> None:
+        """Store a freshly executed certified cell's envelope."""
+        digest = self.closure_digest(cell.runner)
+        if digest is None:
+            return
+        key = self._cell_key(cell, digest)
+        if key is None:
+            return
+        stored = {name: value for name, value in envelope.items()
+                  if name != "index"}
+        try:
+            canonical = json.loads(json.dumps(stored))
+        except (TypeError, ValueError):
+            return  # non-JSON result payload: not safely replayable
+        self.cache.store(key, canonical)
+
+    def save(self) -> None:
+        self.cache.save()

@@ -1,0 +1,72 @@
+"""A certified-pure demo runner: one PACM placement decision per cell.
+
+This is the reference runner for sweep-cell memoization.  It derives a
+synthetic cache catalog from the cell's seed alone, scores every entry
+with the paper's utility function, and solves the placement knapsack —
+no simulator, no registries, no IO, no clock.  The effect analysis
+certifies it pure-modulo-seed (``repro.lint`` enforces that via
+``effects-require-pure`` in ``pyproject.toml``), which is what lets the
+:class:`~repro.runner.memo.Memoizer` replay its cells from cache.
+
+Keep it certifiable when editing: no calls through locals holding
+functions, no IO, no globals, no unseeded randomness.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+from repro.cache.entry import CacheEntry
+from repro.cache.knapsack import solve_knapsack
+from repro.cache.pacm import utility_of
+from repro.httplib.content import DataObject
+from repro.runner.registry import register_runner
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runner.spec import Cell
+
+__all__ = ["pacm_demo_cell"]
+
+#: Defaults, overridable through ``params.*`` sweep overrides.
+DEFAULT_CATALOG = 64
+DEFAULT_CAPACITY_BYTES = 256 * 1024
+
+
+@register_runner("pacm-demo")
+def pacm_demo_cell(cell: "Cell") -> dict[str, object]:
+    """Score a seeded synthetic catalog and place it under a knapsack."""
+    rng = random.Random(cell.seed)
+    catalog = int(_t.cast(int, cell.params.get("catalog",
+                                               DEFAULT_CATALOG)))
+    capacity = int(_t.cast(int, cell.params.get("capacity_bytes",
+                                                DEFAULT_CAPACITY_BYTES)))
+    now = 0.0
+    entries = []
+    frequencies = []
+    for number in range(catalog):
+        size = rng.randint(512, 64 * 1024)
+        ttl = rng.uniform(30.0, 3600.0)
+        entries.append(CacheEntry(
+            data_object=DataObject(url=f"app{number % 8}/obj{number}",
+                                   size_bytes=size),
+            app_id=f"app{number % 8}",
+            priority=rng.randint(1, 3),
+            stored_at=now,
+            expires_at=now + ttl,
+            fetch_latency_s=rng.uniform(0.010, 0.200)))
+        frequencies.append(rng.uniform(0.01, 5.0))
+    utilities = [utility_of(entry, frequency, now)
+                 for entry, frequency in zip(entries, frequencies)]
+    sizes = [entry.size_bytes for entry in entries]
+    kept = solve_knapsack(utilities, sizes, capacity)
+    kept_utility = sum(utilities[index] for index in kept)
+    kept_bytes = sum(sizes[index] for index in kept)
+    return {
+        "catalog": catalog,
+        "kept": len(kept),
+        "kept_bytes": kept_bytes,
+        "kept_utility": round(kept_utility, 6),
+        "total_utility": round(sum(utilities), 6),
+        "occupancy": round(kept_bytes / capacity, 6) if capacity else 0.0,
+    }

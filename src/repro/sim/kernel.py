@@ -30,6 +30,11 @@ HOUR: float = 3600.0
 _URGENT = 0
 _NORMAL = 1
 
+#: Bound once at import: the scheduler touches these per event, and the
+#: module-attribute lookup is measurable at BENCH_kernel scale.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Simulator:
     """Drives a single simulation: clock, event heap, process bookkeeping."""
@@ -89,7 +94,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = _NORMAL) -> None:
-        heapq.heappush(
+        _heappush(
             self._heap,
             (self._now + delay, priority, next(self._counter), event))
 
@@ -97,7 +102,7 @@ class Simulator:
         """Process the single next event; raises if the heap is empty."""
         if not self._heap:
             raise SimulationError("nothing scheduled; simulation has ended")
-        when, _priority, _tie, event = heapq.heappop(self._heap)
+        when, _priority, _tie, event = _heappop(self._heap)
         if when < self._now:  # pragma: no cover - guarded by heap ordering
             raise SimulationError("event heap produced a time in the past")
         self._now = when
@@ -131,17 +136,23 @@ class Simulator:
                            priority=_URGENT)
             stop_event._value = None
 
+        # Drain-loop locals: ``_heap`` is created once in __init__ and
+        # never rebound, so the list object can be captured here; the
+        # bound ``step`` saves an attribute lookup per event.
+        heap = self._heap
+        step = self.step
+
         if stop_event is None:
-            while self._heap:
-                self.step()
+            while heap:
+                step()
             return None
 
         stop_event.callbacks.append(lambda _ev: None)
         while not stop_event.processed:
-            if not self._heap:
+            if not heap:
                 raise SimulationError(
                     "simulation ran out of events before `until` triggered")
-            self.step()
+            step()
         if not stop_event._ok:
             raise _t.cast(BaseException, stop_event._value)
         return stop_event._value

@@ -81,16 +81,17 @@ class Counter(Instrument):
         if amount < 0:
             raise TelemetryError(
                 f"counter {self.name}: negative increment {amount!r}")
-        key = labelset(labels)
+        key = () if not labels else labelset(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         """The count recorded under exactly these labels."""
-        return self._values.get(labelset(labels), 0.0)
+        key = () if not labels else labelset(labels)
+        return self._values.get(key, 0.0)
 
     def total(self, **labels: object) -> float:
         """Sum across every label set matching the given subset."""
-        match = labelset(labels)
+        match = () if not labels else labelset(labels)
         return math.fsum(value for key, value in self._values.items()
                          if set(match) <= set(key))
 
@@ -108,14 +109,16 @@ class Gauge(Instrument):
         self._values: dict[LabelSet, float] = {}
 
     def set(self, value: float, **labels: object) -> None:
-        self._values[labelset(labels)] = float(value)
+        key = () if not labels else labelset(labels)
+        self._values[key] = float(value)
 
     def add(self, delta: float, **labels: object) -> None:
-        key = labelset(labels)
+        key = () if not labels else labelset(labels)
         self._values[key] = self._values.get(key, 0.0) + delta
 
     def value(self, **labels: object) -> float:
-        return self._values.get(labelset(labels), 0.0)
+        key = () if not labels else labelset(labels)
+        return self._values.get(key, 0.0)
 
     def labelsets(self) -> list[LabelSet]:
         return sorted(self._values)
@@ -176,7 +179,7 @@ class Histogram(Instrument):
 
     # -- recording ------------------------------------------------------
     def observe(self, value: float, **labels: object) -> None:
-        key = labelset(labels)
+        key = () if not labels else labelset(labels)
         state = self._states.get(key)
         if state is None:
             state = self._states[key] = _HistogramState(len(self.buckets))

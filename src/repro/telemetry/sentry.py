@@ -17,7 +17,7 @@ Budgets live in ``pyproject.toml``::
     ]
 
 Each budget is ``SELECTOR <= LIMIT`` or ``SELECTOR >= LIMIT`` with one
-of four selector forms:
+of five selector forms:
 
 ``stage:<source>/<stage>/<stat>``
     From the attribution summary — ``source`` is a request-path source
@@ -34,6 +34,10 @@ of four selector forms:
     ``wall_ms_per_sim_s``).  Wall-clock derived, hence nondeterministic:
     these verdicts are segregated under the report's ``timings`` key
     and skipped entirely when profiling is off.
+``kernel:events_per_s``
+    The scheduler microbenchmark's throughput floor.  Validated here
+    but **evaluated by** ``benchmarks/test_kernel.py`` (which writes
+    ``BENCH_kernel.json``); the obs-run sentry skips these.
 ``issues``
     The taxonomy/orphan issue count from the span-tree builder.
 
@@ -129,10 +133,10 @@ def _validate_selector(selector: str, source: str) -> None:
     if selector == "issues":
         return
     kind, sep, rest = selector.partition(":")
-    if not sep or kind not in ("stage", "metric", "profile"):
+    if not sep or kind not in ("stage", "metric", "profile", "kernel"):
         raise ConfigError(
             f"budget {source!r}: unknown selector {selector!r} "
-            f"(expected stage:/metric:/profile: or 'issues')")
+            f"(expected stage:/metric:/profile:/kernel: or 'issues')")
     if kind == "stage":
         parts = rest.split("/")
         if len(parts) != 3 or not all(parts):
@@ -154,6 +158,12 @@ def _validate_selector(selector: str, source: str) -> None:
             raise ConfigError(
                 f"budget {source!r}: profile stat must be "
                 f"events_per_wall_s or wall_ms_per_sim_s")
+    elif kind == "kernel":
+        # Gated by benchmarks/test_kernel.py against BENCH_kernel.json;
+        # the obs-run sentry has no scheduler microbenchmark to check.
+        if rest != "events_per_s":
+            raise ConfigError(
+                f"budget {source!r}: kernel stat must be events_per_s")
 
 
 def load_budgets(pyproject_path: str) -> list[Budget]:
@@ -249,6 +259,9 @@ def evaluate_budgets(budgets: _t.Sequence[Budget], run: "ObsRun",
                 continue
             value = _t.cast(
                 float, getattr(run.profile, budget.selector[8:]))
+        elif budget.selector.startswith("kernel:"):
+            # Evaluated by the kernel microbenchmark, not the obs run.
+            continue
         else:  # pragma: no cover - parse_budget rejects these
             value = None
         ok = value is not None and _OPS[budget.op](value, budget.limit)

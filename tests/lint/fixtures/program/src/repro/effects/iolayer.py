@@ -1,0 +1,13 @@
+"""Effects fixture: IO reached through a re-export.
+
+``persist`` calls ``save`` — an alias created by the ``from ... import
+as`` re-export — so seeing its ``performs-io`` level requires resolving
+the re-export back to ``writer.dump``.
+"""
+
+from repro.effects.writer import dump as save
+
+
+def persist(path, values):
+    body = ",".join(str(value) for value in values)
+    return save(path, body)

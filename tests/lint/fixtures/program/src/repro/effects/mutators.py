@@ -1,0 +1,38 @@
+"""Effects fixture: mutation escaping through helpers.
+
+``record_result`` never touches ``RESULTS`` itself — the write reaches
+the module global only through ``_stash``, so classifying it as
+``mutates-global`` requires the inter-procedural transfer.  Likewise
+``fill`` only mutates its argument via ``extend_with``.
+"""
+
+RESULTS = {}
+
+
+def _stash(key, value):
+    RESULTS[key] = value
+
+
+def record_result(name, value):
+    # Transitively mutates-global: the helper owns the dict write.
+    _stash(name, value)
+    return value
+
+
+def extend_with(items, extra):
+    items.append(extra)
+    return items
+
+
+def fill(buffer, count):
+    # Transitively mutates-argument:0 — ``buffer`` flows into the
+    # mutated parameter of ``extend_with`` at every call site.
+    for number in range(count):
+        extend_with(buffer, number)
+    return buffer
+
+
+def snapshot():
+    # Reading a global someone mutates: reads-config level, but never
+    # certifiable (reads-mutated-global blocker).
+    return dict(RESULTS)

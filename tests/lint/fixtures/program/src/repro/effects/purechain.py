@@ -1,0 +1,14 @@
+"""Effects fixture: a pure call chain (everything certifies)."""
+
+
+def scale(value, factor):
+    return value * factor
+
+
+def shifted(value, offset=1.0):
+    return scale(value, 2.0) + offset
+
+
+def combine(left, right):
+    # Two levels deep, still pure: scale -> shifted -> combine.
+    return shifted(left) + shifted(right)

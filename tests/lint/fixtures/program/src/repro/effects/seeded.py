@@ -1,0 +1,18 @@
+"""Effects fixture: a seed-parameterized runner that must certify.
+
+The whole point of pure-modulo-seed: ``random.Random(seed)`` is fine
+(the memo key carries the seed), so ``run_cell`` certifies even though
+it is randomized.
+"""
+
+import random
+
+from repro.effects.purechain import combine
+
+
+def run_cell(seed, rounds=8):
+    rng = random.Random(seed)
+    total = 0.0
+    for _number in range(rounds):
+        total += combine(rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0))
+    return total

@@ -1,0 +1,7 @@
+"""Effects fixture: the IO primitive a sibling module re-exports."""
+
+
+def dump(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+    return len(text)

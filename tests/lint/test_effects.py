@@ -1,0 +1,157 @@
+"""The inter-procedural effect analysis over the effects fixture.
+
+The fixture lives inside the ``fixtures/program`` mini-project (under
+``src/repro/effects/``) so the exact-match marker invariant in
+``test_program.py`` doubles as the no-false-positives guard: none of
+the fixture modules may produce findings under the default config.
+Classification itself is asserted here through the analysis API, and
+EFF101 through explicit ``effects-require-pure`` configs.
+"""
+
+import json
+import pathlib
+import shutil
+
+from repro.lint import LintConfig
+from repro.lint.engine import (iter_python_files, lint_paths,
+                               program_findings)
+from repro.lint.program.build import build_program
+from repro.lint.program.effects import (effects_manifest, effects_result,
+                                        LEVELS)
+
+PROGRAM = pathlib.Path(__file__).parent / "fixtures" / "program"
+
+
+def _build(root=PROGRAM):
+    config = LintConfig(root=root)
+    files = [(path.relative_to(root).as_posix(), path)
+             for path in iter_python_files([root], config)]
+    program, _stats = build_program(files)
+    return program
+
+
+def _effects(root=PROGRAM):
+    return effects_result(_build(root))
+
+
+def test_lattice_is_ordered():
+    assert LEVELS[0] == "pure"
+    assert LEVELS[-1] == "unknown"
+    assert len(LEVELS) == len(set(LEVELS)) == 6
+
+
+def test_pure_chain_certifies():
+    result = _effects()
+    for name in ("repro.effects.purechain.scale",
+                 "repro.effects.purechain.shifted",
+                 "repro.effects.purechain.combine"):
+        effect = result.functions[name]
+        assert effect.level == "pure", (name, effect.blockers)
+        assert effect.certified
+
+
+def test_global_mutation_escapes_through_the_helper():
+    result = _effects()
+    record = result.functions["repro.effects.mutators.record_result"]
+    assert record.level == "mutates-global"
+    assert "mutates-global:repro.effects.mutators.RESULTS" \
+        in record.blockers
+    assert "repro.effects.mutators.RESULTS" in result.mutated_globals
+
+
+def test_argument_mutation_maps_back_through_the_call():
+    result = _effects()
+    fill = result.functions["repro.effects.mutators.fill"]
+    assert fill.level == "mutates-argument"
+    assert 0 in fill.mutated_params
+    assert "mutates-argument:0" in fill.blockers
+
+
+def test_reading_a_mutated_global_blocks_certification():
+    result = _effects()
+    snapshot = result.functions["repro.effects.mutators.snapshot"]
+    assert not snapshot.certified
+    assert "reads-mutated-global:repro.effects.mutators.RESULTS" \
+        in snapshot.blockers
+
+
+def test_io_reaches_through_the_reexport():
+    result = _effects()
+    persist = result.functions["repro.effects.iolayer.persist"]
+    assert persist.level == "performs-io"
+    assert "performs-io" in persist.blockers
+
+
+def test_seeded_runner_certifies_pure_modulo_seed():
+    result = _effects()
+    runner = result.functions["repro.effects.seeded.run_cell"]
+    assert runner.certified, runner.blockers
+
+
+def test_closure_spans_the_transitive_files():
+    result = _effects()
+    runner = result.functions["repro.effects.seeded.run_cell"]
+    assert "src/repro/effects/purechain.py" in runner.closure_paths
+    persist = result.functions["repro.effects.iolayer.persist"]
+    assert "src/repro/effects/writer.py" in persist.closure_paths
+
+
+def test_closure_digest_tracks_callee_edits(tmp_path):
+    copy = tmp_path / "program"
+    shutil.copytree(PROGRAM, copy)
+    before = _effects(copy).functions["repro.effects.seeded.run_cell"]
+    target = copy / "src" / "repro" / "effects" / "purechain.py"
+    target.write_text(target.read_text().replace("* factor",
+                                                 "* factor * 1.0"))
+    after = _effects(copy).functions["repro.effects.seeded.run_cell"]
+    assert before.closure_digest != after.closure_digest
+
+
+def test_manifest_is_deterministic():
+    first = json.dumps(effects_manifest(_build()), sort_keys=True)
+    second = json.dumps(effects_manifest(_build()), sort_keys=True)
+    assert first == second
+
+
+def test_manifest_entries_mirror_the_result():
+    program = _build()
+    manifest = effects_manifest(program)
+    assert manifest["version"] == 1
+    entry = manifest["functions"]["repro.effects.seeded.run_cell"]
+    assert entry["certified"] is True
+    assert entry["path"] == "src/repro/effects/seeded.py"
+    for relpath in entry["closure_paths"]:
+        assert relpath in manifest["generated_from"]
+
+
+def _eff101(require):
+    config = LintConfig(root=PROGRAM, effects_require_pure=require)
+    files = list(iter_python_files([PROGRAM], config))
+    findings, _program, _stats = program_findings(files, config, None)
+    return [finding for finding in findings if finding.code == "EFF101"]
+
+
+def test_eff101_quiet_when_the_required_runner_certifies():
+    assert _eff101(("repro.effects.seeded.run_cell",)) == []
+
+
+def test_eff101_fires_with_the_blockers_when_not_certified():
+    findings = _eff101(("repro.effects.iolayer.persist",))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.path == "src/repro/effects/iolayer.py"
+    assert "performs-io" in finding.message
+
+
+def test_eff101_reports_unresolvable_refs_against_the_config():
+    findings = _eff101(("repro.effects.no_such.runner",))
+    assert len(findings) == 1
+    assert findings[0].path == "pyproject.toml"
+    assert findings[0].line == 1
+
+
+def test_default_config_keeps_the_fixture_clean():
+    config = LintConfig(root=PROGRAM)
+    findings = lint_paths([PROGRAM], config)
+    assert [f for f in findings
+            if f.code in ("EFF101", "PERF101", "PERF102")] == []

@@ -1,0 +1,208 @@
+"""Sweep-cell memoization: certification gate, byte-identity, recovery.
+
+The tests fabricate ``effects.json`` manifests in ``tmp_path`` (same
+schema the linter emits) so they can flip certification, staleness, and
+corruption independently of the real analysis; the digests in
+``generated_from`` are computed from the real source files, so the
+staleness check runs for real.
+"""
+
+import hashlib
+import json
+import pathlib
+
+from repro.apps.workload import WorkloadConfig
+from repro.runner import ScenarioSpec, SweepEngine
+from repro.runner.engine import run_cell
+from repro.runner.memo import MemoCache, Memoizer
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+RUNNER = "pacm-demo"
+QUALNAME = "repro.runner.pacm_demo.pacm_demo_cell"
+CLOSURE = (
+    "src/repro/cache/entry.py",
+    "src/repro/cache/knapsack.py",
+    "src/repro/cache/pacm.py",
+    "src/repro/httplib/content.py",
+    "src/repro/runner/pacm_demo.py",
+)
+
+
+def _manifest(tmp_path, certified=True, stale=False) -> pathlib.Path:
+    digests = {}
+    for relpath in CLOSURE:
+        body = (REPO / relpath).read_bytes()
+        digests[relpath] = hashlib.sha256(body).hexdigest()
+    if stale:
+        digests[CLOSURE[-1]] = "0" * 64
+    document = {
+        "version": 1,
+        "rounds": 1,
+        "mutated_globals": [],
+        "functions": {
+            QUALNAME: {
+                "path": CLOSURE[-1],
+                "line": 1,
+                "level": "reads-config",
+                "certified": certified,
+                "blockers": [] if certified else ["performs-io"],
+                "sources": [],
+                "mutated_params": [],
+                "global_reads": [],
+                "global_writes": [],
+                "closure_paths": list(CLOSURE),
+                "closure_digest": "c" * 64,
+            },
+        },
+        "generated_from": digests,
+    }
+    path = tmp_path / "effects.json"
+    path.write_text(json.dumps(document))
+    return path
+
+
+def _memoizer(tmp_path, **manifest_kwargs) -> Memoizer:
+    return Memoizer(cache_path=tmp_path / "memo.json",
+                    manifest_path=_manifest(tmp_path, **manifest_kwargs),
+                    root=REPO)
+
+
+def _spec(name="memo-sweep") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name, systems=("APE-CACHE",), seeds=(0, 1, 2),
+        workload=WorkloadConfig(), runner=RUNNER,
+        axes={"params.catalog": (16, 24)})
+
+
+def test_cold_then_warm_is_byte_identical(tmp_path):
+    memo = _memoizer(tmp_path)
+    cold = SweepEngine(memo=memo).run(_spec()).to_json()
+    assert memo.stats.hits == 0
+    assert memo.stats.misses == 6
+
+    warm_memo = _memoizer(tmp_path)
+    warm = SweepEngine(memo=warm_memo).run(_spec()).to_json()
+    assert warm == cold
+    assert warm_memo.stats.hits == 6
+    assert warm_memo.stats.executed() == 0
+
+
+def test_hit_matches_live_execution_exactly(tmp_path):
+    memo = _memoizer(tmp_path)
+    spec = _spec()
+    SweepEngine(memo=memo).run(spec)
+    cell = spec.expand()[3]
+    cached = _memoizer(tmp_path).lookup(cell)
+    assert cached == run_cell(cell)
+
+
+def test_scenario_rename_does_not_split_the_cache(tmp_path):
+    memo = _memoizer(tmp_path)
+    SweepEngine(memo=memo).run(_spec(name="first"))
+    renamed = _memoizer(tmp_path)
+    SweepEngine(memo=renamed).run(_spec(name="second"))
+    assert renamed.stats.hits == 6
+
+
+def test_uncertified_runner_always_runs_live(tmp_path):
+    memo = _memoizer(tmp_path, certified=False)
+    result = SweepEngine(memo=memo).run(_spec())
+    assert memo.stats.uncertified == 6
+    assert memo.stats.hits == memo.stats.misses == 0
+    assert not (tmp_path / "memo.json").exists()
+    # The uncertified path still produces correct results.
+    assert result.to_json() == SweepEngine().run(_spec()).to_json()
+
+
+def test_stale_closure_bypasses_the_cache(tmp_path):
+    fresh = _memoizer(tmp_path)
+    SweepEngine(memo=fresh).run(_spec())
+    stale = Memoizer(cache_path=tmp_path / "memo.json",
+                     manifest_path=_manifest(tmp_path, stale=True),
+                     root=REPO)
+    SweepEngine(memo=stale).run(_spec())
+    assert stale.stats.hits == 0
+    assert stale.stats.uncertified == 6
+
+
+def test_missing_manifest_means_no_memoization(tmp_path):
+    memo = Memoizer(cache_path=tmp_path / "memo.json",
+                    manifest_path=tmp_path / "no-such.json", root=REPO)
+    SweepEngine(memo=memo).run(_spec())
+    assert memo.stats.uncertified == 6
+
+
+def test_corrupt_cache_file_recovers(tmp_path):
+    memo = _memoizer(tmp_path)
+    cold = SweepEngine(memo=memo).run(_spec()).to_json()
+    (tmp_path / "memo.json").write_text("{ not json !!")
+    recovered = _memoizer(tmp_path)
+    again = SweepEngine(memo=recovered).run(_spec()).to_json()
+    assert again == cold
+    assert recovered.stats.hits == 0
+    assert recovered.stats.misses == 6
+    # ... and the rewritten cache serves hits once more.
+    third = _memoizer(tmp_path)
+    SweepEngine(memo=third).run(_spec())
+    assert third.stats.hits == 6
+
+
+def test_cache_file_is_deterministic(tmp_path):
+    memo = _memoizer(tmp_path)
+    SweepEngine(memo=memo).run(_spec())
+    first = (tmp_path / "memo.json").read_bytes()
+    (tmp_path / "memo.json").unlink()
+    rebuilt = _memoizer(tmp_path)
+    SweepEngine(memo=rebuilt).run(_spec())
+    assert (tmp_path / "memo.json").read_bytes() == first
+
+
+def test_memocache_version_mismatch_reads_empty(tmp_path):
+    path = tmp_path / "memo.json"
+    path.write_text(json.dumps({"version": 999,
+                                "cells": {"k": {"metrics": {}}}}))
+    assert len(MemoCache(path)) == 0
+
+
+def test_single_cpu_host_falls_back_to_serial(monkeypatch, capsys):
+    import repro.runner.engine as engine_module
+
+    monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 1)
+    engine = SweepEngine(jobs=4)
+    result = engine.run(_spec())
+    assert engine.serial_fallback_reason is not None
+    assert "single-CPU" in capsys.readouterr().err
+    assert len(result.cells) == 6
+
+
+def test_multi_cpu_host_keeps_the_pool_path(monkeypatch):
+    import repro.runner.engine as engine_module
+
+    monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 8)
+    calls = {}
+
+    def fake_pool(self, cells):
+        calls["cells"] = list(cells)
+        return [run_cell(cell) for cell in cells]
+
+    monkeypatch.setattr(SweepEngine, "_run_pool", fake_pool)
+    engine = SweepEngine(jobs=4)
+    engine.run(_spec())
+    assert engine.serial_fallback_reason is None
+    assert len(calls["cells"]) == 6
+
+
+def test_memo_with_pool_path_only_executes_misses(monkeypatch, tmp_path):
+    import repro.runner.engine as engine_module
+
+    monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(
+        SweepEngine, "_run_pool",
+        lambda self, cells: [run_cell(cell) for cell in cells])
+    memo = _memoizer(tmp_path)
+    SweepEngine(jobs=4, memo=memo).run(_spec())
+    warm = _memoizer(tmp_path)
+    result = SweepEngine(jobs=4, memo=warm).run(_spec())
+    assert warm.stats.hits == 6
+    assert [cell.cell.index for cell in result.cells] == list(range(6))

@@ -1,0 +1,82 @@
+"""The no-label fast path must be invisible to readers (observer effect).
+
+Un-labelled ``inc``/``set``/``observe`` calls skip ``labelset`` (no
+tuple construction, no sort) on the hot telemetry path — PERF103's
+remedy.  These tests pin both halves of the contract: the fast path
+really does bypass ``labelset``, and its results are byte-for-byte the
+same as the slow path's (``labelset({}) == ()``), so enabling labels
+later never resegments existing series.
+"""
+
+import pytest
+
+import repro.telemetry.instruments as instruments
+from repro.telemetry.instruments import Counter, Gauge, Histogram
+
+
+@pytest.fixture()
+def labelset_calls(monkeypatch):
+    calls = []
+    real = instruments.labelset
+
+    def spy(labels):
+        calls.append(dict(labels))
+        return real(labels)
+
+    monkeypatch.setattr(instruments, "labelset", spy)
+    return calls
+
+
+def test_unlabelled_counter_never_normalizes(labelset_calls):
+    counter = Counter("requests")
+    counter.inc()
+    counter.inc(2.0)
+    assert counter.value() == 3.0
+    assert counter.total() == 3.0
+    assert labelset_calls == []
+
+
+def test_labelled_counter_still_normalizes(labelset_calls):
+    counter = Counter("requests")
+    counter.inc(app="maps")
+    assert counter.value(app="maps") == 1.0
+    assert any("app" in call for call in labelset_calls)
+
+
+def test_fast_and_slow_paths_share_the_empty_series():
+    fast = Counter("fast")
+    fast.inc(5.0)
+    slow = Counter("slow")
+    slow.inc(5.0, **{})
+    assert fast.labelsets() == slow.labelsets() == [()]
+    assert fast.value() == slow.value() == 5.0
+
+
+def test_unlabelled_gauge_never_normalizes(labelset_calls):
+    gauge = Gauge("depth")
+    gauge.set(4.0)
+    gauge.add(1.0)
+    assert gauge.value() == 5.0
+    assert labelset_calls == []
+
+
+def test_unlabelled_histogram_record_path_never_normalizes(
+        labelset_calls):
+    histogram = Histogram("latency")
+    for value in (1.0, 2.0, 3.0):
+        histogram.observe(value)
+    # Only the *record* path is hot; the assertion precedes the read
+    # side (``summary`` aggregates via subset matching, which may
+    # normalize — that is fine off the hot path).
+    assert labelset_calls == []
+    assert histogram.summary()["count"] == 3
+
+
+def test_mixed_usage_keeps_series_separate():
+    counter = Counter("hits")
+    counter.inc()
+    counter.inc(app="maps")
+    counter.inc()
+    assert counter.value() == 2.0
+    assert counter.value(app="maps") == 1.0
+    assert counter.total() == 3.0

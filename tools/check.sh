@@ -23,14 +23,20 @@ echo "==> repro.lint program-pass determinism"
 # (b) indistinguishable between a cold build and an incremental-cache
 # hit — byte-identical JSON in both comparisons.
 lint_cold_a=$(mktemp) lint_cold_b=$(mktemp) lint_cached=$(mktemp)
+effects_cold=$(mktemp) effects_cached=$(mktemp)
 spans_a=$(mktemp) spans_b=$(mktemp) trace_a=$(mktemp)
 sweep_serial=$(mktemp) sweep_parallel=$(mktemp)
+memo_file=$(mktemp) memo_cold=$(mktemp) memo_warm=$(mktemp)
+memo_stats=$(mktemp)
 bench_a=$(mktemp) bench_b=$(mktemp) diff_out=$(mktemp)
 trap 'rm -f "$lint_cold_a" "$lint_cold_b" "$lint_cached" \
+    "$effects_cold" "$effects_cached" \
     "$spans_a" "$spans_b" "$trace_a" \
     "$sweep_serial" "$sweep_parallel" \
+    "$memo_file" "$memo_cold" "$memo_warm" "$memo_stats" \
     "$bench_a" "$bench_b" "$diff_out"' EXIT
 python -m repro.lint --format json --no-cache > "$lint_cold_a"
+cp build/effects.json "$effects_cold"
 python -m repro.lint --format json --no-cache > "$lint_cold_b"
 if ! cmp -s "$lint_cold_a" "$lint_cold_b"; then
     echo "FAIL: two cold repro.lint runs produced different JSON" >&2
@@ -38,8 +44,15 @@ if ! cmp -s "$lint_cold_a" "$lint_cold_b"; then
 fi
 python -m repro.lint --format json > /dev/null   # warm the cache
 python -m repro.lint --format json > "$lint_cached"
+cp build/effects.json "$effects_cached"
 if ! cmp -s "$lint_cold_a" "$lint_cached"; then
     echo "FAIL: cached repro.lint run differs from a cold build" >&2
+    exit 1
+fi
+# The effect manifest rides along with every lint run and must be just
+# as cache-indifferent as the findings themselves.
+if ! cmp -s "$effects_cold" "$effects_cached"; then
+    echo "FAIL: build/effects.json differs between cold and cached lint" >&2
     exit 1
 fi
 
@@ -95,6 +108,32 @@ python -m repro.cli sweep $sweep_args --jobs 2 \
     --output "$sweep_parallel" >/dev/null
 if ! cmp -s "$sweep_serial" "$sweep_parallel"; then
     echo "FAIL: sweep --jobs 2 JSON differs from --jobs 1" >&2
+    exit 1
+fi
+
+echo "==> repro.cli sweep --memo (effect-certified memoization)"
+# The lint runs above wrote build/effects.json, which certifies the
+# pacm-demo runner as pure modulo seed. A cold-then-warm memoized sweep
+# must agree byte-for-byte on stdout while the warm run serves every
+# cell from the cache (10 executed live, then 0).
+memo_args="--runner pacm-demo --seeds 0,1,2,3,4 \
+    --axis params.catalog=32,64 --json --memo $memo_file --stats"
+python -m repro.cli sweep $memo_args \
+    --output "$memo_cold" 2> "$memo_stats"
+if ! grep -q "10 executed live" "$memo_stats"; then
+    echo "FAIL: cold memoized sweep did not execute all 10 cells:" >&2
+    cat "$memo_stats" >&2
+    exit 1
+fi
+python -m repro.cli sweep $memo_args \
+    --output "$memo_warm" 2> "$memo_stats"
+if ! grep -q "0 executed live" "$memo_stats"; then
+    echo "FAIL: warm memoized sweep executed cells live:" >&2
+    cat "$memo_stats" >&2
+    exit 1
+fi
+if ! cmp -s "$memo_cold" "$memo_warm"; then
+    echo "FAIL: memoized sweep JSON differs from the cold run" >&2
     exit 1
 fi
 
