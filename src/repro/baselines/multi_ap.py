@@ -11,6 +11,14 @@ object.  This module restores that form on top of the single-AP pieces:
   AP over the wired LAN (slightly slower than the home AP, still far
   cheaper than the edge);
 * misses fill the *home* AP's cache, so content naturally spreads.
+
+When the testbed is instrumented, every AP additionally carries its own
+*telemetry shard* — a private :class:`~repro.telemetry.Telemetry`
+registry (sketch-backed histograms, so shards stay fixed-memory and
+mergeable) recording ``fleet.*`` instruments.  :meth:`fleet_rollup`
+folds the shards into one controller-side registry; the fold is
+order-independent, so the merged view is byte-identical however the
+fleet reports in.  ``repro.cli obs --fleet N`` renders it.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.baselines.wicache import (
 )
 from repro.dnslib.server import ForwardingDnsService
 from repro.net.node import Node
+from repro.telemetry.registry import Telemetry
 from repro.testbed import Testbed
 
 __all__ = ["WiCacheDistributedSystem"]
@@ -44,6 +53,7 @@ class WiCacheDistributedSystem(CachingSystem):
         self.cache_capacity_per_ap = cache_capacity_per_ap
         self.controller: WiCacheController | None = None
         self.agents: list[WiCacheAgent] = []
+        self.shards: list[Telemetry] = []
         self._ap_names: list[str] = []
         self._next_home = 0
 
@@ -57,12 +67,21 @@ class WiCacheDistributedSystem(CachingSystem):
         for index in range(1, self.n_aps):
             bed.add_peer_ap(f"ap{index + 1}")
             self._ap_names.append(f"ap{index + 1}")
+        self.shards = []
         for ap_name in self._ap_names:
+            # One private shard registry per AP (only when the run is
+            # instrumented): sketch histograms keep each shard fixed-
+            # memory and make the cross-AP fold exact-count mergeable.
+            shard = (Telemetry(bed.sim, histogram_backend="sketch")
+                     if bed.telemetry.enabled else None)
             agent = WiCacheAgent(bed, self.controller,
                                  self.cache_capacity_per_ap,
-                                 node=bed.network.node(ap_name))
+                                 node=bed.network.node(ap_name),
+                                 telemetry=shard)
             agent.install()
             self.agents.append(agent)
+            if shard is not None:
+                self.shards.append(shard)
 
     def home_ap_name(self, index: int | None = None) -> str:
         """Round-robin home-AP assignment for new clients."""
@@ -102,3 +121,16 @@ class WiCacheDistributedSystem(CachingSystem):
             "controller_lookups": float(
                 self.controller.lookups if self.controller else 0),
         }
+
+    def fleet_states(self) -> list[dict[str, object]]:
+        """Every AP shard's :meth:`Telemetry.state_dict` snapshot."""
+        return [shard.state_dict() for shard in self.shards]
+
+    def fleet_rollup(self) -> Telemetry:
+        """The controller view: all per-AP shards folded into one.
+
+        The fold is associative and commutative, so any reporting
+        order over the same shards yields byte-identical exports.
+        Empty when the run was not instrumented.
+        """
+        return Telemetry.from_states(self.fleet_states())

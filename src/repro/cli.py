@@ -140,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="emit the full per-cell JSON document "
                             "instead of a table")
+    sweep.add_argument("--merged-telemetry", type=str, default=None,
+                       metavar="FILE",
+                       help="fold every cell's telemetry shard into "
+                            "one registry and write its metric JSONL "
+                            "to FILE (implies --telemetry; "
+                            "byte-identical across --jobs)")
     sweep.add_argument("--output", type=str, default=None,
                        help="write results to this file instead of stdout")
 
@@ -160,6 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--profile", action="store_true",
                      help="also report host events/sec and wall-ms "
                           "per sim-s")
+    obs.add_argument("--backend", type=str, default="exact",
+                     choices=("exact", "sketch"),
+                     help="histogram storage: exact raw samples or "
+                          "the fixed-memory mergeable quantile sketch "
+                          "(default exact)")
+    obs.add_argument("--tail-threshold-ms", type=float, default=None,
+                     metavar="MS",
+                     help="tail-sample traces: keep every request "
+                          "slower than MS end-to-end (plus errors)")
+    obs.add_argument("--tail-sample-every", type=int, default=0,
+                     metavar="N",
+                     help="tail-sample traces: also keep a "
+                          "deterministic 1-in-N baseline")
+    obs.add_argument("--fleet", type=int, default=0, metavar="N_APS",
+                     help="also run an N-AP distributed Wi-Cache "
+                          "fleet and render the merged per-AP shard "
+                          "rollup (per-AP hit ratio + Gini)")
+    obs.add_argument("--top", type=int, default=0, metavar="N",
+                     help="also list the N slowest request traces "
+                          "with per-stage self-times")
 
     sentry = subparsers.add_parser(
         "sentry", parents=[common],
@@ -261,7 +287,8 @@ def _run_sweep(args: argparse.Namespace) -> str:
         name=args.name, systems=systems, seeds=seeds,
         workload=WorkloadConfig(**workload_kwargs), axes=axes,
         overrides=overrides, duration_s=args.duration_s,
-        runner=args.runner, telemetry=args.telemetry)
+        runner=args.runner,
+        telemetry=args.telemetry or bool(args.merged_telemetry))
     memo = None
     if args.memo:
         from repro.runner.memo import Memoizer
@@ -271,6 +298,13 @@ def _run_sweep(args: argparse.Namespace) -> str:
     result = engine.run(spec)
     if args.stats and memo is not None:
         print(memo.stats.summary(), file=sys.stderr)
+    if args.merged_telemetry:
+        from repro.telemetry.export import write_metrics_jsonl
+
+        count = write_metrics_jsonl(result.merged_telemetry(),
+                                    args.merged_telemetry)
+        print(f"sweep: wrote {count} merged metric records to "
+              f"{args.merged_telemetry}", file=sys.stderr)
     if args.json:
         return result.to_json()
     return cells_table(result).render()
@@ -360,7 +394,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             run_obs(quick, args.seed, spans_path=args.spans,
                     profile=args.profile,
                     metrics_path=args.export_metrics,
-                    trace_path=args.export_trace), args.format)
+                    trace_path=args.export_trace,
+                    backend=args.backend,
+                    tail_threshold_ms=args.tail_threshold_ms,
+                    tail_sample_every=args.tail_sample_every,
+                    fleet=args.fleet, top=args.top), args.format)
     elif args.command == "sentry":
         from repro.errors import ConfigError
         from repro.telemetry.sentry import DEFAULT_REPORT_PATH, \

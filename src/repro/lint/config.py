@@ -92,6 +92,9 @@ class LintConfig:
     experiments_paths: tuple[str, ...] = _DEFAULT_EXPERIMENTS_PATHS
     #: Receiver substrings identifying telemetry span scopes (TEL002).
     span_receiver_hints: tuple[str, ...] = _DEFAULT_SPAN_RECEIVER_HINTS
+    #: Qualified-name prefixes exempt from the per-iteration-span rule
+    #: (TEL003) — drivers that genuinely must open a span per loop turn.
+    span_loop_allow: tuple[str, ...] = ()
     #: Where ``repro.lint`` writes the effect manifest, relative to root.
     effects_manifest: str = "build/effects.json"
     #: Dotted refs that EFF101 requires to be certified pure-modulo-seed
@@ -169,6 +172,7 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
              "cacheable-priority-range", "telemetry-paths",
              "telemetry-profiling-allow", "experiments-paths",
              "program-cache", "span-receiver-hints",
+             "span-loop-allow",
              "effects-manifest", "effects-require-pure",
              "perf-hot-paths"}
     unknown = set(table) - known
@@ -212,6 +216,7 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
                                    _DEFAULT_EXPERIMENTS_PATHS),
         span_receiver_hints=_strings("span-receiver-hints",
                                      _DEFAULT_SPAN_RECEIVER_HINTS),
+        span_loop_allow=_strings("span-loop-allow", ()),
         effects_manifest=str(table.get("effects-manifest",
                                        "build/effects.json")),
         effects_require_pure=_strings("effects-require-pure", ()),

@@ -24,7 +24,7 @@ __all__ = ["CACHE_VERSION", "SummaryCache", "load_cache", "save_cache"]
 
 #: Bump when the summary schema or extraction semantics change; old
 #: caches are then ignored wholesale.
-CACHE_VERSION = 3  # v3: effect facts (globals, mutations, loop records)
+CACHE_VERSION = 4  # v4: span starts carry their enclosing loop line
 
 
 class SummaryCache:

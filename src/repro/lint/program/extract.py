@@ -231,6 +231,8 @@ class _FunctionExtractor:
         self.span_sites: list[tuple[str, int, int]] = []
         self._span_index: dict[tuple[str, int, int], int] = {}
         self.span_usage: list[str] = []
+        #: Innermost enclosing loop line per span site (0 = no loop).
+        self.span_loops: list[int] = []
         self.entered_calls: set[int] = set()
         self.global_reads: list[GlobalRec] = []
         self._global_read_index: dict[str, int] = {}
@@ -285,7 +287,8 @@ class _FunctionExtractor:
             process_refs=tuple(sorted(self.process_refs)),
             span_starts=tuple(
                 SpanStartRec(receiver=receiver, line=line, col=col,
-                             usage=self.span_usage[index])
+                             usage=self.span_usage[index],
+                             loop_line=self.span_loops[index])
                 for index, (receiver, line, col)
                 in enumerate(self.span_sites)),
             entered_calls=tuple(sorted(self.entered_calls)),
@@ -339,6 +342,8 @@ class _FunctionExtractor:
             index = len(self.span_sites)
             self.span_sites.append(key)
             self.span_usage.append("leaked")
+            self.span_loops.append(self._loop_stack[-1][0]
+                                   if self._loop_stack else 0)
             self._span_index[key] = index
         return ("span", index)
 

@@ -147,20 +147,25 @@ class SpanStartRec:
     cacheable.  ``usage`` records how the produced scope is consumed
     locally: ``"with"`` (entered), ``"returned"`` (responsibility hands
     to the caller — a factory), or ``"leaked"`` (neither).
+    ``loop_line`` is the innermost enclosing loop statement's line, or
+    0 when the start is not inside a loop (TEL003).
     """
 
     receiver: str
     line: int
     col: int
     usage: str
+    loop_line: int = 0
 
     def to_json(self) -> list[object]:
-        return [self.receiver, self.line, self.col, self.usage]
+        return [self.receiver, self.line, self.col, self.usage,
+                self.loop_line]
 
     @staticmethod
     def from_json(data: _t.Sequence[object]) -> "SpanStartRec":
         return SpanStartRec(str(data[0]), int(_t.cast(int, data[1])),
-                            int(_t.cast(int, data[2])), str(data[3]))
+                            int(_t.cast(int, data[2])), str(data[3]),
+                            int(_t.cast(int, data[4])))
 
 
 @dataclasses.dataclass(frozen=True, order=True)

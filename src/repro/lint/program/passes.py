@@ -360,6 +360,55 @@ class HotLoopClosure(ProgramChecker):
 
 
 @register_program
+class HotLoopSpan(ProgramChecker):
+    """TEL003: a telemetry span opened on every turn of a hot loop.
+
+    A ``with telemetry.span(...)`` inside a loop of a simulation
+    process (or a configured hot path) mints one trace per iteration
+    straight into the span ring, bypassing the tail sampler's
+    root-finish decision: the sampler only governs traces whose roots
+    are opened by the instrumented components it is attached to, and a
+    driver loop stamping its own request spans floods the flight
+    recorder no matter how the sampler is configured.  Open request
+    spans in the instrumented client/AP component instead, or
+    allow-list a genuinely per-iteration driver under
+    ``[tool.repro-lint] span-loop-allow``.
+    """
+
+    code = "TEL003"
+    description = ("telemetry span opened on every iteration of a "
+                   "hot-path loop (simulation process or perf-hot-"
+                   "paths function), bypassing tail-based sampling")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        hints = tuple(hint.lower()
+                      for hint in config.span_receiver_hints)
+        allowed = tuple(config.span_loop_allow)
+        for name in sorted(_hot_functions(program, config)):
+            if allowed and name.startswith(allowed):
+                continue
+            function = program.functions[name]
+            for record in function.span_starts:
+                if not record.loop_line:
+                    continue
+                lowered = record.receiver.lower()
+                if not any(hint in lowered for hint in hints):
+                    continue
+                yield Finding(
+                    path=function.path, line=record.line,
+                    col=record.col, code=self.code,
+                    message=(f"{record.receiver}.span(...) is opened "
+                             f"on every iteration of the loop at line "
+                             f"{record.loop_line} in hot path {name}, "
+                             f"bypassing the tail sampler; open "
+                             f"request spans in the instrumented "
+                             f"component, or allow-list this driver "
+                             f"under [tool.repro-lint] "
+                             f"span-loop-allow"))
+
+
+@register_program
 class HotLoopAttributeReload(ProgramChecker):
     """PERF102: the same attribute chain loaded repeatedly in a hot loop.
 

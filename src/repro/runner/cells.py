@@ -27,7 +27,8 @@ from repro.runner.spec import Cell
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.baselines.base import CachingSystem
 
-__all__ = ["execute_workload", "workload_cell", "telemetry_snapshot"]
+__all__ = ["execute_workload", "workload_cell", "telemetry_snapshot",
+           "telemetry_state"]
 
 ProcessFactory = _t.Callable[..., _t.Generator[object, object, object]]
 
@@ -55,6 +56,21 @@ def telemetry_snapshot(workload: Workload) -> list[dict[str, object]]:
     if bed is None:
         return []
     return metric_records(bed.telemetry)
+
+
+def telemetry_state(workload: Workload) -> dict[str, object] | None:
+    """The finished run's mergeable registry shard.
+
+    This is the raw :meth:`~repro.telemetry.Telemetry.state_dict` —
+    unlike :func:`telemetry_snapshot`'s rendered records it can be
+    *folded*: the engine merges every cell's shard into one fleet
+    registry (``SweepResult.merged_telemetry``), byte-identically
+    regardless of worker count or completion order.
+    """
+    bed = getattr(workload, "_last_bed", None)
+    if bed is None or not bed.telemetry.enabled:
+        return None
+    return bed.telemetry.state_dict()
 
 
 @register_runner("workload")
@@ -95,4 +111,5 @@ def workload_cell(cell: Cell) -> dict[str, object]:
                                   "metrics": metrics}
     if cell.telemetry:
         payload["telemetry"] = telemetry_snapshot(workload)
+        payload["telemetry_state"] = telemetry_state(workload)
     return payload

@@ -33,6 +33,7 @@ from repro.runner.spec import Cell, ScenarioSpec
 
 if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.runner.memo import Memoizer
+    from repro.telemetry.registry import Telemetry
 
 __all__ = ["CellResult", "SweepResult", "SweepEngine", "run_cell"]
 
@@ -48,6 +49,9 @@ class CellResult:
     metrics: dict[str, object]
     #: Telemetry metric records, when the cell asked for a snapshot.
     telemetry: list[dict[str, object]] | None = None
+    #: Mergeable registry shard (``Telemetry.state_dict``), when the
+    #: cell asked for telemetry; folds via ``merged_telemetry``.
+    telemetry_state: dict[str, object] | None = None
 
     def row(self) -> dict[str, object]:
         """Identity columns + metrics, the generic table row shape."""
@@ -88,6 +92,28 @@ class SweepResult:
             } for result in self.cells],
         }
         return json.dumps(payload, sort_keys=True, indent=2, default=str)
+
+    def merged_telemetry(self) -> "Telemetry":
+        """Every cell's registry shard folded into one fleet registry.
+
+        Counters/gauges sum, histograms merge (exact sample multisets
+        or sketch buckets), and the fold is order-independent — the
+        merged registry's exports are byte-identical whether the sweep
+        ran serial, pooled, or memoized.  Cells that carried no shard
+        (telemetry off, bespoke runners) contribute nothing; raises
+        when *no* cell carried one, since silently returning an empty
+        registry would read as "the sweep recorded nothing".
+        """
+        from repro.errors import TelemetryError
+        from repro.telemetry.registry import Telemetry
+
+        states = [result.telemetry_state for result in self.cells
+                  if result.telemetry_state is not None]
+        if not states:
+            raise TelemetryError(
+                f"sweep {self.spec.name!r} carried no telemetry "
+                f"shards (run with telemetry enabled)")
+        return Telemetry.from_states(states)
 
 
 def run_cell(cell: Cell) -> dict[str, object]:
@@ -176,7 +202,9 @@ class SweepEngine:
                 system_name=_t.cast(str, envelope["system_name"]),
                 metrics=_t.cast(dict, envelope["metrics"]),
                 telemetry=_t.cast("list | None",
-                                  envelope.get("telemetry"))))
+                                  envelope.get("telemetry")),
+                telemetry_state=_t.cast(
+                    "dict | None", envelope.get("telemetry_state"))))
         return SweepResult(spec=spec, cells=results)
 
     def _run_pool(self, cells: list[Cell]) -> list[dict[str, object]]:

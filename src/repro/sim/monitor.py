@@ -19,16 +19,37 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Series", "MetricSet", "percentile"]
 
 
-def percentile(values: _t.Sequence[float], q: float) -> float:
+def percentile(values: _t.Sequence[float], q: float,
+               weights: _t.Sequence[float] | None = None) -> float:
     """Linear-interpolation percentile, ``q`` in [0, 100].
 
     Matches ``numpy.percentile``'s default behaviour but avoids pulling
     numpy into hot simulation paths.
+
+    With ``weights`` (positive, one per value — how many requests each
+    sample stands in for under tail-based trace sampling), samples are
+    placed at positions ``t_i = (c_i - w_i) / (W - w_n)`` over their
+    sorted order (``c_i`` = cumulative weight through sample i, ``W``
+    total weight, ``w_n`` the last sorted sample's weight) and linearly
+    interpolated between.  Unit weights reduce to exactly
+    ``t_i = (i-1)/(n-1)`` — the unweighted formula — and that case is
+    dispatched to the unweighted code path so results are
+    bit-identical.
     """
     if not values:
         raise ValueError("percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be within [0, 100], got {q}")
+    if weights is not None:
+        if len(weights) != len(values):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(values)} values")
+        if any(weight <= 0 for weight in weights):
+            raise ValueError("weights must be positive")
+        if all(weight == 1.0 for weight in weights):
+            weights = None  # bit-identical to the unweighted path
+    if weights is not None:
+        return _weighted_percentile(values, q, weights)
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -39,6 +60,30 @@ def percentile(values: _t.Sequence[float], q: float) -> float:
         return ordered[low]
     fraction = rank - low
     return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def _weighted_percentile(values: _t.Sequence[float], q: float,
+                         weights: _t.Sequence[float]) -> float:
+    pairs = sorted(zip(values, weights))
+    if len(pairs) == 1:
+        return pairs[0][0]
+    total = math.fsum(weight for _value, weight in pairs)
+    span = total - pairs[-1][1]
+    if span <= 0.0:  # pragma: no cover - positive weights, n >= 2
+        return pairs[-1][0]
+    target = q / 100.0
+    cumulative = 0.0
+    previous_value, previous_t = pairs[0][0], 0.0
+    for value, weight in pairs:
+        cumulative += weight
+        t = min((cumulative - weight) / span, 1.0)
+        if t >= target:
+            if t <= previous_t:
+                return value
+            fraction = (target - previous_t) / (t - previous_t)
+            return previous_value * (1.0 - fraction) + value * fraction
+        previous_value, previous_t = value, t
+    return pairs[-1][0]
 
 
 class Series:
@@ -106,6 +151,19 @@ class Series:
             "p95": self.p95(),
         }
 
+    def merge(self, other: "Series") -> "Series":
+        """Fold another series' samples into this one; returns self.
+
+        The combined samples are re-sorted by (time, value) — a
+        canonical multiset order — so merged summaries are identical
+        regardless of the order shards are folded in.
+        """
+        combined = sorted(zip(self.times + other.times,
+                              self.values + other.values))
+        self.times = [time for time, _value in combined]
+        self.values = [value for _time, value in combined]
+        return self
+
 
 class MetricSet:
     """A named collection of :class:`Series`, created lazily on record.
@@ -151,3 +209,17 @@ class MetricSet:
         return {name: series.summary()
                 for name, series in sorted(self._series.items())
                 if series.count}
+
+    def merge(self, other: "MetricSet") -> "MetricSet":
+        """Fold another metric set into this one, series by series.
+
+        Associative and commutative (delegates to :meth:`Series.merge`,
+        which canonicalizes sample order), so per-shard metric sets
+        roll up into one fleet view in any order.  Mirroring targets
+        are not merged — only the samples travel.
+        """
+        for name in sorted(other._series):
+            incoming = other._series[name]
+            if incoming.count:
+                self.series(name).merge(incoming)
+        return self

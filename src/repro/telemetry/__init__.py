@@ -40,6 +40,7 @@ from repro.telemetry.export import (
 )
 from repro.telemetry.instruments import (
     DEFAULT_LATENCY_BUCKETS_MS,
+    HISTOGRAM_BACKENDS,
     Counter,
     Gauge,
     Histogram,
@@ -49,6 +50,8 @@ from repro.telemetry.instruments import (
 )
 from repro.telemetry.profiling import HostProfile, HostProfileReport
 from repro.telemetry.registry import NULL, NullTelemetry, Telemetry
+from repro.telemetry.sampling import TailSampler
+from repro.telemetry.sketch import DEFAULT_RELATIVE_ERROR, QuantileSketch
 from repro.telemetry.spans import (
     Span,
     SpanLog,
@@ -61,7 +64,9 @@ __all__ = [
     "AttributionReport",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_RELATIVE_ERROR",
     "Gauge",
+    "HISTOGRAM_BACKENDS",
     "Histogram",
     "HostProfile",
     "HostProfileReport",
@@ -69,10 +74,12 @@ __all__ = [
     "LabelSet",
     "NULL",
     "NullTelemetry",
+    "QuantileSketch",
     "Span",
     "SpanLog",
     "SpanRecord",
     "SpanScope",
+    "TailSampler",
     "Telemetry",
     "TraceTree",
     "attribute",

@@ -284,6 +284,14 @@ class TraceAttribution:
     total_ms: float
     #: Stage (span name) → self time; values sum to ``total_ms``.
     self_ms: dict[str, float]
+    #: How many requests this trace stands in for — 1.0 normally, the
+    #: sampling rate for a 1-in-N keep under tail-based sampling
+    #: (``sample.weight`` on the root span); aggregation weights every
+    #: statistic by it so attribution still telescopes to fleet totals.
+    weight: float = 1.0
+    #: Why the sampler kept this trace (``tail``/``error``/``sampled``;
+    #: empty when no sampler ran).
+    sample_reason: str = ""
 
 
 def attribute_tree(tree: TraceTree) -> TraceAttribution:
@@ -323,18 +331,43 @@ def attribute_tree(tree: TraceTree) -> TraceAttribution:
         app=str(root.attrs.get("app", "?")),
         source=str(root.attrs.get("source", "?")),
         total_ms=root.duration_ms,
-        self_ms=self_ms)
+        self_ms=self_ms,
+        weight=float(_t.cast(float,
+                             root.attrs.get("sample.weight", 1.0))),
+        sample_reason=str(root.attrs.get("sample.reason", "")))
 
 
-def _summary(samples: _t.Sequence[float]) -> dict[str, float]:
+def _summary(samples: _t.Sequence[float],
+             weights: _t.Sequence[float] | None = None,
+             ) -> dict[str, float]:
+    """Count/mean/percentiles, optionally weighted.
+
+    Each weighted sample stands in for ``weight`` requests (tail-based
+    sampling), so ``count`` is the total weight and mean/percentiles
+    are weight-expanded.  All-unit weights dispatch to the exact
+    unweighted arithmetic, keeping unsampled reports bit-identical.
+    """
     if not samples:
         return {"count": 0.0}
+    if weights is not None and all(w == 1.0 for w in weights):
+        weights = None
+    if weights is None:
+        return {
+            "count": float(len(samples)),
+            "mean": math.fsum(samples) / len(samples),
+            "p50": percentile(samples, 50.0),
+            "p95": percentile(samples, 95.0),
+            "p99": percentile(samples, 99.0),
+            "max": max(samples),
+        }
+    total_weight = math.fsum(weights)
     return {
-        "count": float(len(samples)),
-        "mean": math.fsum(samples) / len(samples),
-        "p50": percentile(samples, 50.0),
-        "p95": percentile(samples, 95.0),
-        "p99": percentile(samples, 99.0),
+        "count": total_weight,
+        "mean": math.fsum(value * weight for value, weight
+                          in zip(samples, weights)) / total_weight,
+        "p50": percentile(samples, 50.0, weights=weights),
+        "p95": percentile(samples, 95.0, weights=weights),
+        "p99": percentile(samples, 99.0, weights=weights),
         "max": max(samples),
     }
 
@@ -359,7 +392,9 @@ class AttributionReport:
         """Stage → per-request self-time samples, filtered by source.
 
         The pseudo-stage ``total`` carries the per-request end-to-end
-        latency.  ``source="*"`` merges every request path.
+        latency.  ``source="*"`` merges every request path.  Under
+        tail-based sampling, pair with :meth:`stage_weights` (aligned
+        element-for-element) to weight the samples.
         """
         samples: dict[str, list[float]] = {}
         for attribution in self.requests:
@@ -371,13 +406,32 @@ class AttributionReport:
                     attribution.self_ms[stage])
         return samples
 
+    def stage_weights(self, source: str = "*",
+                      ) -> dict[str, list[float]]:
+        """Stage → per-request sampling weights, aligned with
+        :meth:`stage_samples` (same filter, same iteration order)."""
+        weights: dict[str, list[float]] = {}
+        for attribution in self.requests:
+            if source != "*" and attribution.source != source:
+                continue
+            weights.setdefault("total", []).append(attribution.weight)
+            for stage in sorted(attribution.self_ms):
+                weights.setdefault(stage, []).append(attribution.weight)
+        return weights
+
     def summary(self) -> dict[str, dict[str, dict[str, float]]]:
-        """``source → stage → {count, mean, p50, p95, p99, max}``."""
+        """``source → stage → {count, mean, p50, p95, p99, max}``.
+
+        Weighted by each trace's sampling weight, so a 1-in-N sampled
+        trace counts as N requests; unsampled runs (all weights 1) are
+        bit-identical to the historical unweighted summary.
+        """
         result: dict[str, dict[str, dict[str, float]]] = {}
         for source in ("*", *self.sources()):
             per_stage = self.stage_samples(source)
+            per_weight = self.stage_weights(source)
             result[source] = {
-                stage: _summary(per_stage[stage])
+                stage: _summary(per_stage[stage], per_weight[stage])
                 for stage in sorted(per_stage)}
         return result
 
@@ -390,19 +444,26 @@ class AttributionReport:
                      "p50_ms", "p95_ms", "p99_ms"])
         for source in self.sources():
             per_stage = self.stage_samples(source)
-            total = math.fsum(per_stage.get("total", ()))
+            per_weight = self.stage_weights(source)
+            total = math.fsum(
+                value * weight for value, weight
+                in zip(per_stage.get("total", ()),
+                       per_weight.get("total", ())))
             for stage in sorted(per_stage):
                 if stage == "total":
                     continue
-                stats = _summary(per_stage[stage])
-                stage_sum = math.fsum(per_stage[stage])
+                stats = _summary(per_stage[stage], per_weight[stage])
+                stage_sum = math.fsum(
+                    value * weight for value, weight
+                    in zip(per_stage[stage], per_weight[stage]))
                 table.add_row(
                     source=source, stage=stage,
                     count=int(stats["count"]),
                     share=stage_sum / total if total else 0.0,
                     mean_ms=stats["mean"], p50_ms=stats["p50"],
                     p95_ms=stats["p95"], p99_ms=stats["p99"])
-            stats = _summary(per_stage.get("total", ()))
+            stats = _summary(per_stage.get("total", ()),
+                             per_weight.get("total", ()))
             if stats["count"]:
                 table.add_row(source=source, stage="(end-to-end)",
                               count=int(stats["count"]), share=1.0,
@@ -415,6 +476,13 @@ class AttributionReport:
         table.notes.append(
             "per-stage self-times: each instant belongs to the deepest "
             "active span, so stages sum exactly to end-to-end")
+        weighted = math.fsum(attribution.weight
+                             for attribution in self.requests)
+        if weighted != float(len(self.requests)):
+            table.notes.append(
+                f"tail-sampled: {len(self.requests)} kept traces stand "
+                f"in for {weighted:.0f} requests (stats weighted by "
+                f"sample.weight)")
         return table
 
     def to_json_dict(self) -> dict[str, object]:
@@ -550,15 +618,26 @@ def _metric_key(record: _t.Mapping[str, object]) -> str:
     labels = _t.cast(_t.Mapping[str, object], record.get("labels", {}))
     rendered = ",".join(f"{key}={labels[key]}"
                         for key in sorted(labels))
-    return f"{record.get('name')}{{{rendered}}}"
+    key = f"{record.get('name')}{{{rendered}}}"
+    # Histogram series state their percentile backend in the key, so
+    # an exact-mode run never diffs "equal" against a sketch-mode run:
+    # same numbers from different estimators are different series.
+    summary = record.get("summary")
+    if isinstance(summary, _t.Mapping):
+        backend = summary.get("backend")
+        if backend:
+            key += f"#{backend}"
+    return key
 
 
 def _metric_values(record: _t.Mapping[str, object],
                    ) -> dict[str, float]:
     if record.get("kind") == "histogram":
-        summary = _t.cast(_t.Mapping[str, float],
+        summary = _t.cast(_t.Mapping[str, object],
                           record.get("summary", {}))
-        return {key: float(summary[key]) for key in sorted(summary)}
+        return {key: float(_t.cast(float, summary[key]))
+                for key in sorted(summary)
+                if isinstance(summary[key], (int, float))}
     value = record.get("value")
     if isinstance(value, (int, float)):
         return {"value": float(value)}

@@ -8,30 +8,46 @@ as sorted tuples, which makes aggregation and export order
 deterministic regardless of call order.
 
 Histograms record latency-style samples against fixed bucket upper
-bounds (sim-milliseconds by default) *and* retain the raw samples, so
-percentiles are exact (computed through
-:func:`repro.sim.monitor.percentile` — the repository's one percentile
-implementation) rather than bucket-interpolated.
+bounds (sim-milliseconds by default) and come in two **backends**:
 
-Retained samples are bounded: pass ``max_samples`` to cap how many raw
-samples each label set keeps (percentiles are *exact until the cap*,
-then computed over the first ``max_samples`` observations, with
-bucket counts/sum/count staying exact forever).  Drops are counted per
-instrument and surfaced through the registry's
-``telemetry.samples_dropped`` counter, so a million-request run cannot
-silently degrade its percentiles — see docs/telemetry.md.
+* ``backend="exact"`` retains the raw samples, so percentiles are exact
+  (computed through :func:`repro.sim.monitor.percentile` — the
+  repository's one percentile implementation).  Pass ``max_samples`` to
+  cap how many raw samples each label set keeps (percentiles are
+  *exact until the cap*, then computed over the first ``max_samples``
+  observations, with bucket counts/sum/count staying exact forever).
+  Drops are counted per instrument and surfaced through the registry's
+  ``telemetry.samples_dropped`` counter, so a million-request run
+  cannot silently degrade its percentiles — see docs/telemetry.md.
+* ``backend="sketch"`` summarizes each label set in a fixed-memory
+  :class:`~repro.telemetry.sketch.QuantileSketch` instead: percentiles
+  carry a configurable relative-error bound while count/sum/min/max
+  stay exact and memory stops growing with the sample count — the
+  fleet-scale backend.
+
+Every instrument is **mergeable**: :meth:`Instrument.merge` folds a
+shard's state into this one, and :meth:`state_dict` /
+:meth:`merge_state` round-trip the same fold through JSON for
+cross-process hand-off (sweep workers, per-AP fleet shards).  The merge
+is associative and commutative, and all float accumulation is kept as
+flat per-shard term lists folded with :func:`math.fsum` at read time
+(exact summation, rounded once), so merged exports are byte-identical
+regardless of shard order — the contract docs/telemetry.md specifies
+and ``tests/telemetry/test_merge.py`` property-checks.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import typing as _t
 
 from repro.errors import TelemetryError
 from repro.sim.monitor import percentile
+from repro.telemetry.sketch import DEFAULT_RELATIVE_ERROR, QuantileSketch
 
 __all__ = ["Counter", "Gauge", "Histogram", "Instrument", "LabelSet",
-           "DEFAULT_LATENCY_BUCKETS_MS", "labelset"]
+           "DEFAULT_LATENCY_BUCKETS_MS", "HISTOGRAM_BACKENDS", "labelset"]
 
 #: One label set: ``(("app", "maps"), ("outcome", "hit"))``.
 LabelSet = tuple[tuple[str, str], ...]
@@ -43,10 +59,23 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
     0.5, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0, 20.0, 30.0, 50.0,
     75.0, 100.0, 150.0, 250.0, 500.0, 1000.0)
 
+#: The selectable histogram storage strategies.
+HISTOGRAM_BACKENDS = ("exact", "sketch")
+
 
 def labelset(labels: _t.Mapping[str, object]) -> LabelSet:
     """Normalize keyword labels into the canonical sorted-tuple form."""
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _encode_labelset(key: LabelSet) -> str:
+    """Canonical JSON key for one label set (sorted, so unambiguous)."""
+    return json.dumps([list(pair) for pair in key],
+                      separators=(",", ":"))
+
+
+def _decode_labelset(text: str) -> LabelSet:
+    return tuple((str(key), str(value)) for key, value in json.loads(text))
 
 
 class Instrument:
@@ -64,6 +93,34 @@ class Instrument:
         """Every label set this instrument has recorded, sorted."""
         raise NotImplementedError  # pragma: no cover - abstract
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-able full state: the cross-process shard hand-off."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def merge_state(self, state: _t.Mapping[str, object]) -> None:
+        """Fold a :meth:`state_dict` shard into this instrument."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def merge(self, other: "Instrument") -> "Instrument":
+        """Fold another instrument's state into this one; returns self.
+
+        Implemented through the state round-trip so in-process and
+        cross-process merges are one code path (and provably agree).
+        """
+        self._check_mergeable(other)
+        self.merge_state(other.state_dict())
+        return self
+
+    def _check_mergeable(self, other: "Instrument") -> None:
+        if type(other) is not type(self) or other.kind != self.kind:
+            raise TelemetryError(
+                f"cannot merge {other.kind} {other.name!r} into "
+                f"{self.kind} {self.name!r}")
+        if other.name != self.name:
+            raise TelemetryError(
+                f"cannot merge instrument {other.name!r} into "
+                f"{self.name!r}: names differ")
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -76,6 +133,10 @@ class Counter(Instrument):
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[LabelSet, float] = {}
+        #: Per-shard contributions folded in by merges; reads fsum the
+        #: local value plus these terms, so the folded value does not
+        #: depend on merge order.
+        self._foreign: dict[LabelSet, list[float]] = {}
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         if amount < 0:
@@ -84,29 +145,71 @@ class Counter(Instrument):
         key = () if not labels else labelset(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
 
+    def _folded(self, key: LabelSet) -> float:
+        local = self._values.get(key, 0.0)
+        terms = self._foreign.get(key)
+        if not terms:
+            return local
+        return math.fsum([local, *terms])
+
     def value(self, **labels: object) -> float:
         """The count recorded under exactly these labels."""
         key = () if not labels else labelset(labels)
-        return self._values.get(key, 0.0)
+        return self._folded(key)
 
     def total(self, **labels: object) -> float:
         """Sum across every label set matching the given subset."""
         match = () if not labels else labelset(labels)
-        return math.fsum(value for key, value in self._values.items()
+        return math.fsum(self._folded(key) for key in self.labelsets()
                          if set(match) <= set(key))
 
     def labelsets(self) -> list[LabelSet]:
-        return sorted(self._values)
+        return sorted(set(self._values) | set(self._foreign))
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": _canonical_terms(self._values, self._foreign),
+        }
+
+    def merge_state(self, state: _t.Mapping[str, object]) -> None:
+        for encoded, terms in _t.cast(
+                dict, state.get("values", {})).items():
+            key = _decode_labelset(encoded)
+            self._foreign.setdefault(key, []).extend(
+                float(term) for term in terms)
+
+
+def _canonical_terms(values: dict[LabelSet, float],
+                     foreign: dict[LabelSet, list[float]],
+                     ) -> dict[str, list[float]]:
+    """Per-label term lists, canonicalized (sorted, exact zeros
+    dropped) so the same term multiset always exports to the same
+    bytes regardless of merge order; fsum is unaffected by both."""
+    out: dict[str, list[float]] = {}
+    for key in sorted(set(values) | set(foreign)):
+        terms = [values[key]] if key in values else []
+        terms.extend(foreign.get(key, ()))
+        out[_encode_labelset(key)] = sorted(
+            term for term in terms if term != 0.0)
+    return out
 
 
 class Gauge(Instrument):
-    """A point-in-time value (bytes used, entries cached, ...)."""
+    """A point-in-time value (bytes used, entries cached, ...).
+
+    Merging gauges **sums** per-label values across shards — the fleet
+    reading of "total bytes cached across all APs".  Give shards
+    distinct labels (``ap=ap3``) when a sum would be meaningless.
+    """
 
     kind = "gauge"
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[LabelSet, float] = {}
+        self._foreign: dict[LabelSet, list[float]] = {}
 
     def set(self, value: float, **labels: object) -> None:
         key = () if not labels else labelset(labels)
@@ -118,39 +221,82 @@ class Gauge(Instrument):
 
     def value(self, **labels: object) -> float:
         key = () if not labels else labelset(labels)
-        return self._values.get(key, 0.0)
+        local = self._values.get(key, 0.0)
+        terms = self._foreign.get(key)
+        if not terms:
+            return local
+        return math.fsum([local, *terms])
 
     def labelsets(self) -> list[LabelSet]:
-        return sorted(self._values)
+        return sorted(set(self._values) | set(self._foreign))
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": _canonical_terms(self._values, self._foreign),
+        }
+
+    def merge_state(self, state: _t.Mapping[str, object]) -> None:
+        for encoded, terms in _t.cast(
+                dict, state.get("values", {})).items():
+            key = _decode_labelset(encoded)
+            self._foreign.setdefault(key, []).extend(
+                float(term) for term in terms)
 
 
 class _HistogramState:
     """Per-label-set histogram storage."""
 
-    __slots__ = ("bucket_counts", "samples", "sum", "dropped")
+    __slots__ = ("bucket_counts", "samples", "sum", "sum_terms",
+                 "dropped", "sketch")
 
-    def __init__(self, n_buckets: int) -> None:
+    def __init__(self, n_buckets: int,
+                 sketch_relative_error: float | None = None) -> None:
         #: One count per configured bucket, plus a final +inf bucket.
         self.bucket_counts = [0] * (n_buckets + 1)
         self.samples: list[float] = []
         self.sum = 0.0
+        #: Per-shard sum contributions from merges (fsum'd on read).
+        self.sum_terms: list[float] = []
         #: Observations not retained as raw samples (max_samples cap).
         self.dropped = 0
+        #: The fixed-memory quantile summary (sketch backend only).
+        self.sketch = (None if sketch_relative_error is None
+                       else QuantileSketch(sketch_relative_error))
+
+    def folded_sum(self) -> float:
+        if self.sketch is not None:
+            return self.sketch.sum
+        if not self.sum_terms:
+            return self.sum
+        return math.fsum([self.sum, *self.sum_terms])
+
+    def observations(self) -> int:
+        if self.sketch is not None:
+            return self.sketch.count
+        return len(self.samples) + self.dropped
 
 
 class Histogram(Instrument):
-    """Fixed-bucket distribution with exact sample-based percentiles.
+    """Fixed-bucket distribution with exact or sketched percentiles.
 
     ``buckets`` are inclusive upper bounds in ascending order; one
-    implicit ``+inf`` bucket catches overflows.  The raw samples are
-    retained, so :meth:`percentile` is exact (linear interpolation over
-    the sorted samples), matching the paper's reported p50/p95/p99.
+    implicit ``+inf`` bucket catches overflows.  With the default
+    ``backend="exact"`` the raw samples are retained, so
+    :meth:`percentile` is exact (linear interpolation over the sorted
+    samples), matching the paper's reported p50/p95/p99; with
+    ``backend="sketch"`` each label set keeps a fixed-memory
+    :class:`~repro.telemetry.sketch.QuantileSketch` whose quantiles are
+    within ``sketch_relative_error`` of exact.
 
-    ``max_samples`` bounds the retained raw samples *per label set*:
-    past the cap, bucket counts, ``count`` and ``sum`` stay exact while
-    further samples are dropped (percentiles become
-    first-``max_samples``-exact) and ``on_drop`` — if set — is invoked
-    once per dropped sample so the registry can count drops.
+    ``max_samples`` (exact backend only) bounds the retained raw
+    samples *per label set*: past the cap, bucket counts, ``count`` and
+    ``sum`` stay exact while further samples are dropped (percentiles
+    become first-``max_samples``-exact) and ``on_drop`` — if set — is
+    invoked once per dropped sample so the registry can count drops.
+    A capped histogram refuses to merge (the retained-prefix policy is
+    order-dependent); switch merging fleets to the sketch backend.
     """
 
     kind = "histogram"
@@ -158,6 +304,8 @@ class Histogram(Instrument):
     def __init__(self, name: str, help: str = "",
                  buckets: _t.Sequence[float] | None = None,
                  max_samples: int | None = None,
+                 backend: str = "exact",
+                 sketch_relative_error: float = DEFAULT_RELATIVE_ERROR,
                  on_drop: _t.Callable[[str], None] | None = None) -> None:
         super().__init__(name, help)
         bounds = tuple(buckets if buckets is not None
@@ -172,18 +320,37 @@ class Histogram(Instrument):
             raise TelemetryError(
                 f"histogram {name}: max_samples must be >= 1, "
                 f"got {max_samples}")
+        if backend not in HISTOGRAM_BACKENDS:
+            raise TelemetryError(
+                f"histogram {name}: unknown backend {backend!r} "
+                f"(expected one of {'/'.join(HISTOGRAM_BACKENDS)})")
+        if backend == "sketch" and max_samples is not None:
+            raise TelemetryError(
+                f"histogram {name}: max_samples applies to the exact "
+                f"backend only (the sketch is fixed-memory already)")
         self.buckets = bounds
         self.max_samples = max_samples
+        self.backend = backend
+        self.sketch_relative_error = sketch_relative_error
         self._on_drop = on_drop
         self._states: dict[LabelSet, _HistogramState] = {}
+
+    def _new_state(self) -> _HistogramState:
+        return _HistogramState(
+            len(self.buckets),
+            sketch_relative_error=(self.sketch_relative_error
+                                   if self.backend == "sketch" else None))
 
     # -- recording ------------------------------------------------------
     def observe(self, value: float, **labels: object) -> None:
         key = () if not labels else labelset(labels)
         state = self._states.get(key)
         if state is None:
-            state = self._states[key] = _HistogramState(len(self.buckets))
+            state = self._states[key] = self._new_state()
         state.bucket_counts[self._bucket_index(value)] += 1
+        if state.sketch is not None:
+            state.sketch.add(value)
+            return
         state.sum += value
         if self.max_samples is not None \
                 and len(state.samples) >= self.max_samples:
@@ -207,8 +374,19 @@ class Histogram(Instrument):
         return [state for key, state in sorted(self._states.items())
                 if match <= set(key)]
 
+    def _merged_sketch(self, states: _t.Sequence[_HistogramState],
+                       ) -> QuantileSketch:
+        merged = QuantileSketch(self.sketch_relative_error)
+        for state in states:
+            if state.sketch is not None:
+                merged.merge(state.sketch)
+        return merged
+
     def samples(self, **labels: object) -> list[float]:
-        """Raw samples across every label set matching the subset."""
+        """Raw samples across every label set matching the subset.
+
+        Empty under the sketch backend: no raw samples are retained.
+        """
         collected: list[float] = []
         for state in self._matching(labels):
             collected.extend(state.samples)
@@ -216,7 +394,7 @@ class Histogram(Instrument):
 
     def count(self, **labels: object) -> int:
         """Total observations, including samples dropped at the cap."""
-        return sum(len(state.samples) + state.dropped
+        return sum(state.observations()
                    for state in self._matching(labels))
 
     def dropped(self, **labels: object) -> int:
@@ -224,7 +402,8 @@ class Histogram(Instrument):
         return sum(state.dropped for state in self._matching(labels))
 
     def sum(self, **labels: object) -> float:
-        return math.fsum(state.sum for state in self._matching(labels))
+        return math.fsum(state.folded_sum()
+                         for state in self._matching(labels))
 
     def mean(self, **labels: object) -> float:
         count = self.count(**labels)
@@ -233,7 +412,12 @@ class Histogram(Instrument):
         return self.sum(**labels) / count
 
     def percentile(self, q: float, **labels: object) -> float:
-        """Exact percentile over the matching raw samples."""
+        """Percentile over the matching states (exact or sketched)."""
+        if self.backend == "sketch":
+            states = self._matching(labels)
+            if not any(state.observations() for state in states):
+                raise TelemetryError(f"histogram {self.name} is empty")
+            return self._merged_sketch(states).quantile(q)
         values = self.samples(**labels)
         if not values:
             raise TelemetryError(f"histogram {self.name} is empty")
@@ -250,21 +434,43 @@ class Histogram(Instrument):
     def labelsets(self) -> list[LabelSet]:
         return sorted(self._states)
 
-    def summary(self, **labels: object) -> dict[str, float]:
-        """count/mean/p50/p95/p99/max over the matching samples.
+    def _backend_tag(self, dropped: int) -> str:
+        if self.backend == "sketch":
+            return "sketch"
+        return "capped" if dropped else "exact"
 
-        ``count`` and ``mean`` cover *every* observation (exact past the
-        cap); the percentiles and ``max`` come from the retained
-        samples.  A ``samples_dropped`` key appears only once the
-        ``max_samples`` cap has actually dropped something, keeping
-        uncapped exports byte-identical to the pre-cap format.
+    def summary(self, **labels: object) -> dict[str, object]:
+        """count/mean/p50/p95/p99/max over the matching states.
+
+        The ``backend`` key states how the percentiles were computed —
+        ``exact`` (raw samples), ``capped`` (raw samples truncated at
+        the ``max_samples`` cap) or ``sketch`` (relative-error-bounded)
+        — so exported series of different fidelities are never compared
+        as identical stats (``diff_runs`` keys on it).  ``count`` and
+        ``mean`` cover *every* observation under every backend; a
+        ``samples_dropped`` key appears only once the cap has actually
+        dropped something.
         """
+        if self.backend == "sketch":
+            states = self._matching(labels)
+            sketch = self._merged_sketch(states)
+            if not sketch.count:
+                return {"count": 0.0, "backend": "sketch"}
+            return {
+                "count": float(sketch.count),
+                "mean": sketch.sum / sketch.count,
+                "p50": sketch.quantile(50.0),
+                "p95": sketch.quantile(95.0),
+                "p99": sketch.quantile(99.0),
+                "max": sketch.max,
+                "backend": "sketch",
+            }
         values = self.samples(**labels)
         if not values:
-            return {"count": 0.0}
+            return {"count": 0.0, "backend": "exact"}
         count = self.count(**labels)
         dropped = self.dropped(**labels)
-        summary = {
+        summary: dict[str, object] = {
             "count": float(count),
             "mean": (self.sum(**labels) / count if dropped
                      else math.fsum(values) / len(values)),
@@ -272,7 +478,79 @@ class Histogram(Instrument):
             "p95": percentile(values, 95.0),
             "p99": percentile(values, 99.0),
             "max": max(values),
+            "backend": self._backend_tag(dropped),
         }
         if dropped:
             summary["samples_dropped"] = float(dropped)
         return summary
+
+    # -- merging --------------------------------------------------------
+    def _check_state_compat(self, state: _t.Mapping[str, object]) -> None:
+        if tuple(_t.cast(list, state["buckets"])) != self.buckets:
+            raise TelemetryError(
+                f"histogram {self.name}: cannot merge shards with "
+                f"different buckets")
+        if state["backend"] != self.backend:
+            raise TelemetryError(
+                f"histogram {self.name}: cannot merge {state['backend']}"
+                f"-backend shard into {self.backend} backend")
+        if self.backend == "sketch" and \
+                state["sketch_relative_error"] != self.sketch_relative_error:
+            raise TelemetryError(
+                f"histogram {self.name}: cannot merge shards with "
+                f"different sketch error bounds")
+        if self.max_samples is not None \
+                or state.get("max_samples") is not None:
+            raise TelemetryError(
+                f"histogram {self.name}: capped exact histograms do not "
+                f"merge (the retained-sample prefix is order-dependent);"
+                f" use backend='sketch' for mergeable fleets")
+
+    def state_dict(self) -> dict[str, object]:
+        states: dict[str, object] = {}
+        for key in self.labelsets():
+            state = self._states[key]
+            entry: dict[str, object] = {
+                "bucket_counts": list(state.bucket_counts),
+            }
+            if state.sketch is not None:
+                entry["sketch"] = state.sketch.state_dict()
+            else:
+                entry["samples"] = sorted(state.samples)
+                entry["sum_terms"] = sorted(
+                    term for term in [state.sum, *state.sum_terms]
+                    if term != 0.0)
+                entry["dropped"] = state.dropped
+            states[_encode_labelset(key)] = entry
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "max_samples": self.max_samples,
+            "backend": self.backend,
+            "sketch_relative_error": self.sketch_relative_error,
+            "states": states,
+        }
+
+    def merge_state(self, state: _t.Mapping[str, object]) -> None:
+        self._check_state_compat(state)
+        for encoded, entry in _t.cast(
+                dict, state.get("states", {})).items():
+            key = _decode_labelset(encoded)
+            mine = self._states.get(key)
+            if mine is None:
+                mine = self._states[key] = self._new_state()
+            for index, count in enumerate(entry["bucket_counts"]):
+                mine.bucket_counts[index] += count
+            if mine.sketch is not None:
+                mine.sketch.merge(QuantileSketch.from_state(
+                    entry["sketch"]))
+            else:
+                # Canonical multiset order: sorting makes the merged
+                # sample list — hence every export byte — independent
+                # of the order shards were folded in.
+                mine.samples = sorted(
+                    mine.samples
+                    + [float(sample) for sample in entry["samples"]])
+                mine.sum_terms.extend(
+                    float(term) for term in entry["sum_terms"])

@@ -18,17 +18,27 @@ import typing as _t
 
 from repro.errors import TelemetryError
 from repro.telemetry.instruments import (
+    HISTOGRAM_BACKENDS,
     Counter,
     Gauge,
     Histogram,
     Instrument,
 )
+from repro.telemetry.sketch import DEFAULT_RELATIVE_ERROR
 from repro.telemetry.spans import ParentLike, Span, SpanLog, SpanScope
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
+    from repro.telemetry.sampling import TailSampler
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL"]
+
+#: ``state_dict()["kind"]`` → instrument class, for shard revival.
+_KINDS: dict[str, type[Instrument]] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
 
 
 def _zero_clock() -> float:
@@ -46,22 +56,48 @@ class Telemetry:
     every histogram created through :meth:`histogram` (``None`` =
     unbounded, the historical behaviour).  Capped drops are tallied in
     the ``telemetry.samples_dropped`` counter, labelled by instrument.
+
+    ``histogram_backend`` selects the default histogram storage:
+    ``"exact"`` (raw samples, exact percentiles) or ``"sketch"``
+    (fixed-memory :class:`~repro.telemetry.sketch.QuantileSketch` per
+    label set, percentiles within ``sketch_relative_error`` of exact —
+    the mergeable fleet-scale backend).  ``sampler`` attaches a
+    :class:`~repro.telemetry.sampling.TailSampler` so only
+    slow/erroring/1-in-N request traces are committed to the span log.
     """
 
     enabled = True
 
     def __init__(self, clock: "Simulator | _t.Callable[[], float] | None"
                  = None, max_spans: int = 100_000,
-                 max_samples: int | None = None) -> None:
+                 max_samples: int | None = None,
+                 histogram_backend: str = "exact",
+                 sketch_relative_error: float = DEFAULT_RELATIVE_ERROR,
+                 sampler: "TailSampler | None" = None) -> None:
         if clock is None:
             self._clock: _t.Callable[[], float] = _zero_clock
         elif callable(clock):
             self._clock = clock
         else:
             self._clock = lambda: clock.now
+        if histogram_backend not in HISTOGRAM_BACKENDS:
+            raise TelemetryError(
+                f"unknown histogram backend {histogram_backend!r} "
+                f"(expected one of {'/'.join(HISTOGRAM_BACKENDS)})")
         self._instruments: dict[str, Instrument] = {}
         self.max_samples = max_samples
-        self.spans = SpanLog(self._clock, max_spans=max_spans)
+        self.histogram_backend = histogram_backend
+        self.sketch_relative_error = sketch_relative_error
+        self.spans = SpanLog(self._clock, max_spans=max_spans,
+                             sampler=sampler)
+        # Pre-registered (not lazily, like everything else) so the
+        # default sentry budget `metric:telemetry.samples_dropped/value
+        # <= 0` resolves to an honest zero instead of "unresolved" on
+        # runs that never dropped a sample.  Zero label sets recorded
+        # means zero exported records, so JSONL dumps are unchanged.
+        self._get("telemetry.samples_dropped", Counter,
+                  help="histogram samples not retained "
+                       "(max_samples cap)")
 
     def _count_dropped_sample(self, instrument: str) -> None:
         self.counter(
@@ -94,12 +130,18 @@ class Telemetry:
 
     def histogram(self, name: str, help: str = "",
                   buckets: _t.Sequence[float] | None = None,
-                  max_samples: int | None = None) -> Histogram:
-        """A histogram; ``max_samples`` overrides the registry default."""
+                  max_samples: int | None = None,
+                  backend: str | None = None) -> Histogram:
+        """A histogram; ``max_samples``/``backend`` override defaults."""
+        resolved = self.histogram_backend if backend is None else backend
         cap = self.max_samples if max_samples is None else max_samples
+        if resolved == "sketch":
+            cap = None  # the sketch is fixed-memory already
         return _t.cast(Histogram, self._get(
             name, Histogram, help=help, buckets=buckets,
-            max_samples=cap, on_drop=self._count_dropped_sample))
+            max_samples=cap, backend=resolved,
+            sketch_relative_error=self.sketch_relative_error,
+            on_drop=self._count_dropped_sample))
 
     def instruments(self) -> list[Instrument]:
         """Every registered instrument, sorted by name."""
@@ -111,6 +153,74 @@ class Telemetry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
+
+    # -- merging --------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-able snapshot of every instrument: the shard hand-off.
+
+        Spans are *not* included — span/trace ids are per-registry
+        sequences, so merging logs would collide ids; shards keep (and
+        sample) their own span logs while metrics roll up.
+        """
+        return {"instruments": {
+            name: self._instruments[name].state_dict()
+            for name in sorted(self._instruments)}}
+
+    def merge_state(self, state: _t.Mapping[str, object]) -> "Telemetry":
+        """Fold one :meth:`state_dict` shard into this registry.
+
+        Instruments are created on demand (with the shard's own
+        configuration) and merged by name; a kind clash — the shard's
+        ``requests`` is a counter, ours is a gauge — raises.  The fold
+        is associative and commutative: any merge order over the same
+        shards yields byte-identical exports (docs/telemetry.md).
+        """
+        for name, istate in sorted(_t.cast(
+                dict, state.get("instruments", {})).items()):
+            kind = _t.cast(str, istate["kind"])
+            cls = _KINDS.get(kind)
+            if cls is None:
+                raise TelemetryError(
+                    f"shard instrument {name!r} has unknown kind "
+                    f"{kind!r}")
+            mine = self._instruments.get(name)
+            if mine is None:
+                if cls is Histogram:
+                    mine = Histogram(
+                        name, help=_t.cast(str, istate["help"]),
+                        buckets=_t.cast(list, istate["buckets"]),
+                        max_samples=_t.cast(
+                            "int | None", istate["max_samples"]),
+                        backend=_t.cast(str, istate["backend"]),
+                        sketch_relative_error=_t.cast(
+                            float, istate["sketch_relative_error"]),
+                        on_drop=self._count_dropped_sample)
+                else:
+                    mine = cls(name, help=_t.cast(str, istate["help"]))
+                self._instruments[name] = mine
+            elif mine.kind != kind:
+                raise TelemetryError(
+                    f"cannot merge shard {kind} {name!r} into existing "
+                    f"{mine.kind}")
+            mine.merge_state(istate)
+        return self
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold another registry's instruments into this one.
+
+        One code path with the cross-process fold: implemented as
+        ``merge_state(other.state_dict())``.
+        """
+        return self.merge_state(other.state_dict())
+
+    @classmethod
+    def from_states(cls, states: _t.Iterable[_t.Mapping[str, object]],
+                    ) -> "Telemetry":
+        """A fresh registry folding the given shard snapshots."""
+        merged = cls()
+        for state in states:
+            merged.merge_state(state)
+        return merged
 
     # -- spans ----------------------------------------------------------
     def span(self, name: str, parent: ParentLike = None,
@@ -132,6 +242,8 @@ class _NullInstrument(Counter, Gauge, Histogram):
         self.name = "null"
         self.help = ""
         self.buckets = ()
+        self.backend = "exact"
+        self.max_samples = None
 
     # Recording is a no-op; reads report emptiness.
     def inc(self, amount: float = 1.0, **labels: object) -> None:
@@ -176,8 +288,17 @@ class _NullInstrument(Counter, Gauge, Histogram):
     def labelsets(self) -> list:
         return []
 
-    def summary(self, **labels: object) -> dict[str, float]:
+    def summary(self, **labels: object) -> dict[str, object]:
         return {"count": 0.0}
+
+    def state_dict(self) -> dict[str, object]:
+        return {"kind": "null"}
+
+    def merge_state(self, state: _t.Mapping[str, object]) -> None:
+        pass
+
+    def merge(self, other: Instrument) -> Instrument:
+        return self
 
 
 class _NullSpanScope:
@@ -219,12 +340,26 @@ class NullTelemetry(Telemetry):
 
     def histogram(self, name: str, help: str = "",
                   buckets: _t.Sequence[float] | None = None,
-                  max_samples: int | None = None) -> Histogram:
+                  max_samples: int | None = None,
+                  backend: str | None = None) -> Histogram:
         return self._null_instrument
 
     def span(self, name: str, parent: ParentLike = None,
              **attrs: object) -> SpanScope:
         return _t.cast(SpanScope, self._null_scope)
+
+    def state_dict(self) -> dict[str, object]:
+        return {"instruments": {}}
+
+    def merge_state(self, state: _t.Mapping[str, object]) -> "Telemetry":
+        raise TelemetryError(
+            "the null backend cannot absorb shards; merge into a real "
+            "Telemetry registry")
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        raise TelemetryError(
+            "the null backend cannot absorb shards; merge into a real "
+            "Telemetry registry")
 
     def __repr__(self) -> str:
         return "<NullTelemetry>"

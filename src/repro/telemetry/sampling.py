@@ -1,0 +1,120 @@
+"""Tail-based span sampling: keep the traces worth keeping.
+
+At fleet scale, materializing a full span tree for every request is the
+dominant observability cost — and almost all of those trees describe
+boring, fast, successful requests.  :class:`TailSampler` turns the span
+log into a **flight recorder**: finished spans are buffered per trace
+until the trace's *root* span finishes, and only then is the whole
+trace either committed to the log or discarded.  The decision is made
+with the complete trace in hand (hence "tail-based"), so the kept set
+is exactly:
+
+* **tail** — the root's duration breached ``threshold_ms`` (sim-ms);
+* **error** — the root finished with a non-``ok`` status;
+* **sampled** — a deterministic 1-in-``sample_every`` baseline (the
+  1st, N+1th, 2N+1th... completed root), kept so the *fast* path stays
+  observable and aggregate attribution stays unbiased.
+
+Kept roots are annotated with ``sample.reason`` and ``sample.weight``
+attributes: tail/error keeps represent only themselves (weight 1),
+while each sampled keep stands in for ``sample_every`` requests.  The
+analysis layer (:func:`repro.telemetry.analysis.attribute`) reads the
+weight so per-stage attribution still telescopes to fleet totals, and
+``diff_runs``/``tracefmt`` surface it alongside the trace.
+
+Everything is deterministic: decisions depend only on sim-time
+durations, statuses, and completion order — all seed-stable — so two
+same-seed runs keep byte-identical trace sets.
+
+The pending buffer is bounded (``max_pending_traces``); if a trace's
+root never finishes (a request still in flight at ring capacity), the
+oldest pending trace is evicted and counted in :attr:`evicted_traces`.
+Spans that finish *after* their root (outside the documented taxonomy)
+land in a pending bucket that never flushes; the sim's span trees
+close children before parents, so this does not occur on the
+instrumented request path.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import TelemetryError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.spans import Span
+
+__all__ = ["TailSampler"]
+
+
+class TailSampler:
+    """The keep/drop policy applied when a trace's root span finishes."""
+
+    def __init__(self, threshold_ms: float | None = None,
+                 sample_every: int = 0,
+                 max_pending_traces: int = 4096) -> None:
+        if threshold_ms is not None and threshold_ms < 0:
+            raise TelemetryError(
+                f"threshold_ms must be >= 0, got {threshold_ms!r}")
+        if sample_every < 0:
+            raise TelemetryError(
+                f"sample_every must be >= 0, got {sample_every!r}")
+        if max_pending_traces < 1:
+            raise TelemetryError(
+                f"max_pending_traces must be >= 1, "
+                f"got {max_pending_traces!r}")
+        if threshold_ms is None and not sample_every:
+            raise TelemetryError(
+                "a sampler that keeps nothing records nothing: set "
+                "threshold_ms and/or sample_every")
+        self.threshold_ms = threshold_ms
+        self.sample_every = sample_every
+        self.max_pending_traces = max_pending_traces
+        #: Completed roots seen (the deterministic 1-in-N clock).
+        self.roots_seen = 0
+        #: Traces committed to the log, by reason.
+        self.kept = {"tail": 0, "error": 0, "sampled": 0}
+        #: Whole traces discarded at the root decision.
+        self.dropped_traces = 0
+        #: Spans inside discarded traces.
+        self.dropped_spans = 0
+        #: Pending traces evicted because the buffer overflowed.
+        self.evicted_traces = 0
+
+    def decide(self, root: "Span") -> tuple[str | None, float]:
+        """``(reason, weight)`` for a finished root; reason None = drop.
+
+        Must be called exactly once per completed root — it advances
+        the deterministic 1-in-N sampling clock.
+        """
+        self.roots_seen += 1
+        if root.status != "ok":
+            return ("error", 1.0)
+        if self.threshold_ms is not None \
+                and root.duration_s * 1e3 >= self.threshold_ms:
+            return ("tail", 1.0)
+        if self.sample_every \
+                and (self.roots_seen - 1) % self.sample_every == 0:
+            return ("sampled", float(self.sample_every))
+        return (None, 0.0)
+
+    @property
+    def kept_traces(self) -> int:
+        return sum(self.kept.values())
+
+    def stats(self) -> dict[str, int]:
+        """Deterministic counters for panels and exports."""
+        return {
+            "roots_seen": self.roots_seen,
+            "kept_tail": self.kept["tail"],
+            "kept_error": self.kept["error"],
+            "kept_sampled": self.kept["sampled"],
+            "dropped_traces": self.dropped_traces,
+            "dropped_spans": self.dropped_spans,
+            "evicted_traces": self.evicted_traces,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<TailSampler threshold_ms={self.threshold_ms} "
+                f"sample_every={self.sample_every} "
+                f"kept={self.kept_traces}/{self.roots_seen}>")

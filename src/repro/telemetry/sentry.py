@@ -17,7 +17,7 @@ Budgets live in ``pyproject.toml``::
     ]
 
 Each budget is ``SELECTOR <= LIMIT`` or ``SELECTOR >= LIMIT`` with one
-of five selector forms:
+of six selector forms:
 
 ``stage:<source>/<stage>/<stat>``
     From the attribution summary — ``source`` is a request-path source
@@ -38,6 +38,11 @@ of five selector forms:
     The scheduler microbenchmark's throughput floor.  Validated here
     but **evaluated by** ``benchmarks/test_kernel.py`` (which writes
     ``BENCH_kernel.json``); the obs-run sentry skips these.
+``obs:overhead_pct``
+    The telemetry overhead governor: recording-path slowdown of the
+    sketch backend versus a NULL-telemetry run, in percent.  Validated
+    here but **evaluated by** ``benchmarks/test_telemetry_overhead.py``
+    (which amends ``BENCH_obs.json``); the obs-run sentry skips these.
 ``issues``
     The taxonomy/orphan issue count from the span-tree builder.
 
@@ -133,10 +138,12 @@ def _validate_selector(selector: str, source: str) -> None:
     if selector == "issues":
         return
     kind, sep, rest = selector.partition(":")
-    if not sep or kind not in ("stage", "metric", "profile", "kernel"):
+    if not sep or kind not in ("stage", "metric", "profile", "kernel",
+                               "obs"):
         raise ConfigError(
             f"budget {source!r}: unknown selector {selector!r} "
-            f"(expected stage:/metric:/profile:/kernel: or 'issues')")
+            f"(expected stage:/metric:/profile:/kernel:/obs: or "
+            f"'issues')")
     if kind == "stage":
         parts = rest.split("/")
         if len(parts) != 3 or not all(parts):
@@ -164,6 +171,12 @@ def _validate_selector(selector: str, source: str) -> None:
         if rest != "events_per_s":
             raise ConfigError(
                 f"budget {source!r}: kernel stat must be events_per_s")
+    elif kind == "obs":
+        # Gated by benchmarks/test_telemetry_overhead.py; the obs-run
+        # sentry measures sim time, not recording-path wall overhead.
+        if rest != "overhead_pct":
+            raise ConfigError(
+                f"budget {source!r}: obs stat must be overhead_pct")
 
 
 def load_budgets(pyproject_path: str) -> list[Budget]:
@@ -261,6 +274,9 @@ def evaluate_budgets(budgets: _t.Sequence[Budget], run: "ObsRun",
                 float, getattr(run.profile, budget.selector[8:]))
         elif budget.selector.startswith("kernel:"):
             # Evaluated by the kernel microbenchmark, not the obs run.
+            continue
+        elif budget.selector.startswith("obs:"):
+            # Evaluated by the telemetry-overhead benchmark.
             continue
         else:  # pragma: no cover - parse_budget rejects these
             value = None

@@ -90,12 +90,40 @@ class TestbedConfig:
     #: unbounded).  Percentiles are exact until the cap; drops are
     #: tallied in ``telemetry.samples_dropped`` (docs/telemetry.md).
     telemetry_max_samples: int | None = None
+    #: Histogram storage: ``"exact"`` retains raw samples (exact
+    #: percentiles), ``"sketch"`` keeps a fixed-memory quantile sketch
+    #: per label set (percentiles within
+    #: ``telemetry_sketch_relative_error`` of exact, mergeable across
+    #: fleet shards) — see docs/telemetry.md.
+    telemetry_backend: str = "exact"
+    #: Quantile relative-error bound for the sketch backend.
+    telemetry_sketch_relative_error: float = 0.01
+    #: Tail-based span sampling: complete a request's trace only when
+    #: it breaches this many sim-ms (None = no threshold rule).
+    telemetry_tail_threshold_ms: float | None = None
+    #: ... or matches a deterministic 1-in-N baseline sample (0 = no
+    #: baseline).  Leaving both at their defaults keeps every trace.
+    telemetry_tail_sample_every: int = 0
 
     def __post_init__(self) -> None:
         for name in ("edge_hops", "controller_hops", "ldns_hops",
                      "adns_hops", "origin_hops"):
             if getattr(self, name) < 1:
                 raise ConfigError(f"{name} must be >= 1")
+        if self.telemetry_backend not in ("exact", "sketch"):
+            raise ConfigError(
+                f"telemetry_backend must be 'exact' or 'sketch', "
+                f"got {self.telemetry_backend!r}")
+        if not 0.0 < self.telemetry_sketch_relative_error < 1.0:
+            raise ConfigError(
+                "telemetry_sketch_relative_error must be in (0, 1)")
+        if self.telemetry_tail_threshold_ms is not None \
+                and self.telemetry_tail_threshold_ms < 0:
+            raise ConfigError(
+                "telemetry_tail_threshold_ms must be >= 0")
+        if self.telemetry_tail_sample_every < 0:
+            raise ConfigError(
+                "telemetry_tail_sample_every must be >= 0")
 
 
 class Testbed:
@@ -110,8 +138,7 @@ class Testbed:
         #: One registry for every tier, clocked on this testbed's
         #: simulator, so cross-tier traces share one id space.
         self.telemetry: Telemetry = (
-            Telemetry(self.sim,
-                      max_samples=self.config.telemetry_max_samples)
+            self._build_telemetry()
             if self.config.enable_telemetry else NULL)
         self.network = Network(self.sim, telemetry=self.telemetry)
         self.transport = Transport(
@@ -126,6 +153,23 @@ class Testbed:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _build_telemetry(self) -> Telemetry:
+        cfg = self.config
+        sampler = None
+        if cfg.telemetry_tail_threshold_ms is not None \
+                or cfg.telemetry_tail_sample_every:
+            from repro.telemetry.sampling import TailSampler
+
+            sampler = TailSampler(
+                threshold_ms=cfg.telemetry_tail_threshold_ms,
+                sample_every=cfg.telemetry_tail_sample_every)
+        return Telemetry(
+            self.sim,
+            max_samples=cfg.telemetry_max_samples,
+            histogram_backend=cfg.telemetry_backend,
+            sketch_relative_error=cfg.telemetry_sketch_relative_error,
+            sampler=sampler)
+
     def _build_topology(self) -> None:
         cfg = self.config
         net = self.network

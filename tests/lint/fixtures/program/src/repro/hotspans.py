@@ -1,0 +1,44 @@
+"""Fixture: TEL003 — per-iteration spans in hot-path loops.
+
+``pump`` is a process generator (it yields ``sim.timeout``) whose loop
+opens a telemetry span every turn: that floods the flight recorder
+behind the tail sampler's back.  The negatives must stay silent: a
+span opened once around the loop, a per-iteration span in a *cold*
+helper, and a loop receiver with no telemetry hint.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def pump(sim: _t.Any, telemetry: _t.Any) -> _t.Iterator[_t.Any]:
+    while True:
+        with telemetry.span("request"):  # expect: TEL003
+            yield sim.timeout(1.0)
+
+
+def pump_wrapped(sim: _t.Any, telemetry: _t.Any) -> _t.Iterator[_t.Any]:
+    # Negative: one span wraps the whole process, so the sampler sees
+    # a single root regardless of iteration count.
+    with telemetry.span("lifetime"):
+        while True:
+            yield sim.timeout(1.0)
+
+
+def summarize(telemetry: _t.Any, rows: _t.Iterable[int]) -> int:
+    # Negative: per-iteration span, but this helper is not a process
+    # generator and matches no hot-path prefix.
+    total = 0
+    for row in rows:
+        with telemetry.span("row"):
+            total += row
+    return total
+
+
+def scan(sim: _t.Any, matches: _t.Iterable[_t.Any]) -> _t.Iterator[_t.Any]:
+    # Negative: ``re.Match.span`` in a hot loop — no telemetry hint on
+    # the receiver.
+    for match in matches:
+        match.span(0)
+        yield sim.timeout(1.0)

@@ -109,6 +109,23 @@ def test_tel002_factory_leak_traces_back_to_the_definition():
                for finding in direct)
 
 
+def test_tel003_allow_list_exempts_the_driver():
+    config = LintConfig(root=PROGRAM,
+                        span_loop_allow=("repro.hotspans.pump",))
+    findings = [finding for finding in lint_paths([PROGRAM], config)
+                if finding.code == "TEL003"]
+    assert findings == []
+
+
+def test_tel003_names_the_loop_and_the_escape_hatch():
+    findings = [finding for finding in lint_program_fixture()
+                if finding.code == "TEL003"]
+    assert len(findings) == 1
+    message = findings[0].message
+    assert "repro.hotspans.pump" in message
+    assert "span-loop-allow" in message
+
+
 def test_tel002_hints_are_configurable():
     # An empty hint list disables the rule outright.
     config = LintConfig(root=PROGRAM, span_receiver_hints=())

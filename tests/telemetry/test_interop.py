@@ -102,4 +102,6 @@ def test_metricset_without_mirror_touches_no_registry():
     metrics = MetricSet()
     metrics.record("lookup_s", 0.0, 0.004)
     assert "metricset.lookup_s" not in telemetry
-    assert telemetry.instruments() == []
+    # Only the pre-registered drop counter exists, and it is untouched.
+    assert [i.name for i in telemetry.instruments()] == [
+        "telemetry.samples_dropped"]

@@ -120,7 +120,8 @@ def test_registry_shares_instruments_by_name():
     second = telemetry.counter("dns.queries")
     assert first is second
     assert "dns.queries" in telemetry
-    assert [i.name for i in telemetry.instruments()] == ["dns.queries"]
+    assert [i.name for i in telemetry.instruments()] == [
+        "dns.queries", "telemetry.samples_dropped"]
 
 
 def test_registry_rejects_kind_clash():
@@ -157,7 +158,9 @@ def test_histogram_cap_override_beats_registry_default():
     for _ in range(3):
         hist.observe(0.5)
     assert hist.dropped() == 0
-    assert telemetry.get("telemetry.samples_dropped") is None
+    # The drop counter is pre-registered but never ticked.
+    dropped = telemetry.get("telemetry.samples_dropped")
+    assert dropped is not None and dropped.labelsets() == []
 
 
 # ----------------------------------------------------------------------

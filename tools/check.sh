@@ -26,6 +26,7 @@ lint_cold_a=$(mktemp) lint_cold_b=$(mktemp) lint_cached=$(mktemp)
 effects_cold=$(mktemp) effects_cached=$(mktemp)
 spans_a=$(mktemp) spans_b=$(mktemp) trace_a=$(mktemp)
 sweep_serial=$(mktemp) sweep_parallel=$(mktemp)
+merged_serial=$(mktemp) merged_parallel=$(mktemp)
 memo_file=$(mktemp) memo_cold=$(mktemp) memo_warm=$(mktemp)
 memo_stats=$(mktemp)
 bench_a=$(mktemp) bench_b=$(mktemp) diff_out=$(mktemp)
@@ -33,6 +34,7 @@ trap 'rm -f "$lint_cold_a" "$lint_cold_b" "$lint_cached" \
     "$effects_cold" "$effects_cached" \
     "$spans_a" "$spans_b" "$trace_a" \
     "$sweep_serial" "$sweep_parallel" \
+    "$merged_serial" "$merged_parallel" \
     "$memo_file" "$memo_cold" "$memo_warm" "$memo_stats" \
     "$bench_a" "$bench_b" "$diff_out"' EXIT
 python -m repro.lint --format json --no-cache > "$lint_cold_a"
@@ -110,6 +112,49 @@ if ! cmp -s "$sweep_serial" "$sweep_parallel"; then
     echo "FAIL: sweep --jobs 2 JSON differs from --jobs 1" >&2
     exit 1
 fi
+
+echo "==> repro.cli sweep --merged-telemetry (shard-merge determinism)"
+# Folding every cell's telemetry shard into one registry must be
+# order-independent: the serial and two-worker sweeps hand shards to
+# Telemetry.merge in different interleavings, yet the merged metric
+# JSONL must agree byte-for-byte (docs/telemetry.md, "merge contract").
+python -m repro.cli sweep $sweep_args --jobs 1 \
+    --merged-telemetry "$merged_serial" --output /dev/null >/dev/null
+python -m repro.cli sweep $sweep_args --jobs 2 \
+    --merged-telemetry "$merged_parallel" --output /dev/null >/dev/null
+if ! cmp -s "$merged_serial" "$merged_parallel"; then
+    echo "FAIL: shard-merged sweep telemetry differs between" \
+        "--jobs 1 and --jobs 2" >&2
+    exit 1
+fi
+if ! [ -s "$merged_serial" ]; then
+    echo "FAIL: merged sweep telemetry export is empty" >&2
+    exit 1
+fi
+
+echo "==> BENCH_obs.json obs_overhead (deterministic modulo timings)"
+# The overhead governor (benchmarks/test_telemetry_overhead.py) amends
+# the committed artifact: its obs_overhead section must hold only
+# deterministic fields (wall numbers live under "timings") and must
+# quote the budget actually declared in pyproject.toml.
+python - <<'EOF'
+import json, tomllib
+document = json.load(open("BENCH_obs.json"))
+section = document.get("obs_overhead")
+assert isinstance(section, dict), \
+    "BENCH_obs.json is missing the obs_overhead section"
+assert sorted(section) == ["backends", "budget", "ok", "samples"], \
+    f"nondeterministic or missing obs_overhead fields: {sorted(section)}"
+assert section["ok"] is True, "committed obs_overhead verdict is not ok"
+assert section["backends"] == ["exact", "null", "sketch"]
+with open("pyproject.toml", "rb") as handle:
+    budgets = tomllib.load(handle)["tool"]["repro-sentry"]["budgets"]
+declared = [text for text in budgets if text.startswith("obs:")]
+assert declared == [section["budget"]], \
+    f"obs_overhead budget {section['budget']!r} != pyproject {declared}"
+assert "obs_overhead" in document.get("timings", {}), \
+    "wall-clock overhead numbers must live under timings"
+EOF
 
 echo "==> repro.cli sweep --memo (effect-certified memoization)"
 # The lint runs above wrote build/effects.json, which certifies the
