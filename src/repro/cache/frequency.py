@@ -14,7 +14,7 @@ requests-per-minute so utilities are comparable across window lengths.
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.sim.kernel import MINUTE
+from repro.engine.api import MINUTE
 
 __all__ = ["RequestFrequencyTracker", "DEFAULT_ALPHA"]
 

@@ -210,6 +210,40 @@ def build_parser() -> argparse.ArgumentParser:
                              "profile: budgets (results land under the "
                              "report's nondeterministic 'timings' key)")
 
+    live = subparsers.add_parser(
+        "live",
+        help="serve the live stack on loopback sockets (real asyncio "
+             "DNS/HTTP, wall-clock engine) and run a demo fetch driver")
+    live.add_argument("--requests", type=int, default=6, metavar="N",
+                      help="demo requests to drive before idling "
+                           "(default 6; 0 = none)")
+    live.add_argument("--serve", action="store_true",
+                      help="stay up after the demo until SIGINT/"
+                           "SIGTERM, then drain and exit 0")
+    live.add_argument("--spans", type=str, default="", metavar="FILE",
+                      help="flush the span log to FILE as JSONL on "
+                           "shutdown")
+    live.add_argument("--export-metrics", type=str, default="",
+                      metavar="FILE",
+                      help="flush metric records to FILE as JSONL on "
+                           "shutdown")
+
+    parity = subparsers.add_parser(
+        "parity", parents=[common],
+        help="replay one workload through the sim and live engines "
+             "and diff the stage attributions (docs/live.md)")
+    parity.add_argument("--quick", action="store_true",
+                        help="short replay (the default; --full for "
+                             "the longer sequence)")
+    parity.add_argument("--tolerance-ms", type=float,
+                        default=None, metavar="MS",
+                        help="per-stat wall-jitter tolerance in ms "
+                             "(default 250)")
+    parity.add_argument("--pyproject", type=str,
+                        default="pyproject.toml",
+                        help="pyproject.toml holding [tool.repro-"
+                             "sentry].live-budgets (default ./)")
+
     diff = subparsers.add_parser(
         "diff", parents=[common],
         help="diff two exported runs (JSONL paths) or two systems "
@@ -365,7 +399,26 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
               f"systems across a seed fleet")
         print(f"  {'sweep'.ljust(width)}  ad-hoc declarative scenario "
               f"through the sweep engine")
+        print(f"  {'live'.ljust(width)}  serve the stack on loopback "
+              f"sockets (wall-clock engine, real asyncio DNS/HTTP)")
+        print(f"  {'parity'.ljust(width)}  replay one workload through "
+              f"sim and live engines and diff stage attributions")
         return 0
+
+    if args.command == "live":
+        from repro.engine.live import run_live
+        from repro.errors import ReproError
+
+        print("--- live: APE-CACHE on loopback sockets ---",
+              file=sys.stderr, flush=True)
+        try:
+            return run_live(demo_requests=args.requests,
+                            serve=args.serve,
+                            spans_path=args.spans,
+                            metrics_path=args.export_metrics)
+        except (ReproError, OSError) as error:
+            print(f"live: {error}", file=sys.stderr)
+            return 2
 
     if args.command == "sweep":
         from repro.errors import ConfigError
@@ -414,6 +467,28 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 extra_budgets=args.budget, profile=args.profile)
         except (ConfigError, OSError) as error:
             print(f"sentry: {error}", file=sys.stderr)
+            return 2
+        _emit(_render_tables(tables, args.format), args.output)
+        print(f"done in {elapsed():.0f}s", file=sys.stderr)
+        return code
+    elif args.command == "parity":
+        from repro.engine.parity import DEFAULT_TOLERANCE_MS, \
+            run_parity
+        from repro.errors import ReproError
+
+        print("--- parity: sim vs live engine replay ---",
+              file=sys.stderr, flush=True)
+        try:
+            tables, code = run_parity(
+                quick=quick, seed=args.seed,
+                tolerance_ms=(args.tolerance_ms
+                              if args.tolerance_ms is not None
+                              else DEFAULT_TOLERANCE_MS),
+                pyproject=args.pyproject,
+                emit=lambda line: print(line, file=sys.stderr,
+                                        flush=True))
+        except (ReproError, OSError) as error:
+            print(f"parity: {error}", file=sys.stderr)
             return 2
         _emit(_render_tables(tables, args.format), args.output)
         print(f"done in {elapsed():.0f}s", file=sys.stderr)

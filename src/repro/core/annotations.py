@@ -22,7 +22,7 @@ import typing as _t
 
 from repro.errors import ConfigError
 from repro.httplib.url import Url
-from repro.sim.kernel import MINUTE
+from repro.engine.api import MINUTE
 
 __all__ = ["CacheableSpec", "cacheable", "scan_cacheables",
            "LOW_PRIORITY", "HIGH_PRIORITY"]

@@ -17,7 +17,7 @@ import typing as _t
 
 from repro.core.annotations import CacheableSpec
 from repro.core.client_runtime import ClientRuntime, FetchResult
-from repro.sim.kernel import MINUTE
+from repro.engine.api import MINUTE
 
 __all__ = ["invoke_http_request_async"]
 

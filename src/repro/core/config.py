@@ -10,7 +10,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import ConfigError
-from repro.sim.kernel import MINUTE, MS
+from repro.engine.api import MINUTE, MS
 
 __all__ = ["ApeCacheConfig"]
 

@@ -18,7 +18,7 @@ from repro.dnslib.zone import DnsRegistry, Zone
 from repro.net.address import IPv4Address
 from repro.net.node import Node, UDP_DNS_PORT
 from repro.net.transport import Transport
-from repro.sim.kernel import MS
+from repro.engine.api import MS
 from repro.telemetry.registry import NULL
 
 if _t.TYPE_CHECKING:  # pragma: no cover

@@ -1,0 +1,58 @@
+"""The engine seam: one clock/scheduler interface, two engines.
+
+Everything above the kernel — the network model, DNS and HTTP stacks,
+the AP/client runtimes, PACM — is written against the small
+:class:`~repro.engine.api.Scheduler` protocol defined here, never
+against a concrete engine.  Two implementations exist:
+
+* :class:`repro.sim.kernel.Simulator` — virtual time, an event heap,
+  fully deterministic; every experiment and test runs here.
+* :class:`repro.engine.wallclock.WallClock` — real time on an asyncio
+  loop; the live serving stack (:mod:`repro.engine.live`) runs the very
+  same components on it over loopback sockets.
+
+The event primitives (:mod:`repro.engine.events`) and resource models
+(:mod:`repro.engine.resources`) are engine-agnostic and shared by both.
+"""
+
+from repro.engine.api import (
+    HOUR,
+    MINUTE,
+    MS,
+    SECOND,
+    Clock,
+    Engine,
+    Scheduler,
+    build_engine,
+)
+from repro.engine.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.engine.resources import Resource, ServiceQueue, Store
+from repro.engine.wallclock import WallClock
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Clock",
+    "Condition",
+    "Engine",
+    "Event",
+    "HOUR",
+    "MINUTE",
+    "MS",
+    "Process",
+    "Resource",
+    "SECOND",
+    "Scheduler",
+    "ServiceQueue",
+    "Store",
+    "Timeout",
+    "WallClock",
+    "build_engine",
+]

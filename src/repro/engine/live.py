@@ -1,0 +1,302 @@
+"""The live APE-CACHE stack: the simulated components on real sockets.
+
+One OS process, one asyncio loop, one :class:`WallClock` engine, one
+shared telemetry registry — and the *unchanged* protocol stack from the
+simulation: :class:`~repro.core.ap_runtime.ApRuntime` (DNS-Cache
+piggybacking + PACM) on the AP node, an upstream authoritative DNS, the
+edge cache, and the origin tier.  Each tier binds real loopback sockets
+(port 0 by default, so test runs never collide), and
+:class:`~repro.engine.livenet.LiveTransport` routes the stack's
+node-address identities onto those endpoints.
+
+Because the components are shared with the simulator, the span taxonomy
+(``request`` → ``dns_piggyback`` → ``ap_hit`` / ``ap_delegated`` …), the
+TYPE=300 cache RR, the ``x-ape-*`` headers, and the PACM admission path
+are identical by construction — which is exactly what the parity
+harness (:mod:`repro.engine.parity`) verifies.
+
+Graceful shutdown contract: :meth:`LiveStack.stop` (wired to
+SIGINT/SIGTERM by :func:`run_live`) closes the listening sockets,
+drains in-flight requests, flushes telemetry JSONL exports, and the
+process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import signal
+import typing as _t
+
+from repro.core.ap_runtime import ApRuntime
+from repro.core.client_runtime import ClientRuntime, FetchResult
+from repro.core.config import ApeCacheConfig
+from repro.dnslib.server import AuthoritativeService
+from repro.dnslib.zone import Zone
+from repro.engine.livenet import (
+    LIVE_HOST,
+    LiveHttpServer,
+    LiveTransport,
+    LiveUdpServer,
+)
+from repro.engine.wallclock import WallClock
+from repro.httplib.content import DataObject
+from repro.httplib.server import (
+    EdgeCacheServer,
+    HostingDirectory,
+    OriginServer,
+)
+from repro.httplib.url import Url
+from repro.net.address import IPv4Address
+from repro.net.node import Node
+from repro.telemetry.registry import Telemetry
+
+__all__ = ["LiveStackConfig", "LiveStack", "run_live"]
+
+#: TTL for the upstream zone's A records.  Long enough that a demo or
+#: parity run resolves each domain once, like the simulated CDN chain
+#: does within its 5 s answer TTL.
+_ZONE_TTL_S = 60
+
+
+@dataclasses.dataclass
+class LiveStackConfig:
+    """Knobs for the live deployment."""
+
+    #: Loopback host every tier binds.
+    host: str = LIVE_HOST
+    #: Requests the AP "CPU" serves concurrently (router-class: 1).
+    ap_cpu_capacity: int = 1
+    #: Concurrency for server-class tiers (edge, origin, upstream DNS).
+    server_cpu_capacity: int = 8
+    #: Seconds to wait for in-flight requests during shutdown.
+    drain_timeout_s: float = 5.0
+    #: Flush spans/metrics here on shutdown ("" = no export).
+    spans_path: str = ""
+    metrics_path: str = ""
+
+
+class LiveStack:
+    """A fully wired live deployment on loopback sockets.
+
+    Build it inside a running asyncio loop, then ``await start()``;
+    the node addresses are simulation-style identities (the AP keeps
+    its ``192.168.8.1``), mapped to real ephemeral endpoints by the
+    live transport.
+    """
+
+    def __init__(self, engine: WallClock,
+                 config: LiveStackConfig | None = None,
+                 ape_config: ApeCacheConfig | None = None,
+                 telemetry: Telemetry | None = None) -> None:
+        self.engine = engine
+        self.config = config or LiveStackConfig()
+        #: One registry for every tier, clocked off the wall engine, so
+        #: cross-tier traces share one id space — same layout as the
+        #: simulated testbed's.
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry(engine))
+        self.transport = LiveTransport(engine, telemetry=self.telemetry)
+
+        cfg = self.config
+        self.ap = Node(engine, "ap", IPv4Address("192.168.8.1"),
+                       cpu_capacity=cfg.ap_cpu_capacity)
+        self.upstream = Node(engine, "updns", IPv4Address("10.0.0.53"),
+                             cpu_capacity=cfg.server_cpu_capacity)
+        self.edge = Node(engine, "edge", IPv4Address("10.0.0.10"),
+                         cpu_capacity=cfg.server_cpu_capacity)
+        self.origin = Node(engine, "origin", IPv4Address("10.0.0.20"),
+                           cpu_capacity=cfg.server_cpu_capacity)
+
+        # The upstream authoritative collapses the simulated ADNS → CDN
+        # chain: its zones answer app domains directly with the edge's
+        # address (the delegation target the AP needs).
+        self.dns_service = AuthoritativeService(self.upstream)
+        self.dns_service.bind_telemetry(self.telemetry)
+        self.dns_service.install()
+
+        self.directory = HostingDirectory()
+        self.origin_server = OriginServer(self.origin)
+        self.origin_server.install()
+        self.edge_server = EdgeCacheServer(self.edge, self.transport,
+                                           self.directory)
+        self.edge_server.install()
+
+        self.ap_runtime = ApRuntime(self.ap, self.transport,
+                                    self.upstream.address,
+                                    config=ape_config,
+                                    telemetry=self.telemetry)
+        self.ap_runtime.install()
+
+        tel = self.telemetry
+        self._servers: list[LiveUdpServer | LiveHttpServer] = [
+            LiveUdpServer(engine, self.ap, telemetry=tel),
+            LiveHttpServer(engine, self.ap, telemetry=tel),
+            LiveUdpServer(engine, self.upstream, telemetry=tel),
+            LiveHttpServer(engine, self.edge, telemetry=tel),
+            LiveHttpServer(engine, self.origin, telemetry=tel),
+        ]
+        self._domains: set[str] = set()
+        self._clients = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> dict[str, tuple[str, int]]:
+        """Bind every tier; returns ``role -> (host, port)``."""
+        host = self.config.host
+        endpoints: dict[str, tuple[str, int]] = {}
+        for server in self._servers:
+            endpoint = await server.start(host=host, port=0)
+            node = server.node
+            if isinstance(server, LiveUdpServer):
+                self.transport.register_udp(node.address, endpoint)
+                endpoints[f"{node.name}/dns"] = endpoint
+            else:
+                self.transport.register_tcp(node.address, endpoint)
+                endpoints[f"{node.name}/http"] = endpoint
+        self._started = True
+        return endpoints
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop listening, drain, flush telemetry."""
+        for server in self._servers:
+            await server.stop(self.config.drain_timeout_s)
+        self._started = False
+        self._flush_telemetry()
+
+    def _flush_telemetry(self) -> None:
+        from repro.telemetry.export import (
+            write_metrics_jsonl,
+            write_spans_jsonl,
+        )
+
+        if self.config.spans_path:
+            write_spans_jsonl(self.telemetry, self.config.spans_path)
+        if self.config.metrics_path:
+            write_metrics_jsonl(self.telemetry, self.config.metrics_path)
+
+    # ------------------------------------------------------------------
+    # Population (mirrors Testbed's surface)
+    # ------------------------------------------------------------------
+    def add_domain(self, domain: str) -> None:
+        """Publish ``domain`` upstream, resolving to the edge cache."""
+        if domain in self._domains:
+            return
+        zone = Zone(domain)
+        zone.add_a(domain, self.edge.address, ttl=_ZONE_TTL_S)
+        self.dns_service.add_zone(zone)
+        self._domains.add(domain)
+
+    def host_object(self, url: str, size_bytes: int,
+                    origin_delay_s: float = 0.0,
+                    preload_edge: bool = True) -> DataObject:
+        """Create an object at the origin and publish its domain."""
+        parsed = Url.parse(url)
+        self.add_domain(parsed.host)
+        data_object = DataObject(parsed.base, size_bytes)
+        self.origin_server.host(data_object, service_delay_s=origin_delay_s)
+        self.directory.register(parsed.base, self.origin.address)
+        if preload_edge:
+            self.edge_server.preload([data_object])
+            if origin_delay_s:
+                self.edge_server.set_serve_delay(parsed.base, origin_delay_s)
+        return data_object
+
+    def add_client(self, app_id: str) -> ClientRuntime:
+        """A new client device talking to the live AP."""
+        self._clients += 1
+        node = Node(self.engine, f"client{self._clients}",
+                    IPv4Address(f"192.168.8.{100 + self._clients}"),
+                    cpu_capacity=4)
+        return ClientRuntime(node, self.transport, self.ap.address,
+                             app_id=app_id, telemetry=self.telemetry)
+
+    async def fetch(self, client: ClientRuntime, url: str) -> FetchResult:
+        """Drive one client fetch to completion (coroutine form)."""
+        result = await self.engine.run_process(client.fetch(url))
+        return _t.cast(FetchResult, result)
+
+    def __repr__(self) -> str:
+        state = "up" if self._started else "down"
+        return (f"<LiveStack {state} clients={self._clients} "
+                f"domains={len(self._domains)}>")
+
+
+# ----------------------------------------------------------------------
+# The `repro.cli live` entry point
+# ----------------------------------------------------------------------
+
+#: The demo catalog: a few app objects sized like the paper's workload.
+_DEMO_OBJECTS = (
+    ("http://demo-a.example/feed.json", 24 * 1024),
+    ("http://demo-a.example/avatar.png", 96 * 1024),
+    ("http://demo-b.example/bundle.js", 160 * 1024),
+)
+_DEMO_TTL_MIN = 5.0
+_DEMO_PRIORITY = 2
+
+
+def _demo_spec(url: str):
+    from repro.core.annotations import CacheableSpec
+
+    return CacheableSpec(url=url, priority=_DEMO_PRIORITY,
+                         ttl_s=_DEMO_TTL_MIN * 60.0)
+
+
+async def _run_stack(config: LiveStackConfig, demo_requests: int,
+                     serve: bool,
+                     emit: _t.Callable[[str], None]) -> int:
+    engine = WallClock()
+    stack = LiveStack(engine, config=config)
+    for url, size in _DEMO_OBJECTS:
+        stack.host_object(url, size)
+    endpoints = await stack.start()
+    for role in sorted(endpoints):
+        host, port = endpoints[role]
+        emit(f"live: {role} on {host}:{port}")
+
+    shutdown = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, shutdown.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+
+    client = stack.add_client("demo")
+    for spec_url, _size in _DEMO_OBJECTS:
+        client.register_spec(_demo_spec(spec_url))
+    hits = 0
+    for index in range(demo_requests):
+        url, _size = _DEMO_OBJECTS[index % len(_DEMO_OBJECTS)]
+        result = await stack.fetch(client, url)
+        hits += int(result.source == "ap-hit")
+        emit(f"live: fetch {url} -> {result.source} "
+             f"({result.total_latency_s * 1e3:.2f} ms)")
+    if demo_requests:
+        emit(f"live: {hits}/{demo_requests} served from the AP cache")
+
+    if serve:
+        emit("live: serving (SIGINT/SIGTERM to stop)")
+        await shutdown.wait()
+        emit("live: signal received, draining")
+    await stack.stop()
+    engine.raise_unwaited()
+    emit(f"live: drained, {stack.transport.udp_exchanges} udp / "
+         f"{stack.transport.tcp_exchanges} tcp exchanges")
+    return 0
+
+
+def run_live(demo_requests: int = 6, serve: bool = False,
+             spans_path: str = "", metrics_path: str = "",
+             emit: _t.Callable[[str], None] = print) -> int:
+    """Serve the live stack; the ``repro.cli live`` implementation.
+
+    Runs the demo request driver, then (with ``serve=True``) stays up
+    until SIGINT/SIGTERM, drains, flushes telemetry, and returns 0.
+    """
+    config = LiveStackConfig(spans_path=spans_path,
+                             metrics_path=metrics_path)
+    return asyncio.run(_run_stack(config, demo_requests, serve, emit))

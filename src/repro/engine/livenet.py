@@ -1,0 +1,370 @@
+"""Real loopback sockets behind the simulated transport interface.
+
+The simulator's :class:`~repro.net.transport.Transport` models delay; in
+a live deployment the network itself provides it.  This module swaps
+only that one layer: :class:`LiveTransport` exposes the same
+``udp_request`` / ``tcp_exchange`` generator interface, but each call
+bridges into asyncio socket IO (:meth:`WallClock.from_awaitable`), so
+the unchanged protocol handlers — the AP runtime, DNS services, HTTP
+servers — run on real packets.
+
+Server side, :class:`LiveUdpServer` and :class:`LiveHttpServer` feed
+inbound datagrams/connections into a :class:`~repro.net.node.Node`'s
+registered handlers, exactly where the simulated transport would have
+dispatched.  The well-known port constants (``UDP_DNS_PORT``,
+``TCP_HTTP_PORT``) remain the *handler-registry* keys; the real,
+ephemeral OS ports live in the transport's endpoint map so the whole
+stack can bind port 0.
+
+All live-health instruments are pre-registered by
+:func:`register_live_instruments` so the ``metric:live.socket_errors``
+sentry budget resolves to an honest zero on a clean run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing as _t
+
+from repro.errors import TransportError
+from repro.engine.wallclock import WallClock
+from repro.httplib.wire import (
+    encode_request,
+    encode_response,
+    read_request,
+    read_response,
+)
+from repro.net.address import IPv4Address
+from repro.net.node import Node, TCP_HTTP_PORT, UDP_DNS_PORT
+from repro.telemetry.registry import NULL, Telemetry
+
+__all__ = [
+    "LIVE_HOST",
+    "LiveTransport",
+    "LiveUdpServer",
+    "LiveHttpServer",
+    "register_live_instruments",
+]
+
+#: Every live endpoint binds loopback; the stack is single-host.
+LIVE_HOST = "127.0.0.1"
+
+Endpoint = tuple[str, int]
+
+
+def register_live_instruments(telemetry: Telemetry) -> None:
+    """Pre-register the ``live.*`` health instruments.
+
+    Called at stack construction — before any traffic — so sentry
+    budgets (``metric:live.socket_errors/value <= 0``) and the obs
+    panel's live-health table resolve to honest zeros rather than
+    "unresolved" on runs that never erred.
+    """
+    telemetry.counter("live.socket_errors",
+                      help="socket-level failures in the live stack, "
+                           "by role")
+    telemetry.counter("live.request_timeouts",
+                      help="live UDP exchanges that timed out, by role")
+    telemetry.gauge("live.in_flight",
+                    help="requests currently inside live servers, "
+                         "by server role")
+
+
+class LiveTransport:
+    """The simulated transport interface over real loopback sockets.
+
+    ``udp_request`` and ``tcp_exchange`` keep their generator form —
+    protocol handlers still ``yield sim.process(transport...)`` — but
+    the body is one bridged socket exchange instead of modeled delays.
+    Addresses are mapped to real ``(host, port)`` endpoints via
+    :meth:`register_udp` / :meth:`register_tcp` as servers come up.
+    """
+
+    #: The live transport has no simulated topology behind it; callers
+    #: that reach for ``transport.network`` (the HTTPS delay model) are
+    #: sim-only paths.
+    network = None
+
+    def __init__(self, engine: WallClock,
+                 telemetry: Telemetry = NULL,
+                 udp_timeout_s: float = 1.0,
+                 udp_retries: int = 3) -> None:
+        self.sim = engine
+        self.engine = engine
+        self.udp_timeout_s = udp_timeout_s
+        self.udp_retries = udp_retries
+        self._udp: dict[str, Endpoint] = {}
+        self._tcp: dict[str, Endpoint] = {}
+        register_live_instruments(telemetry)
+        self._socket_errors = telemetry.counter("live.socket_errors")
+        self._request_timeouts = telemetry.counter("live.request_timeouts")
+        self.udp_exchanges = 0
+        self.tcp_exchanges = 0
+
+    # ------------------------------------------------------------------
+    # Endpoint registry
+    # ------------------------------------------------------------------
+    def register_udp(self, address: "IPv4Address | str",
+                     endpoint: Endpoint) -> None:
+        """Map ``address`` (the node's identity) to a bound UDP socket."""
+        self._udp[str(IPv4Address(address))] = endpoint
+
+    def register_tcp(self, address: "IPv4Address | str",
+                     endpoint: Endpoint) -> None:
+        """Map ``address`` to a listening TCP socket."""
+        self._tcp[str(IPv4Address(address))] = endpoint
+
+    def _lookup(self, table: dict[str, Endpoint],
+                address: object, proto: str) -> Endpoint:
+        endpoint = table.get(str(IPv4Address(_t.cast(str, address))))
+        if endpoint is None:
+            raise TransportError(
+                f"no live {proto} endpoint registered for {address}")
+        return endpoint
+
+    # ------------------------------------------------------------------
+    # The Transport interface
+    # ------------------------------------------------------------------
+    def udp_request(self, src: str, dst_address: object, port: int,
+                    payload: bytes):
+        """Generator: send a datagram, return the response bytes."""
+        endpoint = self._lookup(self._udp, dst_address, "udp")
+        self.udp_exchanges += 1
+        response = yield self.engine.from_awaitable(
+            self._udp_io(endpoint, bytes(payload)))
+        return _t.cast(bytes, response)
+
+    def tcp_exchange(self, src: str, dst_address: object, port: int,
+                     request: object):
+        """Generator: one connection-close HTTP exchange."""
+        endpoint = self._lookup(self._tcp, dst_address, "tcp")
+        self.tcp_exchanges += 1
+        response = yield self.engine.from_awaitable(
+            self._tcp_io(endpoint, request))
+        return response
+
+    def one_way(self, src: str, dst: str, size_bytes: int = 0):
+        """Unsupported live: only the simulated HTTPS path models this."""
+        raise TransportError(
+            "the live transport cannot model one-way TLS trips; "
+            "serve plain http:// URLs on the live stack")
+
+    # ------------------------------------------------------------------
+    # Socket IO
+    # ------------------------------------------------------------------
+    async def _udp_io(self, endpoint: Endpoint, payload: bytes) -> bytes:
+        loop = asyncio.get_running_loop()
+        attempts = 1 + max(0, self.udp_retries)
+        for _attempt in range(attempts):
+            waiter: "asyncio.Future[bytes]" = loop.create_future()
+            try:
+                transport, _protocol = await loop.create_datagram_endpoint(
+                    lambda: _OneShotUdpClient(waiter),
+                    remote_addr=endpoint)
+            except OSError as err:
+                self._socket_errors.inc(role="udp-client")
+                raise TransportError(
+                    f"cannot open datagram socket to {endpoint}: {err}")
+            try:
+                transport.sendto(payload)
+                return await asyncio.wait_for(waiter, self.udp_timeout_s)
+            except asyncio.TimeoutError:
+                self._request_timeouts.inc(role="udp-client")
+                continue
+            except OSError as err:
+                self._socket_errors.inc(role="udp-client")
+                raise TransportError(
+                    f"datagram exchange with {endpoint} failed: {err}")
+            finally:
+                transport.close()
+        raise TransportError(
+            f"no reply from {endpoint} after {attempts} attempts")
+
+    async def _tcp_io(self, endpoint: Endpoint, request: object) -> object:
+        try:
+            reader, writer = await asyncio.open_connection(*endpoint)
+        except OSError as err:
+            self._socket_errors.inc(role="tcp-client")
+            raise TransportError(
+                f"cannot connect to {endpoint}: {err}")
+        try:
+            writer.write(encode_request(_t.cast("_t.Any", request)))
+            await writer.drain()
+            return await read_response(reader)
+        except OSError as err:
+            self._socket_errors.inc(role="tcp-client")
+            raise TransportError(
+                f"exchange with {endpoint} failed: {err}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+
+class _OneShotUdpClient(asyncio.DatagramProtocol):
+    """Resolves a future with the first datagram received."""
+
+    def __init__(self, waiter: "asyncio.Future[bytes]") -> None:
+        self._waiter = waiter
+
+    def datagram_received(self, data: bytes, addr: Endpoint) -> None:
+        if not self._waiter.done():
+            self._waiter.set_result(data)
+
+    def error_received(self, exc: OSError) -> None:
+        if not self._waiter.done():
+            self._waiter.set_exception(exc)
+
+
+class _ServerBase:
+    """In-flight bookkeeping and drain logic shared by both servers."""
+
+    role = "server"
+
+    def __init__(self, engine: WallClock, node: Node,
+                 telemetry: Telemetry = NULL) -> None:
+        self.engine = engine
+        self.node = node
+        register_live_instruments(telemetry)
+        self._in_flight = telemetry.gauge("live.in_flight")
+        self._socket_errors = telemetry.counter("live.socket_errors")
+        self._pending: set[asyncio.Future[object]] = set()
+        self.requests_served = 0
+
+    def _track(self, future: "asyncio.Future[object]") -> None:
+        self._pending.add(future)
+        self._in_flight.add(1, role=self.role)
+
+        def _untrack(done: "asyncio.Future[object]") -> None:
+            self._pending.discard(done)
+            self._in_flight.add(-1, role=self.role)
+
+        future.add_done_callback(_untrack)
+
+    async def drain(self, timeout_s: float = 5.0) -> None:
+        """Wait for every in-flight request to finish."""
+        pending = [future for future in self._pending if not future.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=timeout_s)
+
+
+class LiveUdpServer(_ServerBase):
+    """Feeds real datagrams into a node's registered UDP handler.
+
+    The handler generator (for the AP: ``ApRuntime.respond`` via
+    ``ForwardingDnsService._handle``) runs as an engine process; its
+    return value, the reply payload, is sent back to the querier.
+    """
+
+    role = "udp"
+
+    def __init__(self, engine: WallClock, node: Node,
+                 port_label: int = UDP_DNS_PORT,
+                 telemetry: Telemetry = NULL) -> None:
+        super().__init__(engine, node, telemetry)
+        self.port_label = port_label
+        self._transport: asyncio.DatagramTransport | None = None
+
+    async def start(self, host: str = LIVE_HOST,
+                    port: int = 0) -> Endpoint:
+        """Bind (``port`` 0 = ephemeral) and return the bound endpoint."""
+        loop = asyncio.get_running_loop()
+        self._transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _UdpServerProtocol(self), local_addr=(host, port))
+        sockname = self._transport.get_extra_info("sockname")
+        return (sockname[0], sockname[1])
+
+    def _dispatch(self, data: bytes, addr: Endpoint) -> None:
+        source = IPv4Address(addr[0])
+        handler = self.node.handle_udp(self.port_label, data, source)
+        process = self.engine.process(self._respond(handler, addr))
+        future = asyncio.ensure_future(self.engine.wait(process))
+        self._track(future)
+        future.add_done_callback(self._log_failure)
+
+    def _respond(self, handler: _t.Generator[object, object, object],
+                 addr: Endpoint):
+        reply = yield self.engine.process(
+            _t.cast("_t.Any", handler))
+        if reply is not None and self._transport is not None:
+            self._transport.sendto(_t.cast(bytes, reply), addr)
+        self.requests_served += 1
+
+    def _log_failure(self, done: "asyncio.Future[object]") -> None:
+        if not done.cancelled() and done.exception() is not None:
+            # DNS handlers answer SERVFAIL themselves; anything that
+            # escapes is a transport/codec defect worth counting.
+            self._socket_errors.inc(role=self.role)
+
+    async def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Stop accepting datagrams, then drain in-flight handlers."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        await self.drain(drain_timeout_s)
+
+
+class _UdpServerProtocol(asyncio.DatagramProtocol):
+    def __init__(self, server: LiveUdpServer) -> None:
+        self._server = server
+
+    def datagram_received(self, data: bytes, addr: Endpoint) -> None:
+        self._server._dispatch(data, addr)
+
+
+class LiveHttpServer(_ServerBase):
+    """Feeds real HTTP/1.1 connections into a node's TCP handler.
+
+    One request per connection (connection-close), mirroring the
+    simulated ``tcp_exchange`` semantics.
+    """
+
+    role = "http"
+
+    def __init__(self, engine: WallClock, node: Node,
+                 port_label: int = TCP_HTTP_PORT,
+                 telemetry: Telemetry = NULL) -> None:
+        super().__init__(engine, node, telemetry)
+        self.port_label = port_label
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self, host: str = LIVE_HOST,
+                    port: int = 0) -> Endpoint:
+        """Listen (``port`` 0 = ephemeral) and return the endpoint."""
+        self._server = await asyncio.start_server(self._serve, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return (sockname[0], sockname[1])
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._track(task)
+        try:
+            request = await read_request(reader)
+            peer = writer.get_extra_info("peername") or (LIVE_HOST, 0)
+            handler = self.node.handle_tcp(self.port_label, request,
+                                           IPv4Address(peer[0]))
+            response = await self.engine.wait(
+                self.engine.process(_t.cast("_t.Any", handler)))
+            writer.write(encode_response(_t.cast("_t.Any", response)))
+            await writer.drain()
+            self.requests_served += 1
+        except (OSError, asyncio.IncompleteReadError):
+            self._socket_errors.inc(role=self.role)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    async def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Stop accepting connections, then drain in-flight requests."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.drain(drain_timeout_s)

@@ -1,0 +1,158 @@
+"""Shared-resource primitives for contention, on either engine.
+
+The AP's CPU, an HTTP server's worker pool, and a link's serialization slot
+are all modeled as a :class:`Resource` — a counted semaphore with a FIFO
+wait queue.  :class:`ServiceQueue` layers a per-request service time on top,
+which is how the reproduction models "handling a DNS query costs the router
+X microseconds of CPU".  Under the virtual-time engine the service time is
+simulated; under :class:`~repro.engine.wallclock.WallClock` it is a real
+sleep, so a router-class single-slot CPU still serializes live requests.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.engine.api import Scheduler
+from repro.engine.events import Event
+
+__all__ = ["Resource", "ServiceQueue", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO queuing.
+
+    Usage inside a process::
+
+        request = resource.request()
+        yield request
+        try:
+            yield sim.timeout(work)
+        finally:
+            resource.release(request)
+    """
+
+    def __init__(self, sim: Scheduler, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+        self._granted: set[int] = set()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that triggers once a slot is granted."""
+        event = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._granted.add(id(event))
+            event.succeed(self)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Release the slot granted to ``request``."""
+        if id(request) not in self._granted:
+            if request in self._waiting:
+                self._waiting.remove(request)
+                return
+            raise SimulationError("released a request that was never granted")
+        self._granted.discard(id(request))
+        self._in_use -= 1
+        while self._waiting and self._in_use < self.capacity:
+            waiter = self._waiting.popleft()
+            self._in_use += 1
+            self._granted.add(id(waiter))
+            waiter.succeed(self)
+
+
+class ServiceQueue:
+    """A resource whose holders occupy it for a caller-supplied service time.
+
+    ``use(duration)`` returns a process that waits for a slot, holds it for
+    ``duration`` seconds, then releases it.  Total sojourn time (wait +
+    service) is the process's return value, which experiments use to
+    attribute queueing delay.
+    """
+
+    def __init__(self, sim: Scheduler, capacity: int = 1) -> None:
+        self.sim = sim
+        self._resource = Resource(sim, capacity)
+        self.busy_time = 0.0
+        self.completed = 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    @property
+    def in_use(self) -> int:
+        return self._resource.in_use
+
+    def use(self, duration: float):
+        """Start a process that occupies one slot for ``duration`` seconds."""
+        return self.sim.process(self._use(duration))
+
+    def _use(self, duration: float):
+        started = self.sim.now
+        request = self._resource.request()
+        yield request
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self._resource.release(request)
+            self.busy_time += duration
+            self.completed += 1
+        return self.sim.now - started
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` wall time the queue spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * self._resource.capacity))
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking ``get``.
+
+    Used for mailbox-style communication between processes (e.g. a
+    server's inbound request queue).
+    """
+
+    def __init__(self, sim: Scheduler) -> None:
+        self.sim = sim
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next available item."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,242 @@
+"""The real-time engine: the Scheduler protocol on an asyncio loop.
+
+:class:`WallClock` implements the same seam as
+:class:`repro.sim.kernel.Simulator`, but ``now`` is the host's monotonic
+clock (seconds since the engine was created) and ``_schedule`` maps onto
+``loop.call_soon`` / ``loop.call_later``.  The event primitives in
+:mod:`repro.engine.events` are reused unchanged, so any generator-based
+component — the AP runtime, the DNS services, a ``ServiceQueue`` — runs
+on real time without modification.
+
+Two bridges connect the generator world to asyncio:
+
+* :meth:`WallClock.from_awaitable` wraps a coroutine as an
+  :class:`~repro.engine.events.Event` a process can ``yield`` — this is
+  how the live transport does socket IO from inside a protocol handler.
+* :meth:`WallClock.wait` awaits an event from a coroutine — this is how
+  a live server awaits a handler process before writing the response.
+
+Scheduling-order contract (documented divergence from the simulator):
+the simulator breaks same-instant ties by priority then insertion
+order; asyncio's callback queue is FIFO only, so *urgent* events
+(process interrupts) do not preempt normal events scheduled for the
+same instant.  Nothing in the served stack relies on that preemption.
+
+This is the **only** module in the library blessed to read the host
+clock for simulated-looking time (``[tool.repro-lint]
+engine-wallclock-allow``); everything downstream takes time from
+``engine.now`` and stays engine-agnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing as _t
+from time import monotonic
+
+from repro.errors import SimulationError
+from repro.engine.api import NORMAL
+from repro.engine.events import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["WallClock"]
+
+
+class WallClock:
+    """Drives the engine seam with real time on an asyncio event loop.
+
+    Must be created while an asyncio loop is running (or be handed one
+    explicitly): every ``_schedule`` call lands on that loop.  ``now``
+    counts wall seconds since construction, so spans and timeouts read
+    exactly like their simulated counterparts, just jittery.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        if loop is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise SimulationError(
+                    "WallClock needs a running asyncio event loop; create "
+                    "it inside asyncio.run(...) or pass loop= explicitly")
+        self._loop = loop
+        self._epoch = monotonic()
+        self._active_process: Process | None = None
+        #: Events executed so far (same contract as Simulator).
+        self.events_processed = 0
+        #: Exceptions from failed events nobody waited for.  The
+        #: simulator raises these out of ``run``; an asyncio callback
+        #: has no caller to raise into, so they are collected here and
+        #: re-raised by :meth:`raise_unwaited` (the live stack checks on
+        #: shutdown, the parity harness after each run).
+        self.unwaited_failures: list[BaseException] = []
+        #: Strong references to bridged tasks (the loop keeps only weak
+        #: ones, so an in-flight task could otherwise be GC'd).
+        self._bridged_tasks: set["asyncio.Task[object]"] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Wall seconds since this engine was created."""
+        return monotonic() - self._epoch
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The asyncio loop this engine schedules on."""
+        return self._loop
+
+    # ------------------------------------------------------------------
+    # Event factories (same surface as Simulator)
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a plain, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` wall seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator[Event, object, object],
+                ) -> Process:
+        """Register a generator as a process and start it."""
+        return Process(self, generator)
+
+    def all_of(self, events: _t.Sequence[Event]) -> AllOf:
+        """An event triggering once all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
+        """An event triggering once any one of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        if delay <= 0.0:
+            self._loop.call_soon(self._dispatch, event)
+        else:
+            self._loop.call_later(delay, self._dispatch, event)
+
+    def _dispatch(self, event: Event) -> None:
+        """Process one triggered event (the loop-callback half of step)."""
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok:
+            # A failed event nobody waited for must not pass silently —
+            # but raising inside a loop callback would only reach the
+            # loop's exception handler.  Park it for raise_unwaited().
+            self.unwaited_failures.append(
+                _t.cast(BaseException, event._value))
+
+    def raise_unwaited(self) -> None:
+        """Re-raise the first failure no process or waiter consumed."""
+        if self.unwaited_failures:
+            raise self.unwaited_failures[0]
+
+    # ------------------------------------------------------------------
+    # asyncio bridges
+    # ------------------------------------------------------------------
+    def from_awaitable(self, awaitable: _t.Awaitable[object]) -> Event:
+        """Wrap a coroutine as an event a process can ``yield``.
+
+        The coroutine runs as an asyncio task; its result succeeds the
+        event (its exception fails it), waking whatever process parked
+        on the event.
+        """
+        event = Event(self)
+        task = self._loop.create_task(_ensure_coroutine(awaitable))
+        # The loop holds only weak references to tasks; anchor this one
+        # until it completes or the GC may destroy it mid-flight.
+        self._bridged_tasks.add(task)
+        task.add_done_callback(self._bridged_tasks.discard)
+
+        def _finish(done: "asyncio.Task[object]") -> None:
+            if done.cancelled():
+                event.fail(SimulationError("bridged task was cancelled"))
+                return
+            failure = done.exception()
+            if failure is not None:
+                event.fail(failure)
+            else:
+                event.succeed(done.result())
+
+        task.add_done_callback(_finish)
+        return event
+
+    async def wait(self, event: Event) -> object:
+        """Await an event from coroutine land, returning its value.
+
+        The inverse bridge of :meth:`from_awaitable`: used by the live
+        servers to await a protocol-handler process, and by drivers to
+        await a whole scenario.
+        """
+        future: "asyncio.Future[object]" = self._loop.create_future()
+
+        def _done(triggered: Event) -> None:
+            if future.cancelled():
+                return
+            if triggered._ok:
+                future.set_result(triggered._value)
+            else:
+                future.set_exception(
+                    _t.cast(BaseException, triggered._value))
+
+        if event.callbacks is None:
+            # Already processed: resolve immediately.
+            _done(event)
+        else:
+            event.callbacks.append(_done)
+        return await future
+
+    async def run(self, until: Event | float | None = None) -> object:
+        """Async analogue of ``Simulator.run``.
+
+        ``until`` may be an event (await it, return its value) or a
+        time in engine seconds (sleep until then).  Unlike the
+        simulator there is no "run until quiescent" mode — real time
+        does not drain.
+        """
+        if isinstance(until, Event):
+            return await self.wait(until)
+        if until is not None:
+            horizon = float(until)
+            if horizon < self.now:
+                raise SimulationError(
+                    f"until={horizon!r} lies in the past (now={self.now!r})")
+            await asyncio.sleep(horizon - self.now)
+            return None
+        raise SimulationError(
+            "WallClock.run needs an event or a horizon; wall time has "
+            "no quiescence to run until")
+
+    async def run_process(self, generator:
+                          _t.Generator[Event, object, object]) -> object:
+        """Convenience: start ``generator`` and await its completion."""
+        return await self.wait(self.process(generator))
+
+    def __repr__(self) -> str:
+        return f"<WallClock t={self.now:.6f}s>"
+
+
+def _ensure_coroutine(awaitable: _t.Awaitable[object],
+                      ) -> _t.Coroutine[object, object, object]:
+    """Adapt any awaitable to what ``loop.create_task`` accepts."""
+    if asyncio.iscoroutine(awaitable):
+        return awaitable
+
+    async def _shim() -> object:
+        return await awaitable
+
+    return _shim()

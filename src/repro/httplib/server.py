@@ -21,7 +21,7 @@ from repro.httplib.url import Url
 from repro.net.address import IPv4Address
 from repro.net.node import Node, TCP_HTTP_PORT
 from repro.net.transport import Transport
-from repro.sim.kernel import MS
+from repro.engine.api import MS
 
 __all__ = ["OriginServer", "EdgeCacheServer", "HostingDirectory"]
 

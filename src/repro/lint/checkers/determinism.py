@@ -150,6 +150,8 @@ class WallClock(Checker):
     def check(self, module: ModuleUnderLint) -> _t.Iterator[Finding]:
         if module.config.allows_wallclock(module.path):
             return
+        if module.config.allows_engine_wallclock(module.path):
+            return  # the real-time engine (docs/live.md)
         imports = ImportMap(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -54,6 +54,8 @@ class TelemetryHostClock(Checker):
             return
         if config.allows_telemetry_profiling(module.path):
             return
+        if config.allows_engine_wallclock(module.path):
+            return  # the real-time engine (docs/live.md)
         imports = ImportMap(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

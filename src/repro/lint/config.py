@@ -52,6 +52,15 @@ _DEFAULT_EXPERIMENTS_PATHS = (
     "src/repro/experiments/",
 )
 
+#: The real-time engine: the one module whose whole purpose is turning
+#: the host clock into ``engine.now``.  Unlike ``wallclock-allow``
+#: (operator tooling, where clock values must still never reach sim
+#: sinks), this blessing also covers DET004 and the DET101 clock-taint
+#: sinks — feeding host time into event scheduling *is* its job.
+_DEFAULT_ENGINE_WALLCLOCK_ALLOW = (
+    "src/repro/engine/wallclock.py",
+)
+
 #: Receiver-name substrings marking a ``.span(...)`` call as a telemetry
 #: span scope (TEL002) rather than, say, ``re.Match.span``.
 _DEFAULT_SPAN_RECEIVER_HINTS = (
@@ -90,6 +99,10 @@ class LintConfig:
         _DEFAULT_TELEMETRY_PROFILING_ALLOW)
     #: Paths where direct Workload orchestration is banned (SIM003).
     experiments_paths: tuple[str, ...] = _DEFAULT_EXPERIMENTS_PATHS
+    #: The blessed wall-clock *engine* module(s): exempt from DET002,
+    #: DET004, and the clock branch of DET101 (docs/live.md).
+    engine_wallclock_allow: tuple[str, ...] = (
+        _DEFAULT_ENGINE_WALLCLOCK_ALLOW)
     #: Receiver substrings identifying telemetry span scopes (TEL002).
     span_receiver_hints: tuple[str, ...] = _DEFAULT_SPAN_RECEIVER_HINTS
     #: Qualified-name prefixes exempt from the per-iteration-span rule
@@ -129,6 +142,10 @@ class LintConfig:
     def in_experiments(self, relpath: str) -> bool:
         """True if ``relpath`` is an experiment module (SIM003)."""
         return path_matches(relpath, self.experiments_paths)
+
+    def allows_engine_wallclock(self, relpath: str) -> bool:
+        """True if ``relpath`` is a blessed wall-clock engine module."""
+        return path_matches(relpath, self.engine_wallclock_allow)
 
 
 def path_matches(relpath: str, patterns: _t.Iterable[str]) -> bool:
@@ -171,6 +188,7 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
     known = {"baseline", "paths", "wallclock-allow", "ignore", "exclude",
              "cacheable-priority-range", "telemetry-paths",
              "telemetry-profiling-allow", "experiments-paths",
+             "engine-wallclock-allow",
              "program-cache", "span-receiver-hints",
              "span-loop-allow",
              "effects-manifest", "effects-require-pure",
@@ -214,6 +232,8 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
             _DEFAULT_TELEMETRY_PROFILING_ALLOW),
         experiments_paths=_strings("experiments-paths",
                                    _DEFAULT_EXPERIMENTS_PATHS),
+        engine_wallclock_allow=_strings("engine-wallclock-allow",
+                                        _DEFAULT_ENGINE_WALLCLOCK_ALLOW),
         span_receiver_hints=_strings("span-receiver-hints",
                                      _DEFAULT_SPAN_RECEIVER_HINTS),
         span_loop_allow=_strings("span-loop-allow", ()),

@@ -68,6 +68,10 @@ class DeterminismTaint(ProgramChecker):
             if kind == "clock" and hit.sink.kind == "telemetry" \
                     and config.allows_wallclock(path):
                 continue  # the blessed host-profiling path
+            if kind == "clock" and config.allows_engine_wallclock(path):
+                # The wall-clock engine's whole job is feeding host time
+                # into event scheduling and span stamps (docs/live.md).
+                continue
             yield Finding(
                 path=path, line=line, col=col, code=self.code,
                 message=(f"nondeterministic value ({detail}) reaches "

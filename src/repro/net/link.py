@@ -11,7 +11,7 @@ import dataclasses
 import typing as _t
 
 from repro.errors import NetworkError
-from repro.sim.kernel import MS
+from repro.engine.api import MS
 from repro.telemetry.registry import NULL
 
 if _t.TYPE_CHECKING:  # pragma: no cover

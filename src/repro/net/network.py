@@ -15,8 +15,8 @@ import networkx as nx
 from repro.errors import NetworkError, NoRouteError
 from repro.net.address import AddressAllocator, IPv4Address
 from repro.net.link import Link, LinkKind
+from repro.engine.api import Scheduler
 from repro.net.node import Node
-from repro.sim.kernel import Simulator
 from repro.telemetry.registry import NULL
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -67,7 +67,7 @@ class PathInfo:
 class Network:
     """A static topology of named nodes joined by links."""
 
-    def __init__(self, sim: Simulator,
+    def __init__(self, sim: Scheduler,
                  allocator: AddressAllocator | None = None,
                  telemetry: "Telemetry | None" = None) -> None:
         self.sim = sim

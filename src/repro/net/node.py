@@ -11,9 +11,9 @@ from __future__ import annotations
 import typing as _t
 
 from repro.errors import NetworkError, TransportError
+from repro.engine.api import Scheduler
+from repro.engine.resources import ServiceQueue
 from repro.net.address import IPv4Address
-from repro.sim.kernel import Simulator
-from repro.sim.resources import ServiceQueue
 
 __all__ = ["Node", "UDP_DNS_PORT", "TCP_HTTP_PORT"]
 
@@ -36,7 +36,7 @@ class Node:
     Parameters
     ----------
     sim:
-        The owning simulator.
+        The owning engine (virtual-time simulator or wall clock).
     name:
         Unique topology name (also the routing key).
     address:
@@ -46,7 +46,7 @@ class Node:
         difference between an 880 MHz router (1) and a desktop (several).
     """
 
-    def __init__(self, sim: Simulator, name: str, address: IPv4Address,
+    def __init__(self, sim: Scheduler, name: str, address: IPv4Address,
                  cpu_capacity: int = 1) -> None:
         self.sim = sim
         self.name = name

@@ -1,8 +1,11 @@
 """The discrete-event scheduler.
 
-:class:`Simulator` owns the virtual clock and the event heap.  All simulated
-time in this library is expressed in **seconds** as floats; helper
-constants :data:`MS` and :data:`MINUTE` keep call sites readable::
+:class:`Simulator` owns the virtual clock and the event heap.  It is the
+virtual-time implementation of the :class:`repro.engine.api.Scheduler`
+protocol (the real-time one is
+:class:`repro.engine.wallclock.WallClock`).  All simulated time in this
+library is expressed in **seconds** as floats; helper constants
+:data:`MS` and :data:`MINUTE` keep call sites readable::
 
     sim = Simulator()
     sim.process(my_activity(sim))
@@ -16,19 +19,16 @@ import itertools
 import typing as _t
 
 from repro.errors import SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.engine.api import HOUR, MINUTE, MS, NORMAL, SECOND, URGENT
+from repro.engine.events import AllOf, AnyOf, Event, Process, Timeout
 
 __all__ = ["Simulator", "MS", "SECOND", "MINUTE", "HOUR"]
 
-MS: float = 1e-3
-SECOND: float = 1.0
-MINUTE: float = 60.0
-HOUR: float = 3600.0
-
 #: Scheduling priorities: urgent events (interrupts) preempt normal ones
-#: that fire at the same instant.
-_URGENT = 0
-_NORMAL = 1
+#: that fire at the same instant.  Canonical values live on the engine
+#: seam (repro.engine.api) so both engines agree.
+_URGENT = URGENT
+_NORMAL = NORMAL
 
 #: Bound once at import: the scheduler touches these per event, and the
 #: module-attribute lookup is measurable at BENCH_kernel scale.

@@ -41,8 +41,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.baselines.multi_ap import WiCacheDistributedSystem
 
 __all__ = ["ObsRun", "instrumented_run", "run_obs", "stage_table",
-           "hit_ratio_table", "fleet_tables", "fleet_table",
-           "top_traces_table"]
+           "hit_ratio_table", "live_health_table", "fleet_tables",
+           "fleet_table", "top_traces_table"]
 
 _MB = 1024 * 1024
 
@@ -121,6 +121,37 @@ def hit_ratio_table(telemetry: Telemetry) -> ExperimentTable:
     table.notes.append(
         f"Gini over per-app hit ratios: {gini(ratios):.3f} "
         f"(0 = perfectly even)")
+    return table
+
+
+def live_health_table(telemetry: Telemetry) -> ExperimentTable | None:
+    """Socket health of a live-engine run (``live.*`` instruments).
+
+    Returns ``None`` when the registry holds no live instruments —
+    the normal case for simulated runs, whose transport never touches
+    a socket (:mod:`repro.engine.livenet` pre-registers them on live
+    stacks, so a clean live run still renders honest zeros here).
+    """
+    errors = telemetry.get("live.socket_errors")
+    timeouts = telemetry.get("live.request_timeouts")
+    in_flight = telemetry.get("live.in_flight")
+    if not isinstance(errors, Counter):
+        return None
+    table = ExperimentTable(
+        title="obs: live socket health",
+        columns=["instrument", "value"])
+    table.add_row(instrument="live.socket_errors",
+                  value=int(errors.total()))
+    if isinstance(timeouts, Counter):
+        table.add_row(instrument="live.request_timeouts",
+                      value=int(timeouts.total()))
+    if isinstance(in_flight, Gauge):
+        table.add_row(instrument="live.in_flight (now)",
+                      value=int(in_flight.value()))
+    table.notes.append(
+        "live-engine transport health; a drained stack ends with "
+        "in_flight 0 and the live-budgets gate requires "
+        "socket_errors 0 (docs/live.md)")
     return table
 
 
@@ -204,6 +235,9 @@ def run_obs(quick: bool = True, seed: int = 0,
     report = run.attribution()
     tables = [stage_table(telemetry), report.table(),
               hit_ratio_table(telemetry)]
+    live_health = live_health_table(telemetry)
+    if live_health is not None:  # live-engine telemetry only
+        tables.append(live_health)
     tables[0].notes.append(
         f"{len(telemetry.spans)} spans, "
         f"{len(telemetry.instruments())} instruments recorded over "

@@ -179,23 +179,36 @@ def _validate_selector(selector: str, source: str) -> None:
                 f"budget {source!r}: obs stat must be overhead_pct")
 
 
-def load_budgets(pyproject_path: str) -> list[Budget]:
-    """Budgets from ``[tool.repro-sentry].budgets`` in pyproject."""
+def load_budgets(pyproject_path: str,
+                 key: str = "budgets") -> list[Budget]:
+    """Budgets from ``[tool.repro-sentry].<key>`` in pyproject.
+
+    ``budgets`` gates the simulated sentry run; ``live-budgets`` holds
+    the extra gates the parity harness checks against the *live*
+    engine's telemetry (``repro.cli parity``, docs/live.md) — live-only
+    metrics would resolve as violations on a sim run, so they get
+    their own list.
+    """
     import tomllib
 
     with open(pyproject_path, "rb") as handle:
         document = tomllib.load(handle)
     section = document.get("tool", {}).get("repro-sentry", {})
-    unknown = set(section) - {"budgets"}
+    unknown = set(section) - {"budgets", "live-budgets"}
     if unknown:
         raise ConfigError(
             f"[tool.repro-sentry]: unknown keys {sorted(unknown)}")
-    budgets = section.get("budgets", [])
+    budgets = section.get(key, [])
     if not isinstance(budgets, list) \
             or not all(isinstance(item, str) for item in budgets):
         raise ConfigError(
-            "[tool.repro-sentry].budgets must be a list of strings")
+            f"[tool.repro-sentry].{key} must be a list of strings")
     return [parse_budget(item) for item in budgets]
+
+
+def load_live_budgets(pyproject_path: str) -> list[Budget]:
+    """The gates ``repro.cli parity`` checks against the live run."""
+    return load_budgets(pyproject_path, key="live-budgets")
 
 
 # ----------------------------------------------------------------------

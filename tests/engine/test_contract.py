@@ -1,0 +1,224 @@
+"""Clock-seam contract: both engines honor the same process semantics.
+
+Every scenario here is one generator-based program run twice — once on
+the virtual-time :class:`Simulator`, once on the real-time
+:class:`WallClock` — and the *observable trace* (completion order,
+returned values, raised exceptions) must be identical.  Delays are
+scaled per engine: whole virtual seconds in the simulator, a few
+milliseconds on the wall clock, so the whole module stays well inside
+the tier-1 time budget.
+
+What is deliberately NOT asserted: same-instant tie-breaking.  The
+simulator orders simultaneous events by (time, priority, sequence);
+asyncio is FIFO-per-callback with no priority lane — the one
+documented divergence (see :mod:`repro.engine.wallclock`).  Scenario
+delays are therefore strictly distinct.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine.api import Scheduler
+from repro.engine.wallclock import WallClock
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+#: Wall-clock seconds per virtual second: 500x compression keeps the
+#: largest scenario delay (6 units) at 12 ms of real time.
+_WALL_SCALE = 0.002
+
+
+def run_on_both(build):
+    """Run ``build(engine, scale)``'s generator on both engines.
+
+    Returns ``(sim_result, wall_result)`` — the generator's return
+    value from each engine (exceptions propagate, as the contract
+    demands on both sides).
+    """
+    sim = Simulator()
+    sim_result = sim.run_process(build(sim, 1.0))
+
+    async def _wall():
+        engine = WallClock()
+        return await engine.run_process(build(engine, _WALL_SCALE))
+
+    wall_result = asyncio.run(_wall())
+    return sim_result, wall_result
+
+
+def test_both_engines_satisfy_the_scheduler_protocol():
+    assert isinstance(Simulator(), Scheduler)
+
+    async def _check():
+        assert isinstance(WallClock(), Scheduler)
+
+    asyncio.run(_check())
+
+
+def test_timeout_ordering_is_delay_ordered_not_spawn_ordered():
+    """Three processes with descending delays complete ascending."""
+
+    def build(engine, scale):
+        trace = []
+
+        def sleeper(label, delay):
+            yield engine.timeout(delay * scale)
+            trace.append(label)
+
+        def root():
+            procs = [engine.process(sleeper("slow", 6)),
+                     engine.process(sleeper("fast", 1)),
+                     engine.process(sleeper("mid", 3))]
+            yield engine.all_of(procs)
+            return trace
+
+        return root()
+
+    sim_trace, wall_trace = run_on_both(build)
+    assert sim_trace == ["fast", "mid", "slow"]
+    assert wall_trace == ["fast", "mid", "slow"]
+
+
+def test_processes_interleave_through_shared_events():
+    """A ping-pong pair alternates deterministically on both engines."""
+
+    def build(engine, scale):
+        trace = []
+
+        def player(label, hear, say, rounds):
+            for n in range(rounds):
+                value = yield hear[n]
+                trace.append((label, value))
+                if n < len(say):
+                    say[n].succeed(f"{label}{n}")
+
+        def root():
+            to_ping = [engine.event() for _ in range(2)]
+            to_pong = [engine.event() for _ in range(2)]
+            ping = engine.process(
+                player("ping", to_ping, to_pong, 2))
+            pong = engine.process(
+                player("pong", to_pong, to_ping[1:], 2))
+            to_ping[0].succeed("serve")
+            yield engine.all_of([ping, pong])
+            return trace
+
+        return root()
+
+    sim_trace, wall_trace = run_on_both(build)
+    expected = [("ping", "serve"), ("pong", "ping0"),
+                ("ping", "pong0"), ("pong", "ping1")]
+    assert sim_trace == expected
+    assert wall_trace == expected
+
+
+def test_any_of_yields_the_first_completion_on_both_engines():
+    def build(engine, scale):
+        def root():
+            slow = engine.timeout(6 * scale, value="slow")
+            fast = engine.timeout(1 * scale, value="fast")
+            winners = yield engine.any_of([slow, fast])
+            return list(winners.values())
+
+        return root()
+
+    sim_result, wall_result = run_on_both(build)
+    assert sim_result == ["fast"]
+    assert wall_result == ["fast"]
+
+
+def test_all_of_collects_every_value_in_declaration_order():
+    def build(engine, scale):
+        def root():
+            events = [engine.timeout(3 * scale, value="a"),
+                      engine.timeout(1 * scale, value="b")]
+            values = yield engine.all_of(events)
+            return list(values.values())
+
+        return root()
+
+    sim_result, wall_result = run_on_both(build)
+    assert sim_result == ["a", "b"]
+    assert wall_result == ["a", "b"]
+
+
+def test_process_failures_propagate_to_the_waiter_on_both_engines():
+    def build(engine, scale):
+        def boom():
+            yield engine.timeout(1 * scale)
+            raise ValueError("deliberate")
+
+        def root():
+            value = yield engine.process(boom())
+            return value
+
+        return root()
+
+    sim = Simulator()
+    with pytest.raises(ValueError, match="deliberate"):
+        sim.run_process(build(sim, 1.0))
+
+    async def _wall():
+        engine = WallClock()
+        await engine.run_process(build(engine, _WALL_SCALE))
+
+    with pytest.raises(ValueError, match="deliberate"):
+        asyncio.run(_wall())
+
+
+def test_clock_advances_monotonically_across_yields():
+    def build(engine, scale):
+        def root():
+            stamps = [engine.now]
+            for _ in range(3):
+                yield engine.timeout(1 * scale)
+                stamps.append(engine.now)
+            return stamps
+
+        return root()
+
+    for stamps in run_on_both(build):
+        assert stamps == sorted(stamps)
+        assert stamps[-1] > stamps[0]
+
+
+def test_wallclock_requires_a_running_loop():
+    with pytest.raises(SimulationError):
+        WallClock()
+
+
+def test_wallclock_bridges_awaitables_into_events():
+    """from_awaitable / wait round-trip: coroutine -> event -> value."""
+
+    async def _scenario():
+        engine = WallClock()
+
+        async def produce():
+            await asyncio.sleep(0.001)
+            return "payload"
+
+        def consumer():
+            value = yield engine.from_awaitable(produce())
+            return value
+
+        return await engine.wait(engine.process(consumer()))
+
+    assert asyncio.run(_scenario()) == "payload"
+
+
+def test_wallclock_parks_unwaited_failures_for_later_raise():
+    async def _scenario():
+        engine = WallClock()
+
+        def boom():
+            yield engine.timeout(0.001)
+            raise RuntimeError("unobserved")
+
+        engine.process(boom())
+        await asyncio.sleep(0.01)
+        return engine
+
+    engine = asyncio.run(_scenario())
+    with pytest.raises(RuntimeError, match="unobserved"):
+        engine.raise_unwaited()

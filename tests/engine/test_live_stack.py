@@ -1,0 +1,117 @@
+"""Live-engine end-to-end: real loopback sockets, sub-2 s budget.
+
+``test_dns_piggyback_to_ap_hit_over_loopback`` is the wire-level
+acceptance path: a client resolves through the AP's live UDP DNS
+server (TYPE=300 piggyback), delegates the first fetch, then takes a
+pure AP cache hit on the second — every leg on real sockets bound to
+port 0.
+
+``test_sigint_drains_and_exits_zero`` is the graceful-shutdown
+regression: ``repro.cli live --serve`` must drain in-flight work on
+SIGINT, flush its telemetry export, and exit 0.
+"""
+
+import asyncio
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+from repro.engine.live import LiveStack
+from repro.engine.wallclock import WallClock
+from repro.telemetry.analysis import records_from_telemetry
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_dns_piggyback_to_ap_hit_over_loopback():
+    url = "http://live-e2e.example/obj.bin"
+
+    async def _scenario():
+        engine = WallClock()
+        stack = LiveStack(engine)
+        stack.host_object(url, 32 * 1024)
+        endpoints = await stack.start()
+        # Every tier bound a real ephemeral port.
+        assert set(endpoints) == {"ap/dns", "ap/http", "updns/dns",
+                                  "edge/http", "origin/http"}
+        assert all(port > 0 for _host, port in endpoints.values())
+
+        client = stack.add_client("e2e")
+        from repro.core.annotations import CacheableSpec
+
+        client.register_spec(
+            CacheableSpec(url=url, priority=2, ttl_s=120.0))
+        try:
+            first = await stack.fetch(client, url)
+            second = await stack.fetch(client, url)
+        finally:
+            await stack.stop()
+        engine.raise_unwaited()
+        return stack, first, second
+
+    started = time.monotonic()
+    stack, first, second = asyncio.run(_scenario())
+    assert time.monotonic() - started < 2.0
+
+    # First fetch: the piggybacked DNS query went over a real UDP
+    # socket and the AP delegated the retrieval.
+    assert first.source == "ap-delegated"
+    assert not first.used_cached_flags
+    assert first.data_object is not None
+    assert first.data_object.size_bytes == 32 * 1024
+    # Second fetch: pure AP hit off the cached piggyback flag.
+    assert second.source == "ap-hit"
+    assert second.cache_hit
+
+    assert stack.transport.udp_exchanges >= 1
+    assert stack.transport.tcp_exchanges >= 3
+
+    names = {record.name
+             for record in records_from_telemetry(stack.telemetry)}
+    assert {"request", "dns_piggyback", "ap_delegated",
+            "ap_hit"} <= names
+
+    # Clean run: pre-registered health instruments read honest zeros.
+    assert stack.telemetry.get("live.socket_errors").total() == 0
+    assert stack.telemetry.get("live.in_flight").value(role="udp") == 0
+
+
+def _read_until(stream, needle: str, deadline_s: float = 20.0) -> list:
+    lines = []
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        line = stream.readline()
+        if not line:
+            break
+        lines.append(line)
+        if needle in line:
+            return lines
+    raise AssertionError(
+        f"never saw {needle!r} in live output: {lines}")
+
+
+def test_sigint_drains_and_exits_zero(tmp_path):
+    spans_path = tmp_path / "live_spans.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "live", "--requests", "2",
+         "--serve", "--spans", str(spans_path)],
+        cwd=REPO_ROOT, env=env, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    try:
+        _read_until(process.stdout, "live: serving")
+        process.send_signal(signal.SIGINT)
+        remainder = process.communicate(timeout=20)[0]
+    except Exception:
+        process.kill()
+        raise
+    assert process.returncode == 0, remainder
+    assert "live: signal received, draining" in remainder
+    assert "live: drained" in remainder
+    # The shutdown path flushed the span log before exiting.
+    assert spans_path.exists()
+    assert spans_path.read_text().strip()

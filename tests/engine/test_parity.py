@@ -1,0 +1,30 @@
+"""The sim-vs-live parity gate itself, run at quick scale."""
+
+from repro.engine.parity import (
+    DEFAULT_TOLERANCE_MS,
+    parity_workload,
+    run_parity,
+)
+
+
+def test_parity_workload_is_deterministic_and_sequential():
+    assert parity_workload(2) == parity_workload(2)
+    assert len(parity_workload(3)) == 9
+
+
+def test_quick_parity_holds(capsys):
+    tables, code = run_parity(quick=True, seed=0,
+                              emit=lambda line: None)
+    assert code == 0
+    taxonomy = tables[0]
+    assert taxonomy.rows, "taxonomy table is empty"
+    assert set(taxonomy.column("verdict")) == {"ok"}
+    # Both sources of the quick workload appear on both engines.
+    sources = set(taxonomy.column("source"))
+    assert {"ap-hit", "ap-delegated"} <= sources
+    assert f"{DEFAULT_TOLERANCE_MS:g} ms" in " ".join(taxonomy.notes)
+    budgets = tables[1]
+    assert all(verdict == "ok"
+               for verdict in budgets.column("verdict"))
+    # The live run's socket-health panel rode along.
+    assert tables[-1].title == "obs: live socket health"

@@ -182,5 +182,26 @@ if ! cmp -s "$memo_cold" "$memo_warm"; then
     exit 1
 fi
 
+echo "==> live-parity (sim vs live engine replay)"
+# Replay one workload through the virtual-time simulator AND the
+# wall-clock live stack on loopback sockets, asserting identical
+# request taxonomy and stage attributions within the documented
+# jitter tolerance (docs/live.md). Needs working loopback sockets;
+# sandboxes that forbid them get a printed skip, not a failure.
+if python - <<'EOF'
+import socket
+try:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    probe.close()
+except OSError as err:
+    raise SystemExit(f"no loopback sockets: {err}")
+EOF
+then
+    python -m repro.cli parity --quick
+else
+    echo "SKIP: live-parity (loopback sockets unavailable here)" >&2
+fi
+
 echo "==> pytest"
 python -m pytest -x -q "$@"
