@@ -97,6 +97,9 @@ class LiveStack:
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry(engine))
         self.transport = LiveTransport(engine, telemetry=self.telemetry)
+        # Surface the engine's owned-task count (the ASYNC102 pattern)
+        # as a live-health gauge for the obs panel.
+        engine.tasks.bind_gauge(self.telemetry.gauge("live.tasks_active"))
 
         cfg = self.config
         self.ap = Node(engine, "ap", IPv4Address("192.168.8.1"),
@@ -138,32 +141,50 @@ class LiveStack:
         ]
         self._domains: set[str] = set()
         self._clients = 0
+        #: Serializes start/stop; both write the lifecycle flag and an
+        #: interleaved stop could observe a half-started stack.
+        self._lifecycle_lock = asyncio.Lock()
         self._started = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> dict[str, tuple[str, int]]:
-        """Bind every tier; returns ``role -> (host, port)``."""
+        """Bind every tier; returns ``role -> (host, port)``.
+
+        Bring-up is transactional: if any tier fails to bind, every
+        already-bound server is stopped again (in reverse order) before
+        the error propagates, so a failed ``repro.cli live --serve``
+        leaks no listening sockets.
+        """
         host = self.config.host
         endpoints: dict[str, tuple[str, int]] = {}
-        for server in self._servers:
-            endpoint = await server.start(host=host, port=0)
-            node = server.node
-            if isinstance(server, LiveUdpServer):
-                self.transport.register_udp(node.address, endpoint)
-                endpoints[f"{node.name}/dns"] = endpoint
-            else:
-                self.transport.register_tcp(node.address, endpoint)
-                endpoints[f"{node.name}/http"] = endpoint
-        self._started = True
+        async with self._lifecycle_lock:
+            started: list[LiveUdpServer | LiveHttpServer] = []
+            try:
+                for server in self._servers:
+                    endpoint = await server.start(host=host, port=0)
+                    started.append(server)
+                    node = server.node
+                    if isinstance(server, LiveUdpServer):
+                        self.transport.register_udp(node.address, endpoint)
+                        endpoints[f"{node.name}/dns"] = endpoint
+                    else:
+                        self.transport.register_tcp(node.address, endpoint)
+                        endpoints[f"{node.name}/http"] = endpoint
+            except Exception:
+                for server in reversed(started):
+                    await server.stop(0.0)
+                raise
+            self._started = True
         return endpoints
 
     async def stop(self) -> None:
         """Graceful shutdown: stop listening, drain, flush telemetry."""
-        for server in self._servers:
-            await server.stop(self.config.drain_timeout_s)
-        self._started = False
+        async with self._lifecycle_lock:
+            for server in self._servers:
+                await server.stop(self.config.drain_timeout_s)
+            self._started = False
         self._flush_telemetry()
 
     def _flush_telemetry(self) -> None:

@@ -68,6 +68,9 @@ def register_live_instruments(telemetry: Telemetry) -> None:
     telemetry.gauge("live.in_flight",
                     help="requests currently inside live servers, "
                          "by server role")
+    telemetry.gauge("live.tasks_active",
+                    help="bridged engine tasks currently alive in the "
+                         "owned task set")
 
 
 class LiveTransport:
@@ -231,6 +234,9 @@ class _ServerBase:
         self._in_flight = telemetry.gauge("live.in_flight")
         self._socket_errors = telemetry.counter("live.socket_errors")
         self._pending: set[asyncio.Future[object]] = set()
+        #: Serializes start/stop: both write the listening-socket slot,
+        #: and interleaving them at an await point would leak it.
+        self._lifecycle_lock = asyncio.Lock()
         self.requests_served = 0
 
     def _track(self, future: "asyncio.Future[object]") -> None:
@@ -271,10 +277,19 @@ class LiveUdpServer(_ServerBase):
                     port: int = 0) -> Endpoint:
         """Bind (``port`` 0 = ephemeral) and return the bound endpoint."""
         loop = asyncio.get_running_loop()
-        self._transport, _protocol = await loop.create_datagram_endpoint(
-            lambda: _UdpServerProtocol(self), local_addr=(host, port))
-        sockname = self._transport.get_extra_info("sockname")
-        return (sockname[0], sockname[1])
+        async with self._lifecycle_lock:
+            transport, _protocol = await loop.create_datagram_endpoint(
+                lambda: _UdpServerProtocol(self), local_addr=(host, port))
+            try:
+                sockname = transport.get_extra_info("sockname")
+                endpoint = (sockname[0], sockname[1])
+            except Exception:
+                # Startup failed after the bind: close the socket so a
+                # failed bring-up leaks no fd.
+                transport.close()
+                raise
+            self._transport = transport
+        return endpoint
 
     def _dispatch(self, data: bytes, addr: Endpoint) -> None:
         source = IPv4Address(addr[0])
@@ -300,9 +315,10 @@ class LiveUdpServer(_ServerBase):
 
     async def stop(self, drain_timeout_s: float = 5.0) -> None:
         """Stop accepting datagrams, then drain in-flight handlers."""
-        if self._transport is not None:
-            self._transport.close()
-            self._transport = None
+        async with self._lifecycle_lock:
+            if self._transport is not None:
+                self._transport.close()
+                self._transport = None
         await self.drain(drain_timeout_s)
 
 
@@ -333,9 +349,18 @@ class LiveHttpServer(_ServerBase):
     async def start(self, host: str = LIVE_HOST,
                     port: int = 0) -> Endpoint:
         """Listen (``port`` 0 = ephemeral) and return the endpoint."""
-        self._server = await asyncio.start_server(self._serve, host, port)
-        sockname = self._server.sockets[0].getsockname()
-        return (sockname[0], sockname[1])
+        async with self._lifecycle_lock:
+            server = await asyncio.start_server(self._serve, host, port)
+            try:
+                sockname = server.sockets[0].getsockname()
+                endpoint = (sockname[0], sockname[1])
+            except Exception:
+                # Startup failed after the listen socket came up: close
+                # it so a failed bring-up leaks no fd.
+                server.close()
+                raise
+            self._server = server
+        return endpoint
 
     async def _serve(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
@@ -363,8 +388,9 @@ class LiveHttpServer(_ServerBase):
 
     async def stop(self, drain_timeout_s: float = 5.0) -> None:
         """Stop accepting connections, then drain in-flight requests."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        async with self._lifecycle_lock:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+                self._server = None
         await self.drain(drain_timeout_s)

@@ -38,7 +38,51 @@ from repro.errors import SimulationError
 from repro.engine.api import NORMAL
 from repro.engine.events import AllOf, AnyOf, Event, Process, Timeout
 
-__all__ = ["WallClock"]
+__all__ = ["OwnedTaskSet", "WallClock"]
+
+
+class _TaskGauge(_t.Protocol):  # pragma: no cover - typing only
+    def set(self, value: float, **labels: object) -> None: ...
+
+
+class OwnedTaskSet:
+    """Strong references to in-flight asyncio tasks.
+
+    The event loop keeps only *weak* task references, so a spawned task
+    whose handle is dropped is eligible for garbage collection
+    mid-flight — the failure mode ASYNC102 flags.  This is the
+    sanctioned pattern: :meth:`hold` anchors the task until its done
+    callback discards it again.  A bound gauge (``live.tasks_active``)
+    tracks the live count for the obs panel.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: set["asyncio.Task[object]"] = set()
+        self._gauge: _TaskGauge | None = None
+
+    def bind_gauge(self, gauge: _TaskGauge) -> None:
+        """Mirror ``len(self)`` into ``gauge`` from now on."""
+        self._gauge = gauge
+        gauge.set(float(len(self._tasks)))
+
+    def hold(self, task: "asyncio.Task[object]") -> "asyncio.Task[object]":
+        """Anchor ``task`` until it completes; returns it unchanged."""
+        self._tasks.add(task)
+        task.add_done_callback(self._discard)
+        if self._gauge is not None:
+            self._gauge.set(float(len(self._tasks)))
+        return task
+
+    def _discard(self, task: "asyncio.Task[object]") -> None:
+        self._tasks.discard(task)
+        if self._gauge is not None:
+            self._gauge.set(float(len(self._tasks)))
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task: object) -> bool:
+        return task in self._tasks
 
 
 class WallClock:
@@ -71,7 +115,7 @@ class WallClock:
         self.unwaited_failures: list[BaseException] = []
         #: Strong references to bridged tasks (the loop keeps only weak
         #: ones, so an in-flight task could otherwise be GC'd).
-        self._bridged_tasks: set["asyncio.Task[object]"] = set()
+        self.tasks = OwnedTaskSet()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -156,11 +200,11 @@ class WallClock:
         on the event.
         """
         event = Event(self)
-        task = self._loop.create_task(_ensure_coroutine(awaitable))
-        # The loop holds only weak references to tasks; anchor this one
-        # until it completes or the GC may destroy it mid-flight.
-        self._bridged_tasks.add(task)
-        task.add_done_callback(self._bridged_tasks.discard)
+        # The loop holds only weak references to tasks; the owned set
+        # anchors this one until it completes or the GC may destroy it
+        # mid-flight.
+        task = self.tasks.hold(
+            self._loop.create_task(_ensure_coroutine(awaitable)))
 
         def _finish(done: "asyncio.Task[object]") -> None:
             if done.cancelled():

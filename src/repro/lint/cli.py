@@ -155,6 +155,7 @@ def _stats_document(findings: _t.Sequence[Finding], program: _t.Any,
                     build_stats: _t.Any, cache_used: bool,
                     timings: dict[str, float] | None,
                     ) -> dict[str, _t.Any]:
+    from repro.lint.program.asyncsafety import async_stats
     from repro.lint.program.effects import effects_result
     from repro.lint.program.taint import taint_result
 
@@ -180,6 +181,7 @@ def _stats_document(findings: _t.Sequence[Finding], program: _t.Any,
             "sink_hits": len(taint.hits),
             "fixpoint_rounds": taint.rounds,
         },
+        "async": async_stats(program),
         "effects": {
             "functions": len(effects.functions),
             "certified": effects.certified_count(),

@@ -117,6 +117,12 @@ class LintConfig:
     #: as hot paths, in addition to detected simulation processes.
     perf_hot_paths: tuple[str, ...] = (
         "repro.sim.kernel.Simulator.",)
+    #: Qualified-name prefixes blessed to make blocking calls even when
+    #: reachable from a coroutine (ASYNC101) — sanctioned shutdown
+    #: flushes, ``run_in_executor`` shims, loopback-bind helpers.  A
+    #: blessed function neither reports its own blocking sites nor
+    #: forwards its callees' up to coroutines.
+    async_blocking_allow: tuple[str, ...] = ()
 
     def baseline_path(self) -> pathlib.Path:
         return self.root / self.baseline
@@ -146,6 +152,11 @@ class LintConfig:
     def allows_engine_wallclock(self, relpath: str) -> bool:
         """True if ``relpath`` is a blessed wall-clock engine module."""
         return path_matches(relpath, self.engine_wallclock_allow)
+
+    def allows_async_blocking(self, qualname: str) -> bool:
+        """True if the function may block despite coroutine reach."""
+        return any(qualname == prefix or qualname.startswith(prefix)
+                   for prefix in self.async_blocking_allow)
 
 
 def path_matches(relpath: str, patterns: _t.Iterable[str]) -> bool:
@@ -192,7 +203,7 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
              "program-cache", "span-receiver-hints",
              "span-loop-allow",
              "effects-manifest", "effects-require-pure",
-             "perf-hot-paths"}
+             "perf-hot-paths", "async-blocking-allow"}
     unknown = set(table) - known
     if unknown:
         raise ConfigError(
@@ -242,4 +253,5 @@ def load_config(start: pathlib.Path | str = ".") -> LintConfig:
         effects_require_pure=_strings("effects-require-pure", ()),
         perf_hot_paths=_strings(
             "perf-hot-paths", ("repro.sim.kernel.Simulator.",)),
+        async_blocking_allow=_strings("async-blocking-allow", ()),
     )

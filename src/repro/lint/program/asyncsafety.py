@@ -1,0 +1,381 @@
+"""Async & engine-seam safety passes (ASYNC101-103, ENG101).
+
+The live stack (:mod:`repro.engine.wallclock` / ``livenet``) introduced
+the one hazard class the determinism passes cannot see: real
+concurrency.  These passes consume the coroutine facts the extractor
+records (``is_coroutine``, awaited/discarded call indices, blocking
+sites, dropped task handles, sync-lock-across-await scopes) plus the
+existing call graph and taint fixpoint:
+
+* **ASYNC101** — a blocking call (``time.sleep``, socket, file IO,
+  subprocess, sync HTTP) whose enclosing function is a coroutine or is
+  reachable from one through sync helpers.  The event loop stalls for
+  the call's full duration.  ``[tool.repro-lint] async-blocking-allow``
+  blesses sanctioned shutdown flushes and ``run_in_executor`` shims —
+  a blessed function neither reports its own sites nor forwards its
+  callees' upward.
+* **ASYNC102** — a coroutine invoked as a bare statement without
+  ``await`` (the body never runs), or a ``create_task``/
+  ``ensure_future`` handle dropped on the floor (the loop holds only a
+  weak reference, so the task is eligible for GC mid-flight — the
+  exact bug the live DNS bridge shipped with).  Both carry autofixes:
+  ``await`` insertion, and strong-reference anchoring in a
+  module-owned task set with a done-callback discard.
+* **ASYNC103** — one attribute written by two or more coroutines with
+  no lock serializing the writes (SIM101's twin for the live engine),
+  plus a *synchronous* lock held across an ``await`` (every other task
+  parks behind the lock while the holder is suspended).
+* **ENG101** — engine-seam mixing over a two-point time-domain
+  lattice ``{sim, wall}``: a sim-domain time value (``sim.now`` /
+  ``engine.now``) flowing into a wall-time sink (``asyncio.sleep``,
+  ``loop.call_later``/``call_at``).  The wall→sim direction is already
+  DET101's clock branch; both directions are legal only inside the
+  blessed wall-clock engine (``engine-wallclock-allow``), whose whole
+  job is bridging the domains.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, TraceStep
+from repro.lint.fixes import Edit, Fix
+from repro.lint.program.model import (FunctionSummary, Program, TaskRec,
+                                      WriteRec)
+from repro.lint.program.taint import SinkHit, taint_result
+from repro.lint.registry import ProgramChecker, register_program
+
+__all__ = ["BlockingInCoroutine", "DroppedCoroutine",
+           "CoroutineSharedWrite", "EngineSeamMixing", "async_stats"]
+
+
+def _sink_site(program: Program, hit: SinkHit) -> str:
+    function = program.functions[hit.function]
+    return f"{function.path}:{hit.sink.line}"
+
+
+def _coroutine_path(program: Program, config: LintConfig,
+                    start: str) -> list[tuple[str, int]] | None:
+    """Shortest caller chain from a coroutine down to ``start``.
+
+    Returns ``[(function, call index), ...]`` where each entry's call
+    invokes the next function in the chain (the last entry calls
+    ``start``), beginning at the nearest coroutine.  Traversal never
+    crosses an ``async-blocking-allow``-blessed function, and ties are
+    broken lexicographically so the reported witness is deterministic.
+    """
+    parent: dict[str, tuple[str, int]] = {}
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier: list[str] = []
+        found: list[str] = []
+        for name in frontier:
+            for caller, index in program.callers.get(name, ()):
+                if caller in seen:
+                    continue
+                if config.allows_async_blocking(caller):
+                    continue
+                seen.add(caller)
+                parent[caller] = (name, index)
+                if program.functions[caller].is_coroutine:
+                    found.append(caller)
+                else:
+                    next_frontier.append(caller)
+        if found:
+            hops: list[tuple[str, int]] = []
+            node = min(found)
+            while node != start:
+                child, index = parent[node]
+                hops.append((node, index))
+                node = child
+            return hops
+        frontier = sorted(next_frontier)
+    return None
+
+
+@register_program
+class BlockingInCoroutine(ProgramChecker):
+    """ASYNC101: a blocking call executes on the event loop.
+
+    Direct hits (the blocking site sits inside an ``async def``) need
+    no trace; indirect hits carry the full coroutine→helper→site chain
+    so the reader can see *which* await path stalls without re-deriving
+    the call graph.
+    """
+
+    code = "ASYNC101"
+    description = ("blocking call (time.sleep, socket, file IO, "
+                   "subprocess, sync HTTP) inside a coroutine or "
+                   "reachable from one through sync helpers; the "
+                   "event loop stalls for its full duration")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        remedy = ("use the async API or loop.run_in_executor(...), or "
+                  "bless the function under [tool.repro-lint] "
+                  "async-blocking-allow")
+        for name in sorted(program.functions):
+            function = program.functions[name]
+            if not function.blocking_calls:
+                continue
+            if config.allows_async_blocking(name):
+                continue
+            if function.is_coroutine:
+                for rec in function.blocking_calls:
+                    yield Finding(
+                        path=function.path, line=rec.line, col=rec.col,
+                        code=self.code,
+                        message=(f"coroutine {name} makes a blocking "
+                                 f"{rec.kind} call ({rec.detail}); "
+                                 f"{remedy}"))
+                continue
+            hops = _coroutine_path(program, config, name)
+            if hops is None:
+                continue
+            coroutine = hops[0][0]
+            chain: list[TraceStep] = []
+            for hop_name, index in hops:
+                hop = program.functions[hop_name]
+                call = hop.calls[index]
+                role = "coroutine" if hop.is_coroutine else "sync helper"
+                chain.append(TraceStep(
+                    hop.path, call.line,
+                    f"{role} {hop_name} calls {call.name}(...)"))
+            for rec in function.blocking_calls:
+                yield Finding(
+                    path=function.path, line=rec.line, col=rec.col,
+                    code=self.code,
+                    message=(f"blocking {rec.kind} call ({rec.detail}) "
+                             f"in {name} is reachable from coroutine "
+                             f"{coroutine}; {remedy}"),
+                    trace=tuple(chain) + (TraceStep(
+                        function.path, rec.line,
+                        f"blocking {rec.kind} call: {rec.detail}"),))
+
+
+@register_program
+class DroppedCoroutine(ProgramChecker):
+    """ASYNC102: a coroutine or task handle is silently dropped.
+
+    A bare ``coro_fn()`` statement builds the coroutine object and
+    throws it away — the body never runs.  A bare
+    ``asyncio.create_task(...)`` runs, but the event loop keeps only a
+    weak reference, so a GC pass can collect the task mid-flight.  Both
+    shapes are mechanical to repair, so both findings carry fixes.
+    """
+
+    code = "ASYNC102"
+    description = ("coroutine called without await (the body never "
+                   "runs), or create_task/ensure_future handle "
+                   "dropped (the task can be garbage-collected "
+                   "mid-flight)")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        heads = {module.path: module.head_line
+                 for module in program.modules}
+        for name in sorted(program.functions):
+            function = program.functions[name]
+            discarded = set(function.discarded_calls)
+            awaited = set(function.awaited_calls)
+            for index, callee in program.call_edges.get(name, ()):
+                if index not in discarded or index in awaited:
+                    continue
+                target = program.functions[callee]
+                if not target.is_coroutine:
+                    continue
+                call = function.calls[index]
+                fix: Fix | None = None
+                if function.is_coroutine:
+                    fix = Fix(
+                        description=(f"await the {call.name}(...) "
+                                     f"coroutine"),
+                        edits=(Edit(call.line, call.col,
+                                    call.line, call.col, "await "),))
+                    hint = "insert 'await'"
+                else:
+                    hint = ("drive it explicitly (asyncio.run(...) or "
+                            "create_task(...) held in an owned set)")
+                yield Finding(
+                    path=function.path, line=call.line, col=call.col,
+                    code=self.code,
+                    message=(f"{call.name}(...) is a coroutine "
+                             f"(defined at {target.path}:{target.line}) "
+                             f"but its result is discarded unawaited — "
+                             f"the body never runs; {hint}"),
+                    trace=(TraceStep(target.path, target.line,
+                                     f"{callee} is 'async def'"),
+                           TraceStep(function.path, call.line,
+                                     "called here; result discarded "
+                                     "without await")),
+                    fix=fix)
+            for rec in function.task_drops:
+                yield Finding(
+                    path=function.path, line=rec.line, col=rec.col,
+                    code=self.code,
+                    message=(f"{rec.api}(...) handle is dropped; the "
+                             f"event loop holds only a weak task "
+                             f"reference, so the task can be "
+                             f"garbage-collected mid-flight — anchor "
+                             f"it in an owned set with a "
+                             f"done-callback discard"),
+                    fix=self._anchor_fix(function, rec, heads))
+
+    @staticmethod
+    def _anchor_fix(function: FunctionSummary, rec: TaskRec,
+                    heads: dict[str, int]) -> Fix:
+        """Strong-reference anchoring: bind, register, self-discard.
+
+        Identical module-head insertions from several drops in one file
+        dedupe inside ``apply_edits``, so the owning set is declared
+        exactly once per module.
+        """
+        indent = " " * rec.indent
+        head = heads.get(function.path, 1)
+        return Fix(
+            description=("anchor the task in a module-owned "
+                         "strong-reference set"),
+            edits=(
+                Edit(head, 0, head, 0,
+                     "_BACKGROUND_TASKS: set = set()\n"),
+                Edit(rec.line, rec.col, rec.line, rec.col,
+                     "_bg_task = "),
+                Edit(rec.end_line, rec.end_col,
+                     rec.end_line, rec.end_col,
+                     f"\n{indent}_BACKGROUND_TASKS.add(_bg_task)\n"
+                     f"{indent}_bg_task.add_done_callback("
+                     f"_BACKGROUND_TASKS.discard)"),
+            ))
+
+
+@register_program
+class CoroutineSharedWrite(ProgramChecker):
+    """ASYNC103: unserialized shared state across coroutines.
+
+    SIM101's twin for the live engine: generator processes interleave
+    at ``yield``, coroutines at ``await``, and in both worlds the final
+    value of an attribute written by two unserialized writers depends
+    on scheduling.  A write under ``async with <lock>:`` (or after a
+    ``yield lock.acquire()``) counts as serialized.  The same pass also
+    flags the inverse discipline failure: a *synchronous* lock held
+    across an ``await``, which parks every other task behind the lock
+    while the holder is suspended.
+    """
+
+    code = "ASYNC103"
+    description = ("attribute written by two or more coroutines with "
+                   "no lock serializing the writes, or a synchronous "
+                   "lock held across an await")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        groups: dict[tuple[str, str],
+                     list[tuple[str, WriteRec]]] = {}
+        for name in sorted(program.functions):
+            function = program.functions[name]
+            if function.is_coroutine:
+                for write in function.writes:
+                    if write.scope != "self" or write.after_acquire:
+                        continue
+                    owner = name.rpartition(".")[0]
+                    groups.setdefault((owner, write.attr),
+                                      []).append((name, write))
+            for rec in function.lock_awaits:
+                yield Finding(
+                    path=function.path, line=rec.line, col=rec.col,
+                    code=self.code,
+                    message=(f"synchronous lock '{rec.detail}' is held "
+                             f"across an await in {name}; every other "
+                             f"task parks behind it while this "
+                             f"coroutine is suspended — use 'async "
+                             f"with asyncio.Lock()' instead"))
+        for (owner, attr), writers in sorted(groups.items()):
+            names = sorted({fn for fn, _w in writers})
+            if len(names) < 2:
+                continue
+            ordered = sorted(
+                writers,
+                key=lambda item: (item[0], item[1].line, item[1].col))
+            anchor_fn, anchor = ordered[0]
+            yield Finding(
+                path=program.functions[anchor_fn].path,
+                line=anchor.line, col=anchor.col, code=self.code,
+                message=(f"self.{attr} is written by {len(names)} "
+                         f"coroutines ({', '.join(names)}) with no "
+                         f"lock; interleaving at await points can "
+                         f"reorder the writes — serialize them with "
+                         f"'async with asyncio.Lock()' or funnel them "
+                         f"through a single owner"),
+                trace=tuple(
+                    TraceStep(program.functions[fn].path, write.line,
+                              f"coroutine {fn} writes self.{attr}")
+                    for fn, write in ordered))
+
+
+@register_program
+class EngineSeamMixing(ProgramChecker):
+    """ENG101: a value crosses the sim/wall time-domain seam.
+
+    The lattice has exactly two points — ``sim`` (values derived from
+    ``sim.now`` / ``engine.now``, i.e. virtual event time) and ``wall``
+    (host-clock durations consumed by ``asyncio.sleep`` and
+    ``loop.call_later``/``call_at``).  A sim-domain value used as a
+    wall-time delay sleeps for a nonsense duration (simulated
+    milliseconds read as host seconds); the reverse direction is
+    DET101's clock branch.  The only functions allowed to join the
+    domains are the blessed wall-clock engine modules
+    (``engine-wallclock-allow``) — bridging them *is* their job.
+    """
+
+    code = "ENG101"
+    description = ("sim-domain time value (sim.now / engine.now) "
+                   "flows into a wall-time sink (asyncio.sleep, "
+                   "loop.call_later/call_at) outside the blessed "
+                   "wall-clock engine")
+
+    def check_program(self, program: Program,
+                      config: LintConfig) -> _t.Iterator[Finding]:
+        for hit in taint_result(program).hits:
+            kind, path, line, col, detail = hit.token
+            if kind != "simtime" or hit.sink.kind != "wall":
+                continue
+            if config.allows_engine_wallclock(path):
+                continue
+            sink_path = program.functions[hit.function].path
+            if config.allows_engine_wallclock(sink_path):
+                continue
+            yield Finding(
+                path=path, line=line, col=col, code=self.code,
+                message=(f"sim-domain time value ({detail}) reaches "
+                         f"{hit.sink.detail} at "
+                         f"{_sink_site(program, hit)}; the time-domain "
+                         f"lattice only joins sim and wall inside the "
+                         f"blessed wall-clock engine "
+                         f"(engine-wallclock-allow) — convert through "
+                         f"the scheduler seam instead"),
+                trace=hit.trace)
+
+
+def async_stats(program: Program) -> dict[str, int]:
+    """The ``--stats`` "async" section: raw coroutine-fact counts."""
+    coroutines = blocking = drops = locks = simtime = wall = 0
+    for name in sorted(program.functions):
+        function = program.functions[name]
+        if function.is_coroutine:
+            coroutines += 1
+        blocking += len(function.blocking_calls)
+        drops += len(function.task_drops)
+        locks += len(function.lock_awaits)
+        simtime += sum(1 for rec in function.sources
+                       if rec.kind == "simtime")
+        wall += sum(1 for rec in function.sinks if rec.kind == "wall")
+    return {
+        "coroutines": coroutines,
+        "blocking_sites": blocking,
+        "dropped_tasks": drops,
+        "sync_locks_across_await": locks,
+        "simtime_sources": simtime,
+        "wall_sinks": wall,
+    }

@@ -23,12 +23,12 @@ import typing as _t
 
 from repro.lint.asthelpers import ImportMap
 from repro.lint.checkers.determinism import WALLCLOCK_CALLS
-from repro.lint.program.model import (MODULE_BODY, AllocRec, CallRec,
-                                      Dest, EffectRec, Flow,
+from repro.lint.program.model import (MODULE_BODY, AllocRec, BlockRec,
+                                      CallRec, Dest, EffectRec, Flow,
                                       FunctionSummary, GlobalRec,
-                                      LoadRec, ModuleSummary, Origin,
-                                      SinkRec, SourceRec, SpanStartRec,
-                                      WriteRec)
+                                      LoadRec, LockRec, ModuleSummary,
+                                      Origin, SinkRec, SourceRec,
+                                      SpanStartRec, TaskRec, WriteRec)
 
 __all__ = ["extract_module", "module_name_for"]
 
@@ -123,6 +123,72 @@ SORTED_REF = "<sorted>"
 
 #: ``module:function`` runner strings (repro.runner.registry).
 _RUNNER_STRING = re.compile(r"\A[A-Za-z_][\w.]*\.[\w.]*:[A-Za-z_]\w*\Z")
+
+#: Exact loop-blocking calls (ASYNC101), path → blocking kind.
+_BLOCKING_CALLS = {
+    "time.sleep": "sleep",
+    "os.system": "subprocess", "os.popen": "subprocess",
+    "os.wait": "subprocess", "os.waitpid": "subprocess",
+}
+
+#: Loop-blocking call families by dotted-path prefix (ASYNC101).
+_BLOCKING_PREFIXES = (
+    ("socket.", "socket"),
+    ("subprocess.", "subprocess"),
+    ("requests.", "http"),
+    ("urllib.request.", "http"),
+)
+
+#: Builtins that block on the filesystem/console (ASYNC101).
+_BLOCKING_BUILTINS = {"open", "input"}
+
+#: Task-spawn APIs whose dropped result is GC-vulnerable (ASYNC102):
+#: the loop keeps only weak references to tasks.
+_TASK_SPAWN_PATHS = {"asyncio.create_task", "asyncio.ensure_future"}
+_TASK_SPAWN_ATTRS = {"create_task", "ensure_future"}
+
+#: Receiver names treated as an asyncio event loop handle.
+_LOOP_NAMES = {"loop", "_loop"}
+
+#: Receiver names carrying engine-domain time (``.now`` on these is a
+#: "simtime" token for the ENG101 time-domain lattice).
+_ENGINE_NAMES = {"engine", "_engine"}
+
+#: Wall-time sinks (ENG101): the value parameter is interpreted as a
+#: host-loop-relative delay/deadline.
+_WALL_SINK_PATHS = {"asyncio.sleep"}
+_WALL_SINK_ATTRS = {"call_later", "call_at"}
+
+#: Context-manager receivers that look like mutual-exclusion guards.
+_LOCK_HINTS = ("lock", "mutex", "semaphore")
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    """Does this ``with`` context expression look like a lock?"""
+    expr = node
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+        if isinstance(expr, ast.Attribute) and expr.attr == "acquire":
+            expr = expr.value
+    tail = _attr_chain_tail(expr)
+    if tail is None:
+        return False
+    lowered = tail.lower()
+    return any(hint in lowered for hint in _LOCK_HINTS)
+
+
+def _contains_await(body: _t.Sequence[ast.stmt]) -> bool:
+    """Any ``await`` in these statements, outside nested functions?"""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
 
 
 def module_name_for(relpath: str) -> str:
@@ -253,6 +319,15 @@ class _FunctionExtractor:
         self.has_sim_handle = False
         self.acquires = False
         self._acquired = False
+        self.is_coroutine = isinstance(node, ast.AsyncFunctionDef)
+        #: (line, col) of each recorded call → its index, so the Await/
+        #: Expr statement walks can mark calls by position.
+        self._call_pos: dict[tuple[int, int], int] = {}
+        self.awaited_calls: set[int] = set()
+        self.discarded_calls: set[int] = set()
+        self.blocking_calls: dict[BlockRec, None] = {}
+        self.task_drops: dict[TaskRec, None] = {}
+        self.lock_awaits: dict[LockRec, None] = {}
         self.params: tuple[str, ...] = ()
         if node is not None:
             arguments = [*node.args.posonlyargs, *node.args.args,
@@ -298,6 +373,12 @@ class _FunctionExtractor:
             effects=tuple(self.effects),
             loop_allocs=tuple(self.loop_allocs),
             loop_loads=tuple(self.loop_loads),
+            is_coroutine=self.is_coroutine,
+            awaited_calls=tuple(sorted(self.awaited_calls)),
+            discarded_calls=tuple(sorted(self.discarded_calls)),
+            blocking_calls=tuple(self.blocking_calls),
+            task_drops=tuple(self.task_drops),
+            lock_awaits=tuple(self.lock_awaits),
         )
 
     # -- deduplicated record tables --------------------------------------
@@ -329,6 +410,7 @@ class _FunctionExtractor:
             index = len(self.calls)
             self.calls.append(record)
             self._call_index[record] = index
+        self._call_pos[(node.lineno, node.col_offset)] = index
         return index
 
     def _flow_all(self, origins: set[Origin], dest: Dest) -> None:
@@ -507,6 +589,17 @@ class _FunctionExtractor:
                 self._flow_all(origins, ("return",))
         elif isinstance(node, ast.Expr):
             self._expr(node.value)
+            value = node.value
+            if isinstance(value, ast.Call):
+                # The whole statement is a bare call: its result —
+                # possibly an un-awaited coroutine or a weak task
+                # handle — is discarded (ASYNC102).  An awaited bare
+                # call is not a Call node here and stays unmarked.
+                index = self._call_pos.get(
+                    (value.lineno, value.col_offset))
+                if index is not None:
+                    self.discarded_calls.add(index)
+                self._maybe_task_drop(node, value)
         elif isinstance(node, (ast.For, ast.AsyncFor)):
             # The loop target aliases the iterable's contents: mutating
             # an element mutates what the container reaches.
@@ -535,14 +628,32 @@ class _FunctionExtractor:
             for inner in (*node.body, *node.orelse):
                 self._statement(inner)
         elif isinstance(node, (ast.With, ast.AsyncWith)):
+            lockish = [item.context_expr for item in node.items
+                       if _is_lockish(item.context_expr)]
             for item in node.items:
                 origins = self._expr(item.context_expr)
                 self._mark_entered(origins)
                 if item.optional_vars is not None:
                     self._assign(item.optional_vars, origins,
                                  self._alias_expr(item.context_expr))
+            acquired_before = self._acquired
+            if lockish:
+                # Writes under the lock are serialized by it (the
+                # with-statement twin of ``yield lock.acquire()``),
+                # scoped to the guarded body.
+                self._acquired = True
+                if isinstance(node, ast.With) \
+                        and _contains_await(node.body):
+                    # A *sync* lock held across an await parks the
+                    # whole event loop behind it (ASYNC103).
+                    detail = (_attr_chain_tail(lockish[0]) or "lock")
+                    self.lock_awaits.setdefault(LockRec(
+                        line=node.lineno, col=node.col_offset,
+                        detail=detail))
             for inner in node.body:
                 self._statement(inner)
+            if lockish:
+                self._acquired = acquired_before
         elif isinstance(node, ast.Try):
             blocks = [*node.body]
             for handler in node.handlers:
@@ -620,6 +731,19 @@ class _FunctionExtractor:
                     and "os" in self.owner.imports_aliases:
                 self._effect("env-read", node, "os.environ")
             self._record_chain_load(node)
+            receiver_tail = _attr_chain_tail(node.value)
+            if node.attr == "now" \
+                    and receiver_tail in (_SIM_NAMES | _ENGINE_NAMES):
+                # Engine-domain timestamp (the ENG101 time lattice):
+                # the receiver taint still propagates underneath.
+                self._attr_depth += 1
+                try:
+                    origins = self._expr(node.value)
+                finally:
+                    self._attr_depth -= 1
+                return origins | {self._source(
+                    "simtime", node,
+                    f"engine-domain time {receiver_tail}.now")}
             self._attr_depth += 1
             try:
                 return self._expr(node.value)
@@ -671,7 +795,13 @@ class _FunctionExtractor:
         if isinstance(node, ast.Starred):
             return self._expr(node.value)
         if isinstance(node, ast.Await):
-            return self._expr(node.value)
+            origins = self._expr(node.value)
+            if isinstance(node.value, ast.Call):
+                index = self._call_pos.get(
+                    (node.value.lineno, node.value.col_offset))
+                if index is not None:
+                    self.awaited_calls.add(index)
+            return origins
         if isinstance(node, (ast.Yield, ast.YieldFrom)):
             self._yield(node)
             return set()
@@ -751,6 +881,7 @@ class _FunctionExtractor:
         display = path or _attr_chain_tail(func) or "<call>"
 
         self._maybe_register_process(node, func)
+        self._maybe_blocking(node, func, path)
 
         source = self._classify_source(node, func, path)
         if source is not None:
@@ -770,6 +901,16 @@ class _FunctionExtractor:
         if sink is not None:
             kind, detail = sink
             index = self._sink(kind, node, detail)
+            if kind == "wall":
+                # Only the delay/deadline argument is time-interpreted;
+                # a callback (and its payload args) is not a wall-time
+                # value, so flowing it would manufacture ENG101 noise.
+                for origins in positional[:1]:
+                    self._flow_all(origins, ("sink", index))
+                for name, origins in keywords:
+                    if name in ("delay", "when", "timeout"):
+                        self._flow_all(origins, ("sink", index))
+                return set(merged)
             for origins in positional:
                 self._flow_all(origins, ("sink", index))
             if kind != "order":
@@ -929,6 +1070,14 @@ class _FunctionExtractor:
         if isinstance(func, ast.Name) and func.id in ("min", "max") \
                 and func.id not in self.owner.imports_aliases:
             return ("order", f"{func.id}(...)")
+        if path in _WALL_SINK_PATHS:
+            return ("wall", f"wall-time sink {path}(...)")
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _WALL_SINK_ATTRS \
+                and _attr_chain_tail(func.value) in _LOOP_NAMES:
+            tail = _attr_chain_tail(func.value)
+            return ("wall",
+                    f"wall-time sink {tail}.{func.attr}(...)")
         return None
 
     def _maybe_register_process(self, node: ast.Call,
@@ -950,6 +1099,51 @@ class _FunctionExtractor:
             ref = self.owner.resolve(candidate, self.class_name)
             if ref is not None:
                 self.process_refs.add((ref, node.lineno))
+
+    def _maybe_blocking(self, node: ast.Call, func: ast.expr,
+                        path: str | None) -> None:
+        """Record a loop-blocking call site (ASYNC101 input)."""
+        kind: str | None = None
+        detail = ""
+        if path is not None:
+            kind = _BLOCKING_CALLS.get(path)
+            if kind is None:
+                for prefix, family in _BLOCKING_PREFIXES:
+                    if path.startswith(prefix):
+                        kind = family
+                        break
+            if kind is not None:
+                detail = f"{path}(...)"
+        if kind is None and isinstance(func, ast.Name) \
+                and func.id in _BLOCKING_BUILTINS \
+                and func.id not in self.env \
+                and func.id not in self.owner.module_globals \
+                and func.id not in self.owner.imports_aliases:
+            kind = "file-io"
+            detail = f"builtin {func.id}(...)"
+        if kind is not None:
+            self.blocking_calls.setdefault(BlockRec(
+                kind=kind, line=node.lineno, col=node.col_offset,
+                detail=detail))
+
+    def _maybe_task_drop(self, stmt: ast.stmt, call: ast.Call) -> None:
+        """Record a dropped task-spawn handle (ASYNC102 input)."""
+        func = call.func
+        api: str | None = None
+        path = self.owner.imports.resolve(func)
+        if path in _TASK_SPAWN_PATHS:
+            api = path
+        elif isinstance(func, ast.Attribute) \
+                and func.attr in _TASK_SPAWN_ATTRS \
+                and _attr_chain_tail(func.value) in _LOOP_NAMES:
+            api = f"{_attr_chain_tail(func.value)}.{func.attr}"
+        if api is None:
+            return
+        self.task_drops.setdefault(TaskRec(
+            api=api, line=call.lineno, col=call.col_offset,
+            end_line=stmt.end_lineno or stmt.lineno,
+            end_col=stmt.end_col_offset or 0,
+            indent=stmt.col_offset))
 
     def _maybe_mutate_receiver(self, func: ast.expr,
                                origins: set[Origin]) -> None:
@@ -1091,7 +1285,28 @@ class _ModuleExtractor:
             path=self.relpath, module=self.module, digest=digest,
             exports=self.exports(), functions=functions,
             classes=tuple(sorted(f"{self.module}.{name}"
-                                 for name in self.local_classes)))
+                                 for name in self.local_classes)),
+            head_line=self._head_line())
+
+    def _head_line(self) -> int:
+        """First line where a module-level statement may be inserted.
+
+        Skips the docstring and any ``from __future__`` imports, which
+        must stay first; everything else (including plain imports) may
+        legally follow an inserted assignment.
+        """
+        line = 1
+        for index, node in enumerate(self.tree.body):
+            is_docstring = (index == 0 and isinstance(node, ast.Expr)
+                            and isinstance(node.value, ast.Constant)
+                            and isinstance(node.value.value, str))
+            is_future = (isinstance(node, ast.ImportFrom)
+                         and node.module == "__future__")
+            if is_docstring or is_future:
+                line = (node.end_lineno or node.lineno) + 1
+                continue
+            return node.lineno
+        return line
 
     def _iter_functions(self) -> _t.Iterator[
             tuple[str, ast.FunctionDef | ast.AsyncFunctionDef,

@@ -33,7 +33,8 @@ import typing as _t
 
 __all__ = ["SourceRec", "SinkRec", "CallRec", "WriteRec",
            "SpanStartRec", "GlobalRec", "EffectRec", "AllocRec",
-           "LoadRec", "FunctionSummary", "ModuleSummary",
+           "LoadRec", "BlockRec", "TaskRec", "LockRec",
+           "FunctionSummary", "ModuleSummary",
            "Program", "Origin", "Dest", "Flow", "MODULE_BODY"]
 
 #: Pseudo-function name holding a module's top-level statements.
@@ -259,6 +260,85 @@ class LoadRec:
                        int(_t.cast(int, data[3])), bool(data[4]))
 
 
+@dataclasses.dataclass(frozen=True, order=True)
+class BlockRec:
+    """One loop-blocking call site (ASYNC101 input).
+
+    ``kind`` classifies the blocking family: ``"sleep"``
+    (``time.sleep``), ``"socket"``, ``"subprocess"``, ``"file-io"``
+    (builtin ``open``/``input``), or ``"http"`` (requests/urllib).
+    Whether the site is actually a defect depends on reachability from
+    a coroutine, which only the whole-program pass can decide.
+    """
+
+    kind: str
+    line: int
+    col: int
+    detail: str
+
+    def to_json(self) -> list[object]:
+        return [self.kind, self.line, self.col, self.detail]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "BlockRec":
+        return BlockRec(str(data[0]), int(_t.cast(int, data[1])),
+                        int(_t.cast(int, data[2])), str(data[3]))
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class TaskRec:
+    """One task-spawn whose handle was dropped (ASYNC102 input).
+
+    Records an ``asyncio.create_task(...)`` / ``ensure_future(...)``
+    call standing alone as an expression statement — the loop holds
+    only weak task references, so the spawned task is eligible for GC
+    mid-flight.  ``end_line``/``end_col`` delimit the statement so the
+    autofix can append the strong-reference anchoring; ``indent`` is
+    the statement's column offset (the indentation to reuse).
+    """
+
+    api: str
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    indent: int
+
+    def to_json(self) -> list[object]:
+        return [self.api, self.line, self.col, self.end_line,
+                self.end_col, self.indent]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "TaskRec":
+        return TaskRec(str(data[0]), int(_t.cast(int, data[1])),
+                       int(_t.cast(int, data[2])),
+                       int(_t.cast(int, data[3])),
+                       int(_t.cast(int, data[4])),
+                       int(_t.cast(int, data[5])))
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class LockRec:
+    """One *synchronous* lock held across an ``await`` (ASYNC103 input).
+
+    A plain ``with <lock>:`` whose body awaits parks the whole event
+    loop behind the lock; only ``async with asyncio.Lock()`` yields
+    while blocked.
+    """
+
+    line: int
+    col: int
+    detail: str
+
+    def to_json(self) -> list[object]:
+        return [self.line, self.col, self.detail]
+
+    @staticmethod
+    def from_json(data: _t.Sequence[object]) -> "LockRec":
+        return LockRec(int(_t.cast(int, data[0])),
+                       int(_t.cast(int, data[1])), str(data[2]))
+
+
 @dataclasses.dataclass
 class FunctionSummary:
     """Everything the global passes need to know about one function."""
@@ -298,6 +378,19 @@ class FunctionSummary:
     loop_allocs: tuple[AllocRec, ...] = ()
     #: Loop-invariant-rooted attribute loads inside loops (PERF102).
     loop_loads: tuple[LoadRec, ...] = ()
+    #: ``async def`` (includes async generators).
+    is_coroutine: bool = False
+    #: Indices into ``calls`` that sit directly under an ``await``.
+    awaited_calls: tuple[int, ...] = ()
+    #: Indices into ``calls`` whose result is a whole discarded
+    #: expression statement (``foo()`` on a line of its own).
+    discarded_calls: tuple[int, ...] = ()
+    #: Loop-blocking call sites (ASYNC101).
+    blocking_calls: tuple[BlockRec, ...] = ()
+    #: Dropped ``create_task``/``ensure_future`` handles (ASYNC102).
+    task_drops: tuple[TaskRec, ...] = ()
+    #: Sync locks held across an ``await`` (ASYNC103).
+    lock_awaits: tuple[LockRec, ...] = ()
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -327,6 +420,13 @@ class FunctionSummary:
             "effects": [rec.to_json() for rec in self.effects],
             "loop_allocs": [rec.to_json() for rec in self.loop_allocs],
             "loop_loads": [rec.to_json() for rec in self.loop_loads],
+            "is_coroutine": self.is_coroutine,
+            "awaited_calls": list(self.awaited_calls),
+            "discarded_calls": list(self.discarded_calls),
+            "blocking_calls": [rec.to_json()
+                               for rec in self.blocking_calls],
+            "task_drops": [rec.to_json() for rec in self.task_drops],
+            "lock_awaits": [rec.to_json() for rec in self.lock_awaits],
         }
 
     @staticmethod
@@ -370,6 +470,17 @@ class FunctionSummary:
                               for rec in data["loop_allocs"]),
             loop_loads=tuple(LoadRec.from_json(rec)
                              for rec in data["loop_loads"]),
+            is_coroutine=bool(data["is_coroutine"]),
+            awaited_calls=tuple(int(index)
+                                for index in data["awaited_calls"]),
+            discarded_calls=tuple(int(index)
+                                  for index in data["discarded_calls"]),
+            blocking_calls=tuple(BlockRec.from_json(rec)
+                                 for rec in data["blocking_calls"]),
+            task_drops=tuple(TaskRec.from_json(rec)
+                             for rec in data["task_drops"]),
+            lock_awaits=tuple(LockRec.from_json(rec)
+                              for rec in data["lock_awaits"]),
         )
 
 
@@ -392,6 +503,11 @@ class ModuleSummary:
     #: effects pass treats a call to one as a (pure) allocation even
     #: when the class has no explicit ``__init__`` (dataclasses).
     classes: tuple[str, ...] = ()
+    #: First line (1-based) where a module-level statement may be
+    #: inserted: after the docstring and any ``from __future__``
+    #: imports.  The ASYNC102 autofix anchors its module-level
+    #: strong-reference set here.
+    head_line: int = 1
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -402,6 +518,7 @@ class ModuleSummary:
                         for name in sorted(self.exports)},
             "functions": [fn.to_json() for fn in self.functions],
             "classes": list(self.classes),
+            "head_line": self.head_line,
         }
 
     @staticmethod
@@ -415,6 +532,7 @@ class ModuleSummary:
             functions=[FunctionSummary.from_json(fn)
                        for fn in data["functions"]],
             classes=tuple(str(name) for name in data["classes"]),
+            head_line=int(data["head_line"]),
         )
 
 

@@ -19,6 +19,7 @@ import typing as _t
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, TraceStep
+from repro.lint.program import asyncsafety  # noqa: F401 - registers ASYNC/ENG
 from repro.lint.program.effects import effects_result
 from repro.lint.program.model import Program
 from repro.lint.program.races import find_races

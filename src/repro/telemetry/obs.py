@@ -148,6 +148,10 @@ def live_health_table(telemetry: Telemetry) -> ExperimentTable | None:
     if isinstance(in_flight, Gauge):
         table.add_row(instrument="live.in_flight (now)",
                       value=int(in_flight.value()))
+    tasks_active = telemetry.get("live.tasks_active")
+    if isinstance(tasks_active, Gauge):
+        table.add_row(instrument="live.tasks_active (now)",
+                      value=int(tasks_active.value()))
     table.notes.append(
         "live-engine transport health; a drained stack ends with "
         "in_flight 0 and the live-budgets gate requires "

@@ -139,10 +139,10 @@ def _validate_selector(selector: str, source: str) -> None:
         return
     kind, sep, rest = selector.partition(":")
     if not sep or kind not in ("stage", "metric", "profile", "kernel",
-                               "obs"):
+                               "obs", "lint"):
         raise ConfigError(
             f"budget {source!r}: unknown selector {selector!r} "
-            f"(expected stage:/metric:/profile:/kernel:/obs: or "
+            f"(expected stage:/metric:/profile:/kernel:/obs:/lint: or "
             f"'issues')")
     if kind == "stage":
         parts = rest.split("/")
@@ -177,6 +177,13 @@ def _validate_selector(selector: str, source: str) -> None:
         if rest != "overhead_pct":
             raise ConfigError(
                 f"budget {source!r}: obs stat must be overhead_pct")
+    elif kind == "lint":
+        # Gated by benchmarks/test_lint_wall.py against BENCH_lint.json:
+        # the warm-cache whole-program lint must stay an editor-loop
+        # tool, not a batch job.
+        if rest != "wall_ms":
+            raise ConfigError(
+                f"budget {source!r}: lint stat must be wall_ms")
 
 
 def load_budgets(pyproject_path: str,
@@ -290,6 +297,9 @@ def evaluate_budgets(budgets: _t.Sequence[Budget], run: "ObsRun",
             continue
         elif budget.selector.startswith("obs:"):
             # Evaluated by the telemetry-overhead benchmark.
+            continue
+        elif budget.selector.startswith("lint:"):
+            # Evaluated by the lint wall-time benchmark.
             continue
         else:  # pragma: no cover - parse_budget rejects these
             value = None

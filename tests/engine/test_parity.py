@@ -28,3 +28,69 @@ def test_quick_parity_holds(capsys):
                for verdict in budgets.column("verdict"))
     # The live run's socket-health panel rode along.
     assert tables[-1].title == "obs: live socket health"
+
+
+# ----------------------------------------------------------------------
+# Tolerance and taxonomy edges (synthetic span logs)
+# ----------------------------------------------------------------------
+def _request_run(engine_name: str, stage_ms: float,
+                 with_stage: bool = True):
+    """One synthetic request trace: ``request`` root + one DNS stage."""
+    from repro.engine.parity import _EngineRun
+    from repro.telemetry.analysis import SpanRecord
+    from repro.telemetry.registry import Telemetry
+
+    spans = [SpanRecord(trace=1, span=1, parent=None, name="request",
+                        start_ms=0.0, duration_ms=1000.0,
+                        attrs={"app": "app-a", "source": "ap-hit"})]
+    if with_stage:
+        spans.append(SpanRecord(trace=1, span=2, parent=1,
+                                name="dns_piggyback", start_ms=0.0,
+                                duration_ms=stage_ms))
+    return _EngineRun(engine=engine_name, sources=["ap-hit"],
+                      spans=spans, duration_s=1.0,
+                      telemetry=Telemetry())
+
+
+def test_wall_jitter_exactly_at_tolerance_passes():
+    # The contract is |delta| <= tolerance: a live run slower by
+    # *exactly* the 250 ms budget still holds parity; one ms past
+    # it does not.
+    from repro.engine.parity import _compare
+
+    sim = _request_run("sim", 200.0)
+    at_boundary = _request_run("live", 200.0 + DEFAULT_TOLERANCE_MS)
+    mismatches, stats = _compare(sim, at_boundary, DEFAULT_TOLERANCE_MS)
+    assert mismatches == []
+    assert stats == []
+
+    beyond = _request_run("live", 201.0 + DEFAULT_TOLERANCE_MS)
+    mismatches, stats = _compare(sim, beyond, DEFAULT_TOLERANCE_MS)
+    assert mismatches == []
+    assert stats, "251 ms of stage jitter must breach the 250 ms budget"
+    assert any("dns_piggyback" in line for line in stats)
+
+
+def test_missing_stage_attribution_fails_with_readable_diff():
+    from repro.engine.parity import ParityReport, _compare
+
+    sim = _request_run("sim", 200.0)
+    live = _request_run("live", 200.0, with_stage=False)
+    mismatches, stats = _compare(sim, live, DEFAULT_TOLERANCE_MS)
+    # The exact tier names the lost stage and both counts.
+    assert "ap-hit/dns_piggyback count: sim=1 live=None" in mismatches
+
+    report = ParityReport(sim=sim, live=live,
+                          tolerance_ms=DEFAULT_TOLERANCE_MS,
+                          mismatches=mismatches, stat_entries=stats,
+                          budget_results=[])
+    assert not report.ok
+    taxonomy = report.tables()[0]
+    row = next(row for row in taxonomy.rows
+               if row["source"] == "ap-hit"
+               and row["stage"] == "dns_piggyback")
+    assert row["sim_count"] == "1"
+    assert row["live_count"] == "-"
+    assert row["verdict"] == "MISMATCH"
+    assert any("MISMATCH: ap-hit/dns_piggyback" in note
+               for note in taxonomy.notes)

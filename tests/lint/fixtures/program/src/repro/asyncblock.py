@@ -1,0 +1,39 @@
+"""ASYNC101 fixture: blocking calls reachable from coroutines.
+
+``slow_helper`` is sync, but ``handler`` (a coroutine) calls it — the
+inter-procedural pass must walk the caller chain.  ``direct`` blocks
+inside the coroutine itself.  ``unreached_helper`` blocks too, but no
+coroutine can reach it, so it stays silent.  ``sanctioned_flush`` is
+flagged under the default config; the allowlist test blesses it via
+``async-blocking-allow`` and asserts the finding disappears.
+"""
+
+import asyncio
+import time
+
+
+def slow_helper() -> None:
+    time.sleep(0.5)  # expect: ASYNC101
+
+
+async def handler() -> None:
+    slow_helper()
+    await asyncio.sleep(0)
+
+
+def unreached_helper() -> None:
+    time.sleep(0.1)  # negative: nothing async ever calls this
+
+
+async def direct() -> None:
+    time.sleep(0.2)  # expect: ASYNC101
+    await asyncio.sleep(0)
+
+
+def sanctioned_flush() -> None:
+    time.sleep(0.01)  # expect: ASYNC101
+
+
+async def shutdown() -> None:
+    sanctioned_flush()
+    await asyncio.sleep(0)

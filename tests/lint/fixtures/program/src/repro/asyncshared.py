@@ -1,0 +1,52 @@
+"""ASYNC103 fixture: unserialized shared state across coroutines.
+
+``Tally`` writes one attribute from two coroutines with no lock (the
+finding anchors at the alphabetically first writer's site and the
+trace lists both).  ``GuardedTally`` is the same shape under
+``async with self._lock`` — silent.  ``Mixer`` holds a *synchronous*
+lock across an ``await``: its single-writer attribute is fine, but the
+sync lock parks the whole loop, the second ASYNC103 shape.
+"""
+
+import asyncio
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self.total = 0
+
+    async def add_delegation(self) -> None:
+        self.total -= 1  # expect: ASYNC103
+        await asyncio.sleep(0)
+
+    async def add_fetch(self) -> None:
+        self.total += 1
+        await asyncio.sleep(0)
+
+
+class GuardedTally:
+    def __init__(self) -> None:
+        self.total = 0
+        self._lock = asyncio.Lock()
+
+    async def add_delegation(self) -> None:
+        async with self._lock:
+            self.total -= 1
+        await asyncio.sleep(0)
+
+    async def add_fetch(self) -> None:
+        async with self._lock:
+            self.total += 1
+        await asyncio.sleep(0)
+
+
+class Mixer:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.value = 0
+
+    async def update(self) -> None:
+        with self._mutex:  # expect: ASYNC103
+            await asyncio.sleep(0)
+            self.value = 1

@@ -1,0 +1,39 @@
+"""ASYNC102 fixture: dropped coroutines and dropped task handles.
+
+``fire_and_forget`` commits both sins: a bare coroutine call (the body
+never runs) and a bare ``create_task`` (the loop's weak reference lets
+the GC collect the task mid-flight).  ``careful`` shows the sanctioned
+shapes: ``await``, and a handle anchored in an owned set with a
+done-callback discard.  ``sync_driver`` drops a coroutine from sync
+code — still a finding, but with no mechanical fix.
+"""
+
+import asyncio
+
+_OWNED: set = set()
+
+
+async def work() -> int:
+    await asyncio.sleep(0)
+    return 1
+
+
+async def fire_and_forget() -> None:
+    work()  # expect: ASYNC102
+    asyncio.create_task(work())  # expect: ASYNC102
+
+
+async def careful() -> None:
+    await work()
+    task = asyncio.create_task(work())
+    _OWNED.add(task)
+    task.add_done_callback(_OWNED.discard)
+    await task
+
+
+def sync_driver() -> None:
+    work()  # expect: ASYNC102
+
+
+async def ensure_drop() -> None:
+    asyncio.ensure_future(work())  # expect: ASYNC102

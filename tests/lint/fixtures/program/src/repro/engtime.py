@@ -1,0 +1,42 @@
+"""ENG101 fixture: sim-domain time crossing into wall-time sinks.
+
+``deadline_for`` derives a value from ``sim.now`` (sim-domain) and
+``pace`` feeds it to ``asyncio.sleep`` — simulated milliseconds read
+as host seconds.  ``wall_after`` does the same through an ``engine``
+handle, and ``schedule_cb`` hits the ``loop.call_later`` sink in one
+function.  ``fixed_pace`` (constant delay) and ``sim_deadline``
+(sim value into a *sim* sink) stay inside one domain and are silent.
+"""
+
+import asyncio
+
+
+def deadline_for(sim) -> float:
+    return sim.now + 0.25  # expect: ENG101
+
+
+async def pace(sim) -> None:
+    delay = deadline_for(sim)
+    await asyncio.sleep(delay)
+
+
+def wall_after(engine) -> float:
+    return engine.now * 2.0  # expect: ENG101
+
+
+async def drive(engine) -> None:
+    await asyncio.sleep(wall_after(engine))
+
+
+async def schedule_cb(sim) -> None:
+    loop = asyncio.get_running_loop()
+    loop.call_later(sim.now, print)  # expect: ENG101
+    await asyncio.sleep(0)
+
+
+async def fixed_pace() -> None:
+    await asyncio.sleep(0.01)  # negative: constant wall-domain delay
+
+
+def sim_deadline(sim):
+    return sim.timeout(sim.now + 1.0)  # negative: sim time, sim sink

@@ -114,3 +114,23 @@ def test_telemetry_demo_example_runs(capsys):
     assert "ap.pacm_admit" in out          # the trace tree
     assert "instrument snapshot" in out
     assert "byte-identical" in out
+
+
+# ----------------------------------------------------------------------
+# Live socket-health panel
+# ----------------------------------------------------------------------
+def test_live_health_table_surfaces_task_gauge():
+    from repro.engine.livenet import register_live_instruments
+    from repro.telemetry.obs import live_health_table
+
+    telemetry = Telemetry()
+    assert live_health_table(telemetry) is None  # simulated runs opt out
+
+    register_live_instruments(telemetry)
+    telemetry.get("live.tasks_active").set(3.0)
+    table = live_health_table(telemetry)
+    assert table is not None
+    rows = {row["instrument"]: row["value"] for row in table.rows}
+    assert rows["live.tasks_active (now)"] == 3
+    assert rows["live.socket_errors"] == 0
+    assert rows["live.in_flight (now)"] == 0

@@ -29,6 +29,8 @@ def test_parse_budget_accepts_both_ops():
     assert high.op == ">=" and high.limit == 800.0
     assert parse_budget("issues <= 0").selector == "issues"
     assert parse_budget("profile:events_per_wall_s >= 1").is_profile
+    # Benchmark-owned selectors validate here, evaluate elsewhere.
+    assert parse_budget("lint:wall_ms <= 4500").selector == "lint:wall_ms"
 
 
 @pytest.mark.parametrize("bad", [
@@ -39,6 +41,7 @@ def test_parse_budget_accepts_both_ops():
     "latency <= 20",                        # unknown selector kind
     "metric:/value <= 1",                   # empty metric name
     "profile:cpu_percent <= 90",            # unknown profile stat
+    "lint:cold_ms <= 4500",                 # unknown lint stat
 ])
 def test_parse_budget_rejects_malformed_specs(bad):
     with pytest.raises(ConfigError):

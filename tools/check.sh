@@ -30,13 +30,15 @@ merged_serial=$(mktemp) merged_parallel=$(mktemp)
 memo_file=$(mktemp) memo_cold=$(mktemp) memo_warm=$(mktemp)
 memo_stats=$(mktemp)
 bench_a=$(mktemp) bench_b=$(mktemp) diff_out=$(mktemp)
+async_cold=$(mktemp) async_cached=$(mktemp) async_proj=$(mktemp -d)
 trap 'rm -f "$lint_cold_a" "$lint_cold_b" "$lint_cached" \
     "$effects_cold" "$effects_cached" \
     "$spans_a" "$spans_b" "$trace_a" \
     "$sweep_serial" "$sweep_parallel" \
     "$merged_serial" "$merged_parallel" \
     "$memo_file" "$memo_cold" "$memo_warm" "$memo_stats" \
-    "$bench_a" "$bench_b" "$diff_out"' EXIT
+    "$bench_a" "$bench_b" "$diff_out" \
+    "$async_cold" "$async_cached"; rm -rf "$async_proj"' EXIT
 python -m repro.lint --format json --no-cache > "$lint_cold_a"
 cp build/effects.json "$effects_cold"
 python -m repro.lint --format json --no-cache > "$lint_cold_b"
@@ -55,6 +57,40 @@ fi
 # as cache-indifferent as the findings themselves.
 if ! cmp -s "$effects_cold" "$effects_cached"; then
     echo "FAIL: build/effects.json differs between cold and cached lint" >&2
+    exit 1
+fi
+
+echo "==> repro.lint async/engine-seam passes"
+# The ASYNC/ENG whole-program passes ride the same summary cache: the
+# --stats document (which carries the async fact counts the passes run
+# on) must agree between a cold build and a cache hit, modulo the
+# cache-accounting key itself.
+python -m repro.lint --stats --no-cache > "$async_cold"
+python -m repro.lint --stats > "$async_cached"
+python - "$async_cold" "$async_cached" <<'EOF'
+import json, sys
+cold, cached = (json.load(open(path)) for path in sys.argv[1:3])
+cold.pop("cache"), cached.pop("cache")
+assert cold["async"]["coroutines"] > 0, "async extraction saw nothing"
+assert cold == cached, \
+    "cached --stats differs from a cold build beyond cache accounting"
+EOF
+# And the passes must actually bite: a scratch project with a dropped
+# task handle (the ASYNC102 GC hazard) fails the lint with exit 1.
+mkdir -p "$async_proj/src/scratch"
+cat > "$async_proj/src/scratch/leak.py" <<'EOF'
+import asyncio
+
+
+async def work() -> None:
+    await asyncio.sleep(0)
+
+
+async def leak() -> None:
+    asyncio.create_task(work())
+EOF
+if python -m repro.lint "$async_proj/src" >/dev/null 2>&1; then
+    echo "FAIL: lint passed a project with a dropped task handle" >&2
     exit 1
 fi
 
