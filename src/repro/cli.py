@@ -186,6 +186,16 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--top", type=int, default=0, metavar="N",
                      help="also list the N slowest request traces "
                           "with per-stage self-times")
+    obs.add_argument("--follow", type=str, default=None, metavar="URL",
+                     help="stream mode: poll a live admin plane's "
+                          "/metrics endpoint and re-render the panels "
+                          "each interval instead of running the sim")
+    obs.add_argument("--interval", type=float, default=2.0,
+                     metavar="S",
+                     help="poll interval for --follow (default 2 s)")
+    obs.add_argument("--count", type=int, default=0, metavar="N",
+                     help="stop --follow after N polls "
+                          "(default 0 = until the endpoint goes away)")
 
     sentry = subparsers.add_parser(
         "sentry", parents=[common],
@@ -209,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="profile the host run and evaluate "
                              "profile: budgets (results land under the "
                              "report's nondeterministic 'timings' key)")
+    sentry.add_argument("--live-metrics", type=str, default=None,
+                        metavar="FILE",
+                        help="evaluate [tool.repro-sentry].live-budgets "
+                             "against an exported live metric JSONL "
+                             "instead of running the sim")
 
     live = subparsers.add_parser(
         "live",
@@ -227,6 +242,26 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="FILE",
                       help="flush metric records to FILE as JSONL on "
                            "shutdown")
+    live.add_argument("--logs", type=str, default="", metavar="FILE",
+                      help="flush the structured log (trace-correlated "
+                           "JSONL) to FILE on shutdown")
+    live.add_argument("--metrics-port", type=int, default=None,
+                      metavar="PORT",
+                      help="bind the admin plane (/metrics, /healthz, "
+                           "/debug/traces) on PORT (0 = ephemeral; "
+                           "default: no admin plane)")
+    live.add_argument("--drain-grace-s", type=float, default=0.0,
+                      metavar="S",
+                      help="hold the 'draining' state for S seconds "
+                           "before closing listeners (default 0)")
+    live.add_argument("--watchdog-interval-s", type=float,
+                      default=0.25, metavar="S",
+                      help="event-loop lag watchdog probe interval "
+                           "(default 0.25 s)")
+    live.add_argument("--inject-stall-ms", type=float, default=0.0,
+                      metavar="MS",
+                      help="debug: block the event loop for MS after "
+                           "the demo to exercise the stall watchdog")
 
     parity = subparsers.add_parser(
         "parity", parents=[common],
@@ -415,7 +450,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             return run_live(demo_requests=args.requests,
                             serve=args.serve,
                             spans_path=args.spans,
-                            metrics_path=args.export_metrics)
+                            metrics_path=args.export_metrics,
+                            logs_path=args.logs,
+                            metrics_port=args.metrics_port,
+                            drain_grace_s=args.drain_grace_s,
+                            watchdog_interval_s=args.watchdog_interval_s,
+                            inject_stall_ms=args.inject_stall_ms)
         except (ReproError, OSError) as error:
             print(f"live: {error}", file=sys.stderr)
             return 2
@@ -438,6 +478,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     quick = not args.full
 
     elapsed = perf_timer()
+    if args.command == "obs" and args.follow:
+        from repro.errors import ReproError
+        from repro.telemetry.obs import follow_obs
+
+        print("--- obs: following a live admin plane ---",
+              file=sys.stderr, flush=True)
+        try:
+            return follow_obs(args.follow, interval_s=args.interval,
+                              count=args.count,
+                              metrics_path=args.export_metrics)
+        except (ReproError, OSError) as error:
+            print(f"obs: {error}", file=sys.stderr)
+            return 2
     if args.command == "obs":
         from repro.telemetry.obs import run_obs
 
@@ -452,6 +505,22 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                     tail_threshold_ms=args.tail_threshold_ms,
                     tail_sample_every=args.tail_sample_every,
                     fleet=args.fleet, top=args.top), args.format)
+    elif args.command == "sentry" and args.live_metrics:
+        from repro.errors import ConfigError
+        from repro.telemetry.sentry import run_live_sentry
+
+        print("--- sentry: live-metrics budget gate ---",
+              file=sys.stderr, flush=True)
+        try:
+            tables, code = run_live_sentry(
+                args.live_metrics, pyproject=args.pyproject,
+                extra_budgets=args.budget)
+        except (ConfigError, OSError) as error:
+            print(f"sentry: {error}", file=sys.stderr)
+            return 2
+        _emit(_render_tables(tables, args.format), args.output)
+        print(f"done in {elapsed():.0f}s", file=sys.stderr)
+        return code
     elif args.command == "sentry":
         from repro.errors import ConfigError
         from repro.telemetry.sentry import DEFAULT_REPORT_PATH, \

@@ -71,6 +71,12 @@ def register_live_instruments(telemetry: Telemetry) -> None:
     telemetry.gauge("live.tasks_active",
                     help="bridged engine tasks currently alive in the "
                          "owned task set")
+    telemetry.histogram("live.loop_lag_ms",
+                        help="event-loop scheduling delay per watchdog "
+                             "probe (docs/live.md)")
+    telemetry.counter("live.loop_stalls",
+                      help="watchdog probes delayed past the stall "
+                           "threshold")
 
 
 class LiveTransport:

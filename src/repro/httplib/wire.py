@@ -34,7 +34,7 @@ from repro.httplib.messages import HttpRequest, HttpResponse
 from repro.httplib.url import Url
 
 __all__ = [
-    "encode_request", "encode_response",
+    "encode_request", "encode_response", "encode_payload_response",
     "read_request", "read_response",
     "MAX_HEADER_BYTES",
 ]
@@ -53,7 +53,8 @@ _RESERVED = frozenset({
 _CRLF = b"\r\n"
 
 _REASONS = {200: "OK", 404: "Not Found", 500: "Internal Server Error",
-            502: "Bad Gateway", 504: "Gateway Timeout"}
+            502: "Bad Gateway", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
 
 
 def encode_request(request: HttpRequest) -> bytes:
@@ -88,6 +89,25 @@ def encode_response(response: HttpResponse) -> bytes:
     lines.append(f"content-length: {size}")
     head = _CRLF.join(line.encode("latin-1") for line in lines) + 2 * _CRLF
     return head + b"\0" * size
+
+
+def encode_payload_response(status: int, payload: bytes,
+                            content_type: str = "text/plain") -> bytes:
+    """Serialize a response that carries a *real* byte payload.
+
+    The cache path ships size-only filler bodies
+    (:func:`encode_response`); the admin plane needs actual content —
+    exposition text, health JSON — so this variant writes the given
+    bytes verbatim with a content type, still connection-close HTTP/1.1
+    that ``curl``/``urllib`` read directly.
+    """
+    reason = _REASONS.get(status, "Status")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"content-type: {content_type}",
+             f"content-length: {len(payload)}",
+             "connection: close"]
+    head = _CRLF.join(line.encode("latin-1") for line in lines) + 2 * _CRLF
+    return head + payload
 
 
 async def read_request(reader: asyncio.StreamReader) -> HttpRequest:

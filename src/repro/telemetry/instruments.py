@@ -434,6 +434,36 @@ class Histogram(Instrument):
     def labelsets(self) -> list[LabelSet]:
         return sorted(self._states)
 
+    def cumulative_rows(self, key: LabelSet,
+                        ) -> tuple[list[tuple[float, int]], int, float, str]:
+        """Prometheus-style cumulative buckets for one exact label set.
+
+        Returns ``(rows, total, sum, backend)`` where ``rows`` is the
+        ascending ``(upper_bound, cumulative_count)`` list *excluding*
+        the ``+inf`` bucket (``total`` is its value), ``sum`` is the
+        folded sample sum and ``backend`` the per-state fidelity tag.
+        Exact/capped states expose the configured bounds; sketch states
+        expose their gamma log-buckets (exact counts, approximate
+        positions within the sketch's relative-error bound).  This is
+        the accessor the ``/metrics`` exposition renders from
+        (:mod:`repro.telemetry.exposition`).
+        """
+        state = self._states.get(key)
+        if state is None:
+            raise TelemetryError(
+                f"histogram {self.name}: unknown label set {key!r}")
+        if state.sketch is not None:
+            rows = state.sketch.cumulative_buckets()
+            return rows, state.sketch.count, state.sketch.sum, "sketch"
+        rows = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, state.bucket_counts):
+            cumulative += count
+            rows.append((bound, cumulative))
+        total = cumulative + state.bucket_counts[-1]
+        return rows, total, state.folded_sum(), \
+            self._backend_tag(state.dropped)
+
     def _backend_tag(self, dropped: int) -> str:
         if self.backend == "sketch":
             return "sketch"

@@ -40,9 +40,9 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.baselines.base import CachingSystem
     from repro.baselines.multi_ap import WiCacheDistributedSystem
 
-__all__ = ["ObsRun", "instrumented_run", "run_obs", "stage_table",
-           "hit_ratio_table", "live_health_table", "fleet_tables",
-           "fleet_table", "top_traces_table"]
+__all__ = ["ObsRun", "follow_obs", "instrumented_run", "run_obs",
+           "stage_table", "hit_ratio_table", "live_health_table",
+           "fleet_tables", "fleet_table", "top_traces_table"]
 
 _MB = 1024 * 1024
 
@@ -125,38 +125,112 @@ def hit_ratio_table(telemetry: Telemetry) -> ExperimentTable:
 
 
 def live_health_table(telemetry: Telemetry) -> ExperimentTable | None:
-    """Socket health of a live-engine run (``live.*`` instruments).
+    """Health of a live-engine run (``live.*`` instruments).
 
     Returns ``None`` when the registry holds no live instruments —
     the normal case for simulated runs, whose transport never touches
-    a socket (:mod:`repro.engine.livenet` pre-registers them on live
-    stacks, so a clean live run still renders honest zeros here).
+    a socket.  On live registries every row renders unconditionally
+    (:mod:`repro.engine.livenet` pre-registers the instruments at stack
+    construction), so a clean run — and the very first ``/metrics``
+    scrape — shows honest zeros instead of omitting rows.
     """
     errors = telemetry.get("live.socket_errors")
-    timeouts = telemetry.get("live.request_timeouts")
-    in_flight = telemetry.get("live.in_flight")
     if not isinstance(errors, Counter):
         return None
+
+    def counter_total(name: str) -> int:
+        instrument = telemetry.get(name)
+        return (int(instrument.total())
+                if isinstance(instrument, Counter) else 0)
+
+    def gauge_now(name: str) -> int:
+        instrument = telemetry.get(name)
+        if not isinstance(instrument, Gauge):
+            return 0
+        return int(sum(instrument.value(**dict(key))
+                       for key in instrument.labelsets()))
+
     table = ExperimentTable(
         title="obs: live socket health",
         columns=["instrument", "value"])
     table.add_row(instrument="live.socket_errors",
                   value=int(errors.total()))
-    if isinstance(timeouts, Counter):
-        table.add_row(instrument="live.request_timeouts",
-                      value=int(timeouts.total()))
-    if isinstance(in_flight, Gauge):
-        table.add_row(instrument="live.in_flight (now)",
-                      value=int(in_flight.value()))
-    tasks_active = telemetry.get("live.tasks_active")
-    if isinstance(tasks_active, Gauge):
-        table.add_row(instrument="live.tasks_active (now)",
-                      value=int(tasks_active.value()))
+    table.add_row(instrument="live.request_timeouts",
+                  value=counter_total("live.request_timeouts"))
+    table.add_row(instrument="live.in_flight (now)",
+                  value=gauge_now("live.in_flight"))
+    table.add_row(instrument="live.tasks_active (now)",
+                  value=gauge_now("live.tasks_active"))
+    table.add_row(instrument="live.loop_stalls",
+                  value=counter_total("live.loop_stalls"))
+    lag = _histogram(telemetry, "live.loop_lag_ms")
+    lag_p99 = lag.percentile(99.0) if lag is not None and lag.count() \
+        else 0.0
+    table.add_row(instrument="live.loop_lag_ms (p99)",
+                  value=round(lag_p99, 3))
     table.notes.append(
-        "live-engine transport health; a drained stack ends with "
-        "in_flight 0 and the live-budgets gate requires "
-        "socket_errors 0 (docs/live.md)")
+        "live-engine health; a drained stack ends with in_flight 0 "
+        "and the live-budgets gate requires socket_errors 0 and "
+        "loop_stalls 0 (docs/live.md)")
     return table
+
+
+def follow_obs(url: str, interval_s: float = 2.0, count: int = 0,
+               metrics_path: str | None = None,
+               emit: _t.Callable[[str], None] = print) -> int:
+    """Poll a live admin plane's ``/metrics`` and stream the panels.
+
+    The ``repro.cli obs --follow URL`` implementation: every
+    ``interval_s`` it scrapes the exposition text, rebuilds a registry
+    (:func:`~repro.telemetry.exposition.telemetry_from_exposition` —
+    counters/gauges exact, histogram percentiles at bucket resolution)
+    and re-renders the stage / hit-ratio / live-health panels.
+    ``count`` bounds the polls (0 = until the endpoint goes away or
+    Ctrl-C); ``metrics_path`` writes the final scrape as metric JSONL,
+    diffable by ``repro.cli diff``.
+    """
+    import time as _time
+    from urllib.request import urlopen
+
+    from repro.telemetry.exposition import telemetry_from_exposition
+
+    target = url if "://" in url else f"http://{url}"
+    if not target.rstrip("/").endswith("/metrics"):
+        target = target.rstrip("/") + "/metrics"
+    polls = 0
+    telemetry: Telemetry | None = None
+    while True:
+        try:
+            with urlopen(target, timeout=10.0) as response:
+                text = response.read().decode("utf-8")
+        except OSError as err:
+            if polls:
+                emit(f"obs --follow: endpoint gone after {polls} "
+                     f"polls ({err})")
+                break
+            raise
+        telemetry = telemetry_from_exposition(text)
+        polls += 1
+        emit(f"obs --follow: poll {polls} of {target} "
+             f"({len(text)} bytes, "
+             f"{len(telemetry.instruments())} instruments)")
+        for table in (stage_table(telemetry),
+                      hit_ratio_table(telemetry)):
+            emit(str(table))
+            emit("")
+        live_health = live_health_table(telemetry)
+        if live_health is not None:
+            emit(str(live_health))
+            emit("")
+        if count and polls >= count:
+            break
+        _time.sleep(interval_s)
+    if metrics_path is not None and telemetry is not None:
+        written = write_metrics_jsonl(telemetry, metrics_path)
+        emit(f"obs --follow: wrote {written} metric records to "
+             f"{metrics_path} (final snapshot, diffable by "
+             f"`repro.cli diff`)")
+    return 0
 
 
 @dataclasses.dataclass

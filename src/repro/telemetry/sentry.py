@@ -67,8 +67,9 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.obs import ObsRun
 
 __all__ = ["Budget", "BudgetResult", "parse_budget", "load_budgets",
-           "evaluate_budgets", "sentry_report", "run_sentry",
-           "DEFAULT_REPORT_PATH"]
+           "load_live_budgets", "evaluate_budgets",
+           "evaluate_metric_records", "run_live_sentry",
+           "sentry_report", "run_sentry", "DEFAULT_REPORT_PATH"]
 
 DEFAULT_REPORT_PATH = "BENCH_obs.json"
 
@@ -306,6 +307,86 @@ def evaluate_budgets(budgets: _t.Sequence[Budget], run: "ObsRun",
         ok = value is not None and _OPS[budget.op](value, budget.limit)
         results.append(BudgetResult(budget=budget, value=value, ok=ok))
     return results
+
+
+def evaluate_metric_records(budgets: _t.Sequence[Budget],
+                            records: _t.Sequence[_t.Mapping[str, object]],
+                            ) -> list[BudgetResult]:
+    """Check ``metric:`` budgets against exported metric JSONL records.
+
+    The offline half of the live gate: a ``repro.cli live
+    --export-metrics`` run leaves a records file, and this evaluates
+    the ``live-budgets`` against it without re-running anything.
+    ``value`` stats sum matching records (the subset-sum reading of
+    ``Counter.total``; no matching records reads as an honest 0, the
+    state of a pre-registered counter that never fired).  Histogram
+    stats need the records: ``count`` sums across matching series,
+    other stats resolve only when exactly one series matches (summaries
+    of different label sets cannot be merged after export).  Non-metric
+    budgets are skipped.
+    """
+    import math
+
+    results: list[BudgetResult] = []
+    for budget in budgets:
+        if not budget.selector.startswith("metric:"):
+            continue
+        name, labels, stat = _parse_metric_selector(budget.selector[7:])
+        want = set(labels.items())
+        matching = [
+            record for record in records
+            if record.get("name") == name and want <= set(
+                _t.cast(dict, record.get("labels", {})).items())]
+        value: float | None
+        if stat == "value":
+            value = math.fsum(
+                _t.cast(float, record["value"]) for record in matching
+                if "value" in record)
+        else:
+            summaries = [_t.cast(dict, record["summary"])
+                         for record in matching
+                         if record.get("kind") == "histogram"]
+            if stat == "count":
+                value = math.fsum(summary.get("count", 0.0)
+                                  for summary in summaries) \
+                    if summaries else None
+            elif len(summaries) == 1:
+                value = _t.cast("float | None",
+                                summaries[0].get(stat))
+            else:
+                value = None
+        ok = value is not None and _OPS[budget.op](value, budget.limit)
+        results.append(BudgetResult(budget=budget, value=value, ok=ok))
+    return results
+
+
+def run_live_sentry(metrics_path: str,
+                    pyproject: str = "pyproject.toml",
+                    extra_budgets: _t.Sequence[str] = (),
+                    ) -> tuple[list[ExperimentTable], int]:
+    """The ``repro.cli sentry --live-metrics`` core.
+
+    Loads the ``live-budgets`` from pyproject, evaluates them against
+    the metric JSONL a live run exported, and returns the verdict
+    panel plus the exit code (1 on any violation or unresolved budget)
+    — the offline gate ``tools/check.sh`` points at a stall-injected
+    run.
+    """
+    from repro.telemetry.analysis import load_metric_records
+
+    budgets = load_live_budgets(pyproject)
+    budgets.extend(parse_budget(text) for text in extra_budgets)
+    records = load_metric_records(metrics_path)
+    results = evaluate_metric_records(budgets, records)
+    table = budget_table(results)
+    table.title = "sentry: live-budget verdicts"
+    table.notes.append(
+        f"evaluated against {len(records)} metric records from "
+        f"{metrics_path}")
+    violations = [result for result in results if not result.ok]
+    if violations:
+        table.notes.append(f"{len(violations)} budget violation(s)")
+    return [table], (1 if violations else 0)
 
 
 # ----------------------------------------------------------------------

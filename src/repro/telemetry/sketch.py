@@ -153,6 +153,25 @@ class QuantileSketch:
                 return min(max(midpoint, self._min), self._max)
         return self._max  # pragma: no cover - rank <= count always hits
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Ascending ``(upper_bound, cumulative_count)`` rows.
+
+        The exposition-format view of the sketch: each log-bucket i
+        becomes a cumulative bucket with upper bound ``gamma^i`` (its
+        exact inclusive upper edge); the zero bucket, when populated,
+        leads with upper bound ``_MIN_TRACKABLE``.  Counts are exact —
+        only the bound placement carries the sketch's relative error.
+        """
+        rows: list[tuple[float, int]] = []
+        cumulative = 0
+        if self._zero_count:
+            cumulative = self._zero_count
+            rows.append((_MIN_TRACKABLE, cumulative))
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            rows.append((self._gamma ** index, cumulative))
+        return rows
+
     # -- merging --------------------------------------------------------
     def merge(self, other: "QuantileSketch") -> "QuantileSketch":
         """Fold another sketch into this one (in place); returns self.

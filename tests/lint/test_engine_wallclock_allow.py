@@ -59,5 +59,7 @@ def test_real_wallclock_module_lints_clean_only_when_blessed():
     target = REPO_ROOT / "src" / "repro" / "engine" / "wallclock.py"
     assert lint_file(target, config) == []
     strict = dataclasses.replace(config, engine_wallclock_allow=())
-    assert [finding.code for finding in lint_file(target, strict)] == \
-        ["DET002", "DET002"]
+    codes = [finding.code for finding in lint_file(target, strict)]
+    # WallClock.now / _schedule plus the LoopLagWatchdog's three
+    # monotonic() probes — every host-clock read lives in this file.
+    assert codes == ["DET002"] * 5

@@ -31,6 +31,7 @@ memo_file=$(mktemp) memo_cold=$(mktemp) memo_warm=$(mktemp)
 memo_stats=$(mktemp)
 bench_a=$(mktemp) bench_b=$(mktemp) diff_out=$(mktemp)
 async_cold=$(mktemp) async_cached=$(mktemp) async_proj=$(mktemp -d)
+admin_clean=$(mktemp) admin_stall=$(mktemp) admin_follow=$(mktemp)
 trap 'rm -f "$lint_cold_a" "$lint_cold_b" "$lint_cached" \
     "$effects_cold" "$effects_cached" \
     "$spans_a" "$spans_b" "$trace_a" \
@@ -38,6 +39,7 @@ trap 'rm -f "$lint_cold_a" "$lint_cold_b" "$lint_cached" \
     "$merged_serial" "$merged_parallel" \
     "$memo_file" "$memo_cold" "$memo_warm" "$memo_stats" \
     "$bench_a" "$bench_b" "$diff_out" \
+    "$admin_clean" "$admin_stall" "$admin_follow" \
     "$async_cold" "$async_cached"; rm -rf "$async_proj"' EXIT
 python -m repro.lint --format json --no-cache > "$lint_cold_a"
 cp build/effects.json "$effects_cold"
@@ -237,6 +239,117 @@ then
     python -m repro.cli parity --quick
 else
     echo "SKIP: live-parity (loopback sockets unavailable here)" >&2
+fi
+
+echo "==> live admin plane (scrape determinism + drain + stall gate)"
+# Start the demo stack with the admin plane bound, scrape /metrics
+# twice through the strict exposition parser (every line must parse,
+# families in sorted order, two idle scrapes byte-identical), follow
+# it with `obs --follow`, then watch /healthz flip 200 -> 503 through
+# the SIGTERM drain window (docs/live.md).  Same loopback guard as
+# the parity stage.
+if python - <<'EOF'
+import socket
+try:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    probe.close()
+except OSError as err:
+    raise SystemExit(f"no loopback sockets: {err}")
+EOF
+then
+    python - "$admin_follow" <<'EOF'
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.telemetry.exposition import parse_exposition
+
+process = subprocess.Popen(
+    [sys.executable, "-m", "repro.cli", "live", "--serve",
+     "--requests", "2", "--metrics-port", "0",
+     "--watchdog-interval-s", "30", "--drain-grace-s", "1"],
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+try:
+    port = None
+    deadline = time.monotonic() + 30.0
+    for line in process.stdout:
+        match = re.search(r"admin/http on 127\.0\.0\.1:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+        if "serving (SIGINT" in line:
+            break
+        assert time.monotonic() < deadline, "stack never reached serving"
+    assert port, "no admin/http endpoint printed"
+    base = f"http://127.0.0.1:{port}"
+
+    def get(path):
+        with urllib.request.urlopen(base + path, timeout=10) as reply:
+            return reply.status, reply.read()
+
+    status, first = get("/metrics")
+    assert status == 200, f"/metrics -> {status}"
+    status, second = get("/metrics")
+    assert first == second, "two idle /metrics scrapes differ"
+    families = parse_exposition(first.decode("utf-8"))
+    names = [family.name for family in families]
+    assert names == sorted(names), "families out of sorted order"
+    assert any(family.source == "live.loop_lag_ms"
+               for family in families), "watchdog histogram missing"
+
+    follow = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "obs", "--follow", base,
+         "--interval", "0.2", "--count", "2",
+         "--export-metrics", sys.argv[1]],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    assert follow.returncode == 0, "obs --follow failed"
+    panels = follow.stdout.count("== obs: per-stage latency breakdown")
+    assert panels == 2, f"obs --follow rendered {panels} panels, not 2"
+
+    status, body = get("/healthz")
+    assert status == 200 and json.loads(body)["state"] == "serving"
+
+    process.send_signal(signal.SIGTERM)
+    saw_draining = False
+    for _ in range(20):
+        try:
+            with urllib.request.urlopen(base + "/healthz",
+                                        timeout=2) as reply:
+                pass
+        except urllib.error.HTTPError as err:
+            if err.code == 503 and \
+                    json.loads(err.read())["state"] == "draining":
+                saw_draining = True
+                break
+        except OSError:
+            break
+        time.sleep(0.1)
+    assert saw_draining, "/healthz never reported 503/draining"
+    assert process.wait(timeout=30) == 0, "live stack exited non-zero"
+finally:
+    if process.poll() is None:
+        process.kill()
+EOF
+    # An injected loop stall must trip the live budget gate (exit 1)...
+    python -m repro.cli live --requests 0 --inject-stall-ms 600 \
+        --watchdog-interval-s 0.25 \
+        --export-metrics "$admin_stall" >/dev/null 2>&1
+    if python -m repro.cli sentry \
+            --live-metrics "$admin_stall" >/dev/null 2>&1; then
+        echo "FAIL: live sentry passed despite an injected loop stall" >&2
+        exit 1
+    fi
+    # ...and a clean demo run must pass it (exit 0).
+    python -m repro.cli live --requests 2 \
+        --export-metrics "$admin_clean" >/dev/null 2>&1
+    python -m repro.cli sentry --live-metrics "$admin_clean" >/dev/null
+else
+    echo "SKIP: live admin plane (loopback sockets unavailable here)" >&2
 fi
 
 echo "==> pytest"
